@@ -1,0 +1,18 @@
+"""Benchmark-suite plumbing: regenerated tables are printed after the run.
+
+pytest's default capture swallows stdout (including ``sys.__stdout__``
+writes under fd-capture), so :func:`benchmarks._util.report` buffers its
+lines and this hook emits them in the terminal summary — the regenerated
+paper tables therefore always appear in
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` output.
+"""
+
+from benchmarks import _util
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _util.REPORT_BUFFER:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables and series")
+    for line in _util.REPORT_BUFFER:
+        terminalreporter.write_line(line)

@@ -1,0 +1,59 @@
+"""Ablation: the network failure-detection timeout.
+
+Paper §IV-C: failure detection "is purely based on simulated network
+communication timeouts when trying to communicate with a failed simulated
+MPI process.  The simulated network communication timeout is configurable
+as part of xSim's network model."  This bench quantifies that knob: the
+time between a process failure and the resulting MPI_Abort equals the
+configured timeout, and E2 of a full failure/restart experiment grows with
+it (each failure cycle pays the detection latency once per blocked
+detection path).
+"""
+
+import pytest
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.restart import RestartDriver
+
+from benchmarks._util import once, report
+
+NRANKS = 64
+WORKLOAD = HeatConfig.paper_workload(checkpoint_interval=250, nranks=NRANKS)
+TIMEOUTS = ("1s", "10s", "60s", "300s")
+
+
+def _run(timeout: str):
+    system = SystemConfig.paper_system(nranks=NRANKS, detection_timeout=timeout)
+    driver = RestartDriver(
+        system,
+        heat3d,
+        make_args=lambda store: (WORKLOAD, store),
+        schedule=FailureSchedule.of((13, 2000.0)),
+    )
+    run = driver.run()
+    failure_t = run.segments[0].result.failures[0][1]
+    abort_t = run.segments[0].result.abort_time
+    return {"e2": run.e2, "detect_latency": abort_t - failure_t}
+
+
+def test_detection_timeout_ablation(benchmark):
+    results = once(benchmark, lambda: {t: _run(t) for t in TIMEOUTS})
+
+    report("", "=== Ablation: failure-detection timeout (one failure at t=2000s) ===",
+           f"{'timeout':>8} {'failure->abort':>15} {'E2':>12}")
+    for t, r in results.items():
+        report(f"{t:>8} {r['detect_latency']:>13.1f}s {r['e2']:>10,.1f}s")
+
+    from repro.util.units import parse_time
+
+    e2s = []
+    for t in TIMEOUTS:
+        r = results[t]
+        # the failure->abort latency equals the configured timeout
+        assert r["detect_latency"] == pytest.approx(parse_time(t), rel=1e-6)
+        e2s.append(r["e2"])
+    # E2 grows monotonically with the detection timeout
+    assert e2s == sorted(e2s)
+    assert e2s[-1] - e2s[0] == pytest.approx(299.0, abs=5.0)

@@ -1,0 +1,64 @@
+"""Ablation: the eager/rendezvous protocol threshold.
+
+The paper fixes "the simulated eager communication threshold ... to 256 kB,
+i.e., MPI payloads above 256 kB utilize the simulated rendezvous protocol."
+This bench sweeps the message size across the threshold and shows the
+protocol switch: a latency step of one RTS/CTS round trip right above
+256 kB, and sender-completion semantics changing from buffered to
+synchronizing.
+"""
+
+import pytest
+
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+
+from benchmarks._util import once, report
+
+SIZES = (1_000, 64_000, 255_999, 256_000, 256_001, 512_000, 4_000_000)
+
+
+def _pingpong_time(nbytes: int) -> float:
+    system = SystemConfig.paper_system(nranks=2)
+
+    def app(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=nbytes, tag=0)
+            yield from mpi.recv(1, tag=1)
+        else:
+            yield from mpi.recv(0, tag=0)
+            yield from mpi.send(0, nbytes=nbytes, tag=1)
+        done = mpi.wtime()
+        yield from mpi.finalize()
+        return done
+
+    result = XSim(system).run(app)
+    return result.exit_values[0]
+
+
+def _sweep():
+    return {n: _pingpong_time(n) for n in SIZES}
+
+
+def test_eager_threshold_ablation(benchmark):
+    times = once(benchmark, _sweep)
+
+    report("", "=== Ablation: eager/rendezvous threshold (256 kB) ===",
+           f"{'bytes':>10} {'pingpong':>14} {'protocol':>12}")
+    for n, t in times.items():
+        report(f"{n:>10} {t * 1e3:>12.4f}ms {'eager' if n <= 256_000 else 'rendezvous':>12}")
+
+    # monotone in size within each protocol
+    assert times[1_000] < times[64_000] < times[256_000]
+    assert times[256_001] < times[512_000] < times[4_000_000]
+
+    # the protocol switch adds a visible latency step at the threshold:
+    # crossing 256,000 -> 256,001 costs more than the 1-byte bandwidth delta
+    step = times[256_001] - times[256_000]
+    smooth = times[256_000] - times[255_999]
+    assert step > 100 * max(smooth, 1e-12)
+
+    # the step is at least one RTS/CTS round trip (2 wire latencies)
+    net = SystemConfig.paper_system(nranks=2).make_network()
+    assert step == pytest.approx(2 * 2 * net.wire_latency(0, 1), rel=0.5)

@@ -1,0 +1,49 @@
+"""Ablation: interconnect topology sensitivity.
+
+The paper's machine is a 3-D wrapped torus.  This bench runs the same
+heat3d workload over torus, mesh, fat-tree, and ideal-crossbar
+interconnects and reports E1 and a cross-machine ping time — the network-
+model sensitivity a co-design study sweeps.
+"""
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+
+from benchmarks._util import once, report
+
+NRANKS = 64
+KINDS = ("torus", "mesh", "fattree", "crossbar")
+
+
+def _run(kind: str):
+    system = SystemConfig.paper_system(nranks=NRANKS, topology_kind=kind, topology_dims=None)
+    wl = HeatConfig.paper_workload(checkpoint_interval=125, nranks=NRANKS)
+    sim = XSim(system)
+    res = sim.run(heat3d, args=(wl, CheckpointStore()))
+    assert res.completed
+    net = system.make_network()
+    corner_ping = net.transfer_time(8, 0, NRANKS - 1)
+    return {"e1": res.exit_time, "diameter": net.topology.diameter(), "ping": corner_ping}
+
+
+def test_topology_ablation(benchmark):
+    results = once(benchmark, lambda: {k: _run(k) for k in KINDS})
+
+    report("", f"=== Ablation: topology ({NRANKS} ranks, heat3d C=125) ===",
+           f"{'topology':>9} {'diameter':>9} {'corner ping':>13} {'E1':>12}")
+    for k, r in results.items():
+        report(f"{k:>9} {r['diameter']:>9} {r['ping'] * 1e6:>11.2f}us {r['e1']:>10,.2f}s")
+
+    # the ideal crossbar is the lower bound on E1
+    for k in ("torus", "mesh", "fattree"):
+        assert results[k]["e1"] >= results["crossbar"]["e1"]
+    # removing wrap-around links cannot help: mesh >= torus
+    assert results["mesh"]["e1"] >= results["torus"]["e1"]
+    assert results["mesh"]["ping"] > results["torus"]["ping"]
+    # diameters ordered as the theory says
+    assert results["crossbar"]["diameter"] <= results["torus"]["diameter"] <= results["mesh"]["diameter"]
+    # the compute-dominated workload keeps E1 within ~1% across topologies
+    e1s = [r["e1"] for r in results.values()]
+    assert (max(e1s) - min(e1s)) / min(e1s) < 0.01

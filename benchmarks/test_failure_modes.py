@@ -1,0 +1,66 @@
+"""Paper §V-D "First Impressions": observed application failure modes.
+
+"As the computation phase is by orders of magnitudes significantly longer
+than the communication and checkpoint phases, the probability of failure
+during the computation phase is correspondingly larger.  However, a failure
+during the computation phase is detected in the halo exchange due to
+failing communication.  Also, a failure during the checkpoint phase is
+detected in the following barrier.  As detected failures lead to an
+application abort, the application aborted during the halo exchange and/or
+checkpoint phase, always resulting in an incomplete or corrupted
+checkpoint, or during the barrier phase resulting in only partially deleted
+old checkpoints."
+"""
+
+from repro.apps.heat3d import HeatConfig
+from repro.core.harness.config import SystemConfig
+from repro.core.harness.experiment import observe_failure_mode
+from repro.models.filesystem import FileSystemModel
+
+from benchmarks._util import once, report
+
+NRANKS = 64
+WORKLOAD = HeatConfig.paper_workload(checkpoint_interval=25, nranks=NRANKS, iterations=100)
+SYSTEM = SystemConfig.paper_system(nranks=NRANKS)
+# visible checkpoint-write duration so failures can land inside the phase
+SLOW_FS = SYSTEM.scaled(filesystem=FileSystemModel.create("1GB/s", "1kB/s", "1ms"))
+
+
+def _run_scenarios():
+    return [
+        ("computation", observe_failure_mode(SYSTEM, WORKLOAD, rank=31, time=60.0)),
+        ("checkpoint", observe_failure_mode(SLOW_FS, WORKLOAD, rank=31, time=140.0)),
+        ("computation(late)", observe_failure_mode(SYSTEM, WORKLOAD, rank=31, time=300.0)),
+    ]
+
+
+def test_first_impressions_failure_modes(benchmark):
+    scenarios = once(benchmark, _run_scenarios)
+
+    report("", "=== SV-D First Impressions: failure modes ===")
+    for label, obs in scenarios:
+        report(
+            f"{label:>18}: activated@{obs.activated[1]:8.1f}s "
+            f"detected-in={obs.detected_phase:<10} "
+            f"corrupted={obs.corrupted_checkpoint} "
+            f"incomplete={obs.incomplete_checkpoint} "
+            f"partial-old-delete={obs.partially_deleted_old}"
+        )
+
+    by = dict(scenarios)
+
+    # computation-phase failures are detected in the halo exchange (pt2pt)
+    assert by["computation"].detected_phase == "pt2pt"
+    assert by["computation(late)"].detected_phase == "pt2pt"
+    # checkpoint-phase failures are detected in the following barrier
+    assert by["checkpoint"].detected_phase == "collective"
+    assert by["checkpoint"].corrupted_checkpoint
+
+    # every abort damaged the checkpoint state in one of the three ways
+    for label, obs in scenarios:
+        assert obs.aborted
+        assert (
+            obs.corrupted_checkpoint
+            or obs.incomplete_checkpoint
+            or obs.partially_deleted_old
+        ), label

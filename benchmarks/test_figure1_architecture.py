@@ -1,0 +1,55 @@
+"""Paper Figure 1: xSim's implementation architecture and design.
+
+Figure 1 is a structural diagram, not a data series: (a) the layered
+architecture — application processes as virtual processes over an MPI
+interposition layer over the simulator — and (b) the component design
+(processor/network models, per-VP contexts, event-driven core).  The
+reproduction is the toolkit's architecture self-description; this bench
+instantiates the paper's full-size machine description, verifies each
+diagram element is present, and prints the rendered layering.
+"""
+
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+
+from benchmarks._util import report
+
+
+def _build():
+    return XSim(SystemConfig.paper_system())  # the 32,768-node machine
+
+
+def test_figure1_architecture_description(benchmark):
+    sim = benchmark(_build)
+    d = sim.describe_architecture()
+
+    report(
+        "",
+        "=== Figure 1: implementation architecture and design ===",
+        sim.render_architecture(),
+        f"eager threshold: {d['eager_threshold_B']} B, "
+        f"link: {d['link_latency_s'] * 1e6:.0f} us / {d['link_bandwidth_Bps'] / 1e9:.0f} GB/s, "
+        f"detection timeout: {d['detection_timeout_s']:.0f} s",
+    )
+
+    # Figure 1(a): the layering
+    layers = " | ".join(d["layers"])
+    assert "application" in layers
+    assert "MPI layer" in layers
+    assert "resilience extensions" in layers
+    assert "PDES engine" in layers
+    assert "hardware models" in layers
+
+    # Figure 1(b): the components and the paper's machine parameters
+    assert d["virtual_processes"] == 32768
+    assert d["nodes"] == 32768
+    assert d["topology"] == "TorusTopology"
+    assert d["ranks_per_node"] == 1  # "each simulated MPI rank ... one node"
+    assert d["eager_threshold_B"] == 256_000
+    assert d["link_latency_s"] == 1e-6
+    assert d["link_bandwidth_Bps"] == 32e9
+    assert d["collective_algorithm"] == "linear"
+    assert d["processor_slowdown"] == 1000.0
+    for component in ("engine", "world", "network_model", "processor_model",
+                      "filesystem_model", "memory_tracker"):
+        assert component in d["components"]

@@ -1,0 +1,71 @@
+"""Extension (paper future work 4): the parallel file system model.
+
+The paper excludes checkpoint I/O cost ("the file system overhead for
+checkpoint/restart was not considered") because its file system model was
+work in progress.  This bench turns the model on: per-checkpoint cost
+becomes size/bandwidth-dependent, E1 grows with checkpoint frequency much
+faster than in the zero-cost configuration, and aggregate-bandwidth
+contention among concurrent writers is visible.
+"""
+
+import pytest
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+from repro.models.filesystem import FileSystemModel
+
+from benchmarks._util import once, report
+
+NRANKS = 64
+INTERVALS = (1000, 250, 125)
+
+FS = FileSystemModel.create(
+    aggregate_bandwidth="100MB/s",  # deliberately slow: visible cost
+    client_bandwidth="10MB/s",
+    metadata_latency="10ms",
+)
+
+
+def _e1(interval: int, fs: FileSystemModel):
+    system = SystemConfig.paper_system(nranks=NRANKS, filesystem=fs)
+    wl = HeatConfig.paper_workload(checkpoint_interval=interval, nranks=NRANKS)
+    sim = XSim(system)
+    res = sim.run(heat3d, args=(wl, CheckpointStore()))
+    assert res.completed
+    return res.exit_time
+
+
+def _sweep():
+    return {
+        "disabled": {c: _e1(c, FileSystemModel.disabled()) for c in INTERVALS},
+        "modeled": {c: _e1(c, FS) for c in INTERVALS},
+    }
+
+
+def test_filesystem_checkpoint_cost(benchmark):
+    results = once(benchmark, _sweep)
+
+    report("", f"=== File system model: E1 vs checkpoint interval ({NRANKS} ranks) ===",
+           f"{'C':>5} {'E1 (FS disabled)':>17} {'E1 (FS modeled)':>16} {'I/O cost':>10}")
+    for c in INTERVALS:
+        off, on = results["disabled"][c], results["modeled"][c]
+        report(f"{c:>5} {off:>15,.1f}s {on:>14,.1f}s {on - off:>8,.1f}s")
+
+    # the modeled file system always costs extra
+    for c in INTERVALS:
+        assert results["modeled"][c] > results["disabled"][c]
+
+    # analytic cross-check: each checkpoint writes ~33 kB per rank with 64
+    # concurrent writers sharing 100 MB/s -> per-checkpoint ~ nbytes/bw
+    wl = HeatConfig.paper_workload(checkpoint_interval=125, nranks=NRANKS)
+    per_ckpt = FS.write_time(wl.checkpoint_nbytes, NRANKS)
+    n_ckpts = wl.iterations // 125
+    predicted = per_ckpt * n_ckpts
+    measured = results["modeled"][125] - results["disabled"][125]
+    assert measured == pytest.approx(predicted, rel=0.35)
+
+    # more checkpoints -> more I/O cost, superlinear vs the disabled deltas
+    io = {c: results["modeled"][c] - results["disabled"][c] for c in INTERVALS}
+    assert io[125] > io[250] > io[1000]

@@ -1,0 +1,65 @@
+"""Extension (paper future work 5): power/energy under checkpoint/restart.
+
+The paper's goal is "to optimize parallel application performance within a
+given power consumption budget".  This bench integrates the two-state node
+power model over Table-II-style runs: machine energy as a function of the
+checkpoint interval and failure rate, separating the energy spent on
+useful work from the energy burned on checkpoint overhead and recomputed
+(lost) work.
+"""
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.harness.config import SystemConfig
+from repro.core.restart import RestartDriver
+from repro.models.power import PowerModel
+
+from benchmarks._util import once, report
+
+NRANKS = 64
+POWER = PowerModel(idle_watts=60.0, busy_watts=180.0)
+INTERVALS = (500, 250, 125)
+MTTF = 3000.0
+
+
+def _row(interval: int):
+    system = SystemConfig.paper_system(nranks=NRANKS)
+    wl = HeatConfig.paper_workload(checkpoint_interval=interval, nranks=NRANKS)
+    driver = RestartDriver(
+        system, heat3d, make_args=lambda store: (wl, store), mttf=MTTF, seed=5
+    )
+    run = driver.run()
+    # measured CPU-busy time per node, summed over all run segments (the
+    # engine accounts Advance(busy=True) intervals per virtual process)
+    busy_by_rank = [0.0] * NRANKS
+    for seg in run.segments:
+        for rank, busy in seg.result.busy_times.items():
+            busy_by_rank[rank] += busy
+    avg_busy = min(run.e2, sum(busy_by_rank) / NRANKS)
+    compute_per_node = wl.iterations * wl.points_per_rank * wl.native_seconds_per_point * 1000.0
+    energy = POWER.machine_energy(NRANKS, run.e2, avg_busy)
+    useful = POWER.machine_energy(NRANKS, compute_per_node, compute_per_node)
+    return {"e2": run.e2, "f": run.f, "energy_MJ": energy / 1e6, "useful_MJ": useful / 1e6}
+
+
+def test_power_under_checkpoint_restart(benchmark):
+    rows = once(benchmark, lambda: {c: _row(c) for c in INTERVALS})
+
+    report("", f"=== Power model: machine energy vs checkpoint interval "
+               f"(MTTF={MTTF:.0f}s, {NRANKS} nodes) ===",
+           f"{'C':>5} {'E2':>11} {'F':>3} {'energy':>10} {'useful':>10} {'overhead':>9}")
+    for c, r in rows.items():
+        over = (r["energy_MJ"] / r["useful_MJ"] - 1) * 100
+        report(f"{c:>5} {r['e2']:>9,.0f}s {r['f']:>3} {r['energy_MJ']:>8.1f}MJ "
+               f"{r['useful_MJ']:>8.1f}MJ {over:>8.1f}%")
+
+    for r in rows.values():
+        # energy burned always exceeds the useful-work minimum
+        assert r["energy_MJ"] > r["useful_MJ"]
+    # under failures, the shortest interval wastes the least energy
+    # (it wastes the least time; the model is time-dominated)
+    assert rows[125]["energy_MJ"] < rows[500]["energy_MJ"]
+    # sanity: energies in a physically plausible band for 64 nodes
+    for r in rows.values():
+        floor = POWER.machine_energy(NRANKS, r["e2"], 0.0) / 1e6
+        ceil = POWER.machine_energy(NRANKS, r["e2"], r["e2"]) / 1e6
+        assert floor <= r["energy_MJ"] <= ceil

@@ -1,0 +1,76 @@
+"""Extension (paper §II-C, redMPI): redundancy overhead vs detection.
+
+redMPI runs applications with double/triple process-level redundancy to
+detect (and with 3x, correct) silent data corruption online.  This bench
+measures the cost side of that trade-off in the simulator: virtual run
+time and message traffic of heat3d at redundancy factors 1/2/3, plus the
+detection capability (an injected bit flip in one replica's grid is caught
+at the next halo exchange by hash comparison).
+"""
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.harness.config import SystemConfig
+from repro.core.redundancy import RedundancyMonitor, redundant
+from repro.core.simulator import XSim
+
+from benchmarks._util import once, report
+
+LOGICAL = 8
+CFG = HeatConfig(
+    grid=(16, 16, 16),
+    ranks=(2, 2, 2),
+    iterations=8,
+    checkpoint_interval=8,
+    exchange_interval=2,
+    data_mode="real",
+)
+
+
+def _run(factor: int, flips: int = 0):
+    monitor = RedundancyMonitor(factor=factor)
+    system = SystemConfig.paper_system(nranks=LOGICAL * factor, slowdown=1.0)
+    sim = XSim(system, seed=3)
+    for i in range(flips):
+        # corrupt replica-1 copies early in the run
+        sim.soft_errors.schedule_flip(rank=LOGICAL + (i % LOGICAL), time=1e-4 * (i + 1))
+    result = sim.run(redundant(heat3d, factor, monitor), args=(CFG, None))
+    assert result.completed
+    return {
+        "time": result.exit_time,
+        "messages": sim.world.messages_sent,
+        "bytes": sim.world.bytes_sent,
+        "compared": monitor.messages_compared,
+        "detections": len(monitor.detections),
+    }
+
+
+def test_redundancy_overhead_and_detection(benchmark):
+    results = once(
+        benchmark,
+        lambda: {
+            1: _run(1),
+            2: _run(2),
+            3: _run(3),
+            "2+flips": _run(2, flips=6),
+        },
+    )
+
+    report("", "=== redMPI-style redundancy: overhead and SDC detection (heat3d) ===",
+           f"{'factor':>9} {'virtual time':>13} {'messages':>9} {'bytes':>10} "
+           f"{'compared':>9} {'detections':>11}")
+    for k, r in results.items():
+        report(f"{k!s:>9} {r['time']:>11.5f}s {r['messages']:>9} {r['bytes']:>10,} "
+               f"{r['compared']:>9} {r['detections']:>11}")
+
+    r1, r2, r3 = results[1], results[2], results[3]
+    # replication multiplies traffic (payloads x factor + hash channel)
+    assert r2["messages"] > 2 * r1["messages"]
+    assert r3["messages"] > 3 * r1["messages"]
+    assert r2["bytes"] > 2 * r1["bytes"]
+    # modest virtual-time overhead (messaging, not compute, is replicated)
+    assert r1["time"] <= r2["time"] <= r3["time"] * 1.01
+    # clean runs compare everything and detect nothing
+    assert r2["compared"] > 0 and r2["detections"] == 0
+    assert r3["detections"] == 0
+    # injected replica divergence is caught online
+    assert results["2+flips"]["detections"] >= 1

@@ -1,0 +1,52 @@
+"""Simulator scalability: virtual-process count vs. host throughput.
+
+xSim's headline capability is oversubscription — running orders of
+magnitude more simulated MPI ranks than host cores (up to 2^27 on a
+960-core cluster).  The laptop-scale equivalent claim for this
+reproduction: simulated-rank count scales to tens of thousands on one
+host process, with near-linear host cost per simulated event.
+"""
+
+import time
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+
+from benchmarks._util import once, report
+
+SCALES = (64, 512, 4096)
+
+
+def _run(nranks: int):
+    system = SystemConfig.paper_system(nranks=nranks)
+    wl = HeatConfig.paper_workload(checkpoint_interval=500, nranks=nranks)
+    t0 = time.perf_counter()
+    sim = XSim(system)
+    result = sim.run(heat3d, args=(wl, CheckpointStore()))
+    host = time.perf_counter() - t0
+    assert result.completed
+    return {"events": result.event_count, "host_s": host, "e1": result.exit_time}
+
+
+def test_vp_count_scaling(benchmark):
+    results = once(benchmark, lambda: {n: _run(n) for n in SCALES})
+
+    report("", "=== Simulator scaling: virtual processes vs host cost ===",
+           f"{'ranks':>6} {'events':>10} {'host':>8} {'events/s':>10} {'E1':>11}")
+    for n, r in results.items():
+        report(
+            f"{n:>6} {r['events']:>10,} {r['host_s']:>7.2f}s "
+            f"{r['events'] / r['host_s']:>10,.0f} {r['e1']:>9,.1f}s"
+        )
+
+    # events grow roughly linearly with rank count
+    ev_ratio = results[4096]["events"] / results[64]["events"]
+    assert 32 < ev_ratio < 128  # 64x ranks -> ~64x events
+    # per-event host cost stays within 4x across two orders of magnitude
+    rates = [r["events"] / r["host_s"] for r in results.values()]
+    assert max(rates) / min(rates) < 4.0
+    # virtual time stays at the workload's operating point at every scale
+    for r in results.values():
+        assert abs(r["e1"] - 5248.0) / 5248.0 < 0.05

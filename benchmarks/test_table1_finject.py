@@ -1,0 +1,53 @@
+"""Paper Table I: Finject fault (bit flip) injection results.
+
+Regenerates the 100-victim bit-flip campaign and checks the measured
+statistics land in the paper's neighbourhood:
+
+    Victims 100, Injections 2197, Min 1, Max 98, Mean 21.97, Median 17,
+    Mode 4, Std.Dev. 21.42  (# of injections to victim failure)
+"""
+
+from repro.core.faults.finject import FinjectCampaign
+from repro.core.harness.report import format_table
+
+from benchmarks._util import report
+
+PAPER = {
+    "Victims": 100,
+    "Injections": 2197,
+    "Minimum": 1,
+    "Maximum": 98,
+    "Mean": 21.97,
+    "Median": 17,
+    "Mode": 4,
+    "Std.Dev.": 21.42,
+}
+
+
+def test_table1_finject_campaign(benchmark):
+    result = benchmark(lambda: FinjectCampaign().run())
+    s = result.stats
+
+    rows = [
+        (field, value, f"{PAPER[field]}", desc)
+        for field, value, desc in result.table_rows()
+    ]
+    report(
+        "",
+        "=== Table I: fault (bit flip) injection results ===",
+        format_table(["Field", "Value", "Paper", "Description"], rows),
+    )
+
+    # exact experiment shape
+    assert s.count == 100
+    assert result.censored == 0
+    assert s.total == sum(result.injections_to_failure)
+    # statistical neighbourhood of the paper's numbers
+    assert abs(s.mean - PAPER["Mean"]) < 7.0
+    assert abs(s.median - PAPER["Median"]) < 7.0
+    assert abs(s.stddev - PAPER["Std.Dev."]) < 7.0
+    assert s.minimum <= 5
+    assert 60 <= s.maximum <= 100
+    assert s.mode <= 10
+    # geometric-like skew: median below mean, as in the paper
+    assert s.median < s.mean

@@ -1,0 +1,102 @@
+"""Extension (paper future work 3): ULFM recovery vs. abort-and-restart.
+
+Runs one iterative workload under an identical injected failure with both
+fault-handling strategies and compares total simulated time:
+
+* classic application-level checkpoint/restart (the paper's base model:
+  detection -> MPI_Abort -> restart from checkpoint, virtual time carried
+  over);
+* ULFM shrink-and-continue (MPI_ERR_PROC_FAILED -> revoke -> shrink ->
+  survivors absorb the lost rank's share).
+"""
+
+from repro.core.checkpoint.protocol import CheckpointProtocol
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.restart import RestartDriver
+from repro.core.simulator import XSim
+from repro.mpi.errhandler import ERRORS_RETURN, MpiError
+
+from benchmarks._util import once, report
+
+NRANKS = 32
+ITERS = 50
+WORK = 10.0
+CKPT = 10
+FAIL = FailureSchedule.of((7, 215.0))
+
+SYSTEM = SystemConfig.paper_system(
+    nranks=NRANKS, slowdown=1.0, send_overhead_native=0.0, recv_overhead_native=0.0
+)
+
+
+def _cr_app(mpi, store):
+    yield from mpi.init()
+    proto = CheckpointProtocol(mpi, store)
+    start, _ = yield from proto.restore_latest()
+    it = start or 0
+    while it < ITERS:
+        yield from mpi.compute(WORK)
+        it += 1
+        if it % CKPT == 0 or it == ITERS:
+            yield from proto.checkpoint(it, {"it": it}, 1024)
+    yield from mpi.finalize()
+    return it
+
+
+def _ulfm_app(mpi):
+    yield from mpi.init()
+    mpi.set_errhandler(ERRORS_RETURN)
+    comm = None
+    it = 0
+    scale = 1.0
+    while it < ITERS:
+        try:
+            yield from mpi.compute(WORK * scale)
+            it += 1
+            if it % CKPT == 0:
+                yield from mpi.barrier(comm=comm)
+        except MpiError:
+            yield from mpi.comm_revoke(comm=comm)
+            comm = yield from mpi.comm_shrink(comm=comm)
+            scale = NRANKS / mpi.comm_size(comm)  # absorb the lost share
+    return mpi.wtime()
+
+
+def _run_cr():
+    driver = RestartDriver(SYSTEM, _cr_app, make_args=lambda store: (store,), schedule=FAIL)
+    return driver.run()
+
+
+def _run_ulfm():
+    sim = XSim(SYSTEM.scaled(strict_finalize=False))
+    sim.inject_schedule(FAIL)
+    result = sim.run(_ulfm_app)
+    survivors = [r for r, s in result.states.items() if s.value == "done"]
+    return result, max(result.end_times[r] for r in survivors), len(survivors)
+
+
+def test_ulfm_vs_checkpoint_restart(benchmark):
+    cr, (ulfm_result, ulfm_e2, survivors) = once(
+        benchmark, lambda: (_run_cr(), _run_ulfm())
+    )
+
+    report(
+        "",
+        f"=== ULFM shrink-and-continue vs abort+restart "
+        f"({NRANKS} ranks, failure of rank 7 at t=215s) ===",
+        f"checkpoint/restart: E2 = {cr.e2:10,.1f}s  (F={cr.f}, restarts={cr.restarts})",
+        f"ULFM recovery     : E2 = {ulfm_e2:10,.1f}s  ({survivors} survivors continued)",
+        f"ULFM advantage    : {cr.e2 - ulfm_e2:,.1f}s ({(1 - ulfm_e2 / cr.e2) * 100:.0f}%)",
+    )
+
+    assert cr.completed
+    assert cr.f == 1
+    assert survivors == NRANKS - 1
+    # the failure-free time is 500s of work + checkpoint barriers; both
+    # strategies must exceed it
+    assert cr.e2 > ITERS * WORK
+    assert ulfm_e2 > ITERS * WORK
+    # for this scenario (cheap shrink, modest work redistribution) ULFM
+    # avoids the full lost-work recomputation and wins
+    assert ulfm_e2 < cr.e2

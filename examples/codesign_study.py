@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hardware/software co-design parameter study.
+
+The paper's thesis is that resilience must be part of the architecture
+co-design loop.  This example runs the heat application over a grid of
+*machine* design points — interconnect link bandwidth, collective algorithm
+family, and checkpoint interval — under a fixed failure rate, and reports
+the E2 (time-to-solution with failures) and machine-energy surface that a
+co-design study would optimize over.
+
+Run:  python examples/codesign_study.py
+"""
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core import RestartDriver, SystemConfig
+from repro.models.power import PowerModel
+
+NRANKS = 64
+MTTF = 3000.0
+POWER = PowerModel(idle_watts=60.0, busy_watts=180.0)
+
+DESIGN_POINTS = [
+    # (label, link bandwidth, collective algorithm)
+    ("baseline torus / linear colls", "32GB/s", "linear"),
+    ("baseline torus / tree colls", "32GB/s", "tree"),
+    ("thin links (8 GB/s) / linear", "8GB/s", "linear"),
+    ("fat links (128 GB/s) / linear", "128GB/s", "linear"),
+]
+INTERVALS = (500, 125)
+
+
+def measure(bandwidth: str, algo: str, interval: int) -> tuple[float, int, float]:
+    system = SystemConfig.paper_system(
+        nranks=NRANKS, link_bandwidth=bandwidth, collective_algorithm=algo
+    )
+    workload = HeatConfig.paper_workload(checkpoint_interval=interval, nranks=NRANKS)
+    driver = RestartDriver(
+        system, heat3d, make_args=lambda store: (workload, store), mttf=MTTF, seed=7
+    )
+    run = driver.run()
+    # busy time per node ~ the useful compute plus recomputed work
+    compute = workload.iterations * workload.points_per_rank * \
+        workload.native_seconds_per_point * system.slowdown
+    busy = min(run.e2, compute * (1 + 0.5 * run.restarts))
+    energy = POWER.machine_energy(NRANKS, run.e2, busy)
+    return run.e2, run.f, energy / 1e6
+
+
+print(f"co-design study: heat3d, {NRANKS} ranks, system MTTF {MTTF:,.0f}s, "
+      f"checkpoint intervals {INTERVALS}\n")
+print(f"{'design point':<32} {'C':>5} {'E2':>11} {'F':>3} {'energy':>9}")
+rows = {}
+for label, bw, algo in DESIGN_POINTS:
+    for interval in INTERVALS:
+        e2, f, mj = measure(bw, algo, interval)
+        rows[(label, interval)] = (e2, f, mj)
+        print(f"{label:<32} {interval:>5} {e2:>9,.0f}s {f:>3} {mj:>7.1f}MJ")
+
+best = min(rows, key=lambda k: rows[k][0])
+print(f"\nfastest design point: {best[0]} at C={best[1]} "
+      f"(E2 = {rows[best][0]:,.0f}s, {rows[best][2]:.1f} MJ)")
+print("\nObservations:")
+print(" * the checkpoint interval dominates E2 at this failure rate -")
+print("   architecture changes matter less than the resilience strategy;")
+print(" * tree collectives shave the checkpoint-phase barriers;")
+print(" * link bandwidth barely moves this compute-bound workload -")
+print("   the co-design loop should spend the budget elsewhere.")

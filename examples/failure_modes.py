@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""First Impressions (paper SV-D): where failures are detected and what
+they leave behind in the checkpoint store.
+
+The heat application cycles through computation, halo exchange,
+checkpoint, and barrier phases.  The paper observed:
+
+* a failure during the *computation* phase is detected in the halo
+  exchange (failing point-to-point communication);
+* a failure during the *checkpoint* phase is detected in the following
+  barrier, leaving a corrupted (partially written) checkpoint file;
+* aborts leave an incomplete/corrupted checkpoint or partially deleted
+  old checkpoints.
+
+This script injects one failure into each phase and reports what the
+simulator observed.
+"""
+
+from repro.apps.heat3d import HeatConfig
+from repro.core.harness.config import SystemConfig
+from repro.core.harness.experiment import observe_failure_mode
+from repro.models.filesystem import FileSystemModel
+
+NRANKS = 27
+system = SystemConfig.paper_system(nranks=NRANKS)
+# Give checkpoint writes a visible duration so a failure can land inside
+# one (the Table II config writes in zero time, making that phase a
+# measure-zero target).
+slow_fs = system.scaled(filesystem=FileSystemModel.create("1GB/s", "1kB/s", "1ms"))
+workload = HeatConfig.paper_workload(checkpoint_interval=25, nranks=NRANKS, iterations=100)
+
+# Iteration costs ~5.24 s; checkpoints at iterations 25/50/75/100.
+# Phase map (slow-FS system): compute 0..131, checkpoint ~131..164, ...
+SCENARIOS = [
+    ("computation phase", system, 60.0),
+    ("checkpoint phase", slow_fs, 140.0),
+    ("second computation phase", system, 200.0),
+]
+
+print(f"{NRANKS}-rank heat3d, checkpoint interval 25 of 100 iterations\n")
+for label, sys_cfg, t in SCENARIOS:
+    obs = observe_failure_mode(sys_cfg, workload, rank=13, time=t)
+    print(f"failure injected during the {label} (t={t:.0f}s):")
+    print(f"  activated at         : rank {obs.activated[0]} @ {obs.activated[1]:.1f}s")
+    site = {"pt2pt": "halo exchange (point-to-point)", "collective": "barrier (collective)"}
+    print(f"  detected in          : {site.get(obs.detected_phase, obs.detected_phase)}")
+    print(f"  job aborted          : {obs.aborted}")
+    print(f"  corrupted checkpoint : {obs.corrupted_checkpoint}")
+    print(f"  incomplete checkpoint: {obs.incomplete_checkpoint}")
+    print(f"  partially deleted old: {obs.partially_deleted_old}")
+    print()

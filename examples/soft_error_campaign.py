@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Soft errors: the Finject campaign (Table I) and real silent data
+corruption propagating through the heat application.
+
+Part 1 reruns the Finject-style bit-flip robustness campaign and prints
+the paper's Table I next to the reproduction.
+
+Part 2 runs heat3d in *real-data* mode, flips one bit in a victim rank's
+grid mid-run, and measures how far the corruption spreads — the
+redMPI-style observation the paper's related work discusses ("depending
+on the application properties, a single bit flip can corrupt all MPI
+processes of an application within a short period of time, or may be
+corrected by the application's computational structure").
+"""
+
+import numpy as np
+
+from repro.apps.heat3d import HeatConfig, heat3d, heat3d_serial_reference
+from repro.core import SystemConfig, XSim
+from repro.core.faults.finject import FinjectCampaign
+
+# ----------------------------------------------------------------------
+# Part 1: Table I
+# ----------------------------------------------------------------------
+PAPER_TABLE1 = {
+    "Victims": "100",
+    "Injections": "2197",
+    "Minimum": "1",
+    "Maximum": "98",
+    "Mean": "21.97",
+    "Median": "17",
+    "Mode": "4",
+    "Std.Dev.": "21.42",
+}
+
+print("=" * 64)
+print("Part 1 - Finject bit-flip campaign (paper Table I)")
+print("=" * 64)
+result = FinjectCampaign().run()
+print(f"{'Field':<12}{'measured':>10}{'paper':>10}   description")
+for field, value, desc in result.table_rows():
+    print(f"{field:<12}{value:>10}{PAPER_TABLE1[field]:>10}   {desc}")
+print(f"\n(per-injection failure probability of the victim model: "
+      f"{FinjectCampaign().victim.failure_probability:.4f}; "
+      f"{result.sdc_hits} flips were silent data corruption, "
+      f"{result.benign_hits} benign)")
+
+# ----------------------------------------------------------------------
+# Part 2: SDC propagation through heat3d (real-data mode)
+# ----------------------------------------------------------------------
+print()
+print("=" * 64)
+print("Part 2 - silent data corruption propagating through heat3d")
+print("=" * 64)
+
+cfg = HeatConfig(
+    grid=(16, 16, 16),
+    ranks=(2, 2, 2),
+    iterations=24,
+    checkpoint_interval=24,
+    exchange_interval=1,  # exchange every iteration: corruption can travel
+    data_mode="real",
+    native_seconds_per_point=1e-3,  # slow virtual clock so the flip lands mid-run
+)
+system = SystemConfig.paper_system(nranks=8, slowdown=1.0)
+
+# clean reference
+clean = XSim(system).run(heat3d, args=(cfg, None))
+clean_sums = {r: s.checksum for r, s in clean.exit_values.items()}
+
+# Corrupted runs: one bit flip into rank 3's grid after ~8 iterations.
+# Outcomes vary wildly with where the flip lands (a high exponent bit of
+# an interior point vs. the low mantissa of a zero-valued ghost cell), so
+# run a small campaign of independent single-flip trials.
+mid_run = 8 * cfg.points_per_rank * 1e-3  # virtual time of iteration ~8
+trials = []
+for trial_seed in range(10):
+    sim = XSim(system, seed=trial_seed)
+    sim.soft_errors.schedule_flip(rank=3, time=mid_run)
+    dirty = sim.run(heat3d, args=(cfg, None))
+    dirty_sums = {r: s.checksum for r, s in dirty.exit_values.items()}
+    flip = sim.soft_errors.outcomes[0].record
+    touched = sum(abs(clean_sums[r] - dirty_sums[r]) > 1e-12 for r in clean_sums)
+    worst = max(abs(clean_sums[r] - dirty_sums[r]) for r in clean_sums)
+    trials.append((trial_seed, flip, touched, worst))
+
+print(f"{'trial':>5} {'byte':>6} {'bit':>4} {'ranks touched':>14} {'max |delta checksum|':>21}")
+for seed, flip, touched, worst in trials:
+    print(f"{seed:>5} {flip.byte_offset:>6} {flip.bit:>4} {touched:>11}/8   {worst:>21.3e}")
+spread = [t for _, _, t, _ in trials]
+print(f"\nsingle bit flips reached between {min(spread)} and {max(spread)} of 8 ranks "
+      f"within {cfg.iterations - 8} further iterations of "
+      f"{cfg.effective_exchange_interval}-iteration halo exchanges -")
+print("exactly the paper's redMPI observation: a flip can corrupt the whole"
+      "\njob quickly, or be absorbed by the computation's structure.")
+
+serial = float(heat3d_serial_reference(cfg).sum())
+print(f"(clean distributed total {sum(clean_sums.values()):.12f} matches "
+      f"the serial reference {serial:.12f})")

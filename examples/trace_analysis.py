@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Communication-trace analysis (the DUMPI-trace workflow).
+
+The xSim ecosystem feeds MPI traces into downstream tools (SST/macro
+consumes DUMPI traces).  This example records the full message trace of
+three applications with different communication profiles, then does the
+standard post-mortem analyses: traffic matrices, protocol split, busiest
+pairs, and a message-rate timeline.
+"""
+
+from repro.apps.cg import CgConfig, cg
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.apps.samplesort import SampleSortConfig, samplesort
+from repro.core import SystemConfig, XSim
+from repro.util.ascii_chart import bar_chart, sparkline
+
+NRANKS = 27
+
+
+def run_traced(app, args, label):
+    sim = XSim(SystemConfig.paper_system(nranks=NRANKS), record_trace=True)
+    result = sim.run(app, args=args)
+    assert result.completed, label
+    return sim.world.trace, result.exit_time
+
+
+WORKLOADS = [
+    (
+        "heat3d (stencil halos)",
+        heat3d,
+        (HeatConfig.paper_workload(checkpoint_interval=250, nranks=NRANKS, iterations=500), None),
+    ),
+    (
+        "cg (allreduce per iteration)",
+        cg,
+        (CgConfig.for_ranks(NRANKS, max_iterations=60, checkpoint_interval=60), None),
+    ),
+    (
+        "samplesort (alltoallv)",
+        samplesort,
+        (SampleSortConfig(keys_per_rank=2000, data_mode="real"),),
+    ),
+]
+
+for label, app, args in WORKLOADS:
+    trace, e1 = run_traced(app, args, label)
+    msgs = list(trace)
+    eager = sum(1 for m in msgs if m.protocol == "eager")
+    print("=" * 72)
+    print(f"{label}: {len(msgs)} messages, {trace.total_bytes():,} bytes, "
+          f"E1 = {e1:,.2f} s")
+    print(f"protocol split: {eager} eager / {len(msgs) - eager} rendezvous; "
+          f"dropped: {len(trace.dropped_messages())}")
+    print("busiest pairs:")
+    pairs = trace.busiest_pairs(5)
+    print(bar_chart([(f"{s}->{d}", b) for (s, d), b in pairs], width=30, unit=" B"))
+    # message-rate timeline: bucket post times into 24 bins
+    times = [m.post_time for m in msgs]
+    span = max(times) - min(times) or 1.0
+    bins = [0] * 24
+    for t in times:
+        bins[min(23, int((t - min(times)) / span * 24))] += 1
+    print(f"message-rate timeline: {sparkline(bins)}")
+    print()
+
+print("The three profiles are visibly different: heat3d's sparse periodic")
+print("halo bursts, cg's steady collective drumbeat, and samplesort's")
+print("single all-to-all redistribution spike.")

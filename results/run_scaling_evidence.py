@@ -1,0 +1,25 @@
+"""Fallback full-scale evidence: paper-exact E1 column at 32,768 ranks
+(row-by-row logging), plus the complete table at 8,192 ranks."""
+import time
+
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.harness.experiment import Table2Config, measure_e1, run_table2
+from repro.core.harness.report import render_table2
+
+log = open("/root/repo/results/plan_b.txt", "w", buffering=1)
+
+cfg = Table2Config(nranks=32768)
+system = cfg.system()
+log.write("E1 at the paper-exact 32,768 ranks:\n")
+for interval in (1000, 500, 250, 125):
+    t0 = time.time()
+    e1 = measure_e1(system, cfg.workload(interval))
+    log.write(f"  C={interval:>4}: E1 = {e1:,.1f} s   (host {time.time()-t0:.0f} s)\n")
+
+log.write("\nFull table at 8,192 ranks:\n")
+t0 = time.time()
+cells = run_table2(Table2Config(nranks=8192))
+log.write(render_table2(cells) + "\n")
+log.write(f"(host {time.time()-t0:.0f} s)\n")
+log.close()
+print("done")

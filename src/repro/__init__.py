@@ -1,0 +1,32 @@
+"""xsim-resilience: a performance/resilience simulation toolkit for HPC
+hardware/software co-design.
+
+Reproduction of C. Engelmann and T. Naughton, "Toward a Performance/
+Resilience Tool for Hardware/Software Co-Design of High-Performance
+Computing Systems" (ICPP 2013): the Extreme-scale Simulator (xSim)
+execution model plus its resilience extensions - MPI process failure
+injection, failure propagation/detection/notification, simulated
+``MPI_Abort``, and application-level checkpoint/restart - built from
+scratch in Python.
+
+Quick start::
+
+    from repro.core import XSim, SystemConfig
+    from repro.apps.heat3d import heat3d, HeatConfig
+
+    sim = XSim(SystemConfig.paper_system(nranks=512))
+    sim.inject_failure(rank=3, time=100.0)
+    result = sim.run(heat3d, args=(HeatConfig.paper_workload(nranks=512),))
+    print(result.timing_report())
+
+Package map:
+
+* :mod:`repro.pdes`   - discrete event engine (virtual processes, clocks)
+* :mod:`repro.models` - processor/network/file-system/power/memory models
+* :mod:`repro.mpi`    - the simulated MPI layer (pt2pt, collectives, ULFM)
+* :mod:`repro.core`   - the resilience toolkit: fault injection, detection,
+  checkpoint/restart, restart driver, experiment harness
+* :mod:`repro.apps`   - simulated applications (heat3d et al.)
+"""
+
+__version__ = "1.0.0"

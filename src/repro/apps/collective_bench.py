@@ -1,0 +1,69 @@
+"""Collective-operation sweep application.
+
+Runs a configurable list of collectives over a range of payload sizes and
+reports the per-operation virtual durations — the workload behind the
+collective-algorithm and eager-threshold ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.mpi import ops
+from repro.mpi.api import MpiApi
+
+Gen = Generator[Any, Any, Any]
+
+SUPPORTED = ("barrier", "bcast", "reduce", "allreduce", "gather", "allgather", "alltoall", "scan")
+
+
+@dataclass(frozen=True)
+class CollectiveBenchConfig:
+    operations: tuple[str, ...] = ("barrier", "bcast", "allreduce")
+    sizes: tuple[int, ...] = (8, 1024, 65536)
+    repeats: int = 1
+
+
+@dataclass
+class CollectiveTiming:
+    """(operation, payload bytes) -> virtual seconds, as seen by this rank."""
+
+    rank: int
+    timings: dict[tuple[str, int], float] = field(default_factory=dict)
+
+
+def collective_bench(mpi: MpiApi, cfg: CollectiveBenchConfig) -> Gen:
+    """Time each configured collective at each payload size."""
+    yield from mpi.init()
+    result = CollectiveTiming(rank=mpi.rank)
+    for op_name in cfg.operations:
+        if op_name not in SUPPORTED:
+            raise ValueError(f"unsupported collective {op_name!r}")
+        for nbytes in cfg.sizes:
+            yield from mpi.barrier()  # isolate measurements
+            t0 = mpi.wtime()
+            for _ in range(cfg.repeats):
+                yield from _run_one(mpi, op_name, nbytes)
+            result.timings[(op_name, nbytes)] = (mpi.wtime() - t0) / cfg.repeats
+    yield from mpi.finalize()
+    return result
+
+
+def _run_one(mpi: MpiApi, op_name: str, nbytes: int) -> Gen:
+    if op_name == "barrier":
+        yield from mpi.barrier()
+    elif op_name == "bcast":
+        yield from mpi.bcast(value=None, nbytes=nbytes, root=0)
+    elif op_name == "reduce":
+        yield from mpi.reduce(value=None, nbytes=nbytes, op=ops.SUM, root=0)
+    elif op_name == "allreduce":
+        yield from mpi.allreduce(value=None, nbytes=nbytes, op=ops.SUM)
+    elif op_name == "gather":
+        yield from mpi.gather(value=None, nbytes=nbytes, root=0)
+    elif op_name == "allgather":
+        yield from mpi.allgather(value=None, nbytes=nbytes)
+    elif op_name == "alltoall":
+        yield from mpi.alltoall(values=[None] * mpi.size, nbytes=nbytes)
+    elif op_name == "scan":
+        yield from mpi.scan(value=None, nbytes=nbytes, op=ops.SUM)

@@ -1,0 +1,177 @@
+"""2-D five-point stencil application with the heat3d checkpoint discipline.
+
+A second workload for the harness: the same
+computation/halo/checkpoint/barrier cycle as the paper's target
+application, but on a 2-D decomposition with four neighbours — different
+surface-to-volume ratio, hence a different communication/computation
+balance for ablation studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.core.checkpoint.protocol import CheckpointProtocol
+from repro.core.checkpoint.store import CheckpointStore
+from repro.mpi.api import MpiApi
+from repro.mpi.constants import PROC_NULL
+from repro.util.errors import ConfigurationError
+
+Gen = Generator[Any, Any, Any]
+
+_TAGS = {(0, -1): 11, (0, +1): 12, (1, -1): 13, (1, +1): 14}
+
+
+def factor2(n: int) -> tuple[int, int]:
+    """Two near-equal factors of ``n``."""
+    for a in range(int(math.isqrt(n)), 0, -1):
+        if n % a == 0:
+            return (n // a, a)
+    raise ConfigurationError(f"cannot factor {n}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Stencil2dConfig:
+    grid: tuple[int, int] = (1024, 1024)
+    ranks: tuple[int, int] = (4, 4)
+    iterations: int = 100
+    checkpoint_interval: int = 25
+    native_seconds_per_point: float = 1.28e-6
+    data_mode: str = "modeled"
+    alpha: float = 0.2
+    item_bytes: int = 8
+    checkpoint_header_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.data_mode not in ("modeled", "real"):
+            raise ConfigurationError(f"data_mode must be modeled/real, got {self.data_mode!r}")
+        for g, p in zip(self.grid, self.ranks):
+            if p < 1 or g < p or g % p:
+                raise ConfigurationError(f"grid {self.grid} not divisible by ranks {self.ranks}")
+
+    @classmethod
+    def for_ranks(cls, nranks: int, points_per_rank_side: int = 64, **overrides: Any) -> "Stencil2dConfig":
+        px, py = factor2(nranks)
+        base = cls(grid=(px * points_per_rank_side, py * points_per_rank_side), ranks=(px, py))
+        return base if not overrides else Stencil2dConfig(
+            **{**base.__dict__, **overrides}
+        )
+
+    @property
+    def nranks(self) -> int:
+        return self.ranks[0] * self.ranks[1]
+
+    @property
+    def local_shape(self) -> tuple[int, int]:
+        return tuple(g // p for g, p in zip(self.grid, self.ranks))  # type: ignore[return-value]
+
+    @property
+    def points_per_rank(self) -> int:
+        lx, ly = self.local_shape
+        return lx * ly
+
+    def face_bytes(self, axis: int) -> int:
+        """Wire size of one halo edge perpendicular to ``axis``."""
+        lx, ly = self.local_shape
+        return (ly if axis == 0 else lx) * self.item_bytes
+
+    @property
+    def checkpoint_nbytes(self) -> int:
+        return self.checkpoint_header_bytes + self.points_per_rank * self.item_bytes
+
+
+def _neighbors(rank: int, ranks: tuple[int, int]) -> dict[tuple[int, int], int]:
+    px, py = ranks
+    cx, cy = rank // py, rank % py
+    out: dict[tuple[int, int], int] = {}
+    for axis, (dx, dy) in ((0, (1, 0)), (1, (0, 1))):
+        for step in (-1, +1):
+            nx, ny = cx + dx * step, cy + dy * step
+            if 0 <= nx < px and 0 <= ny < py:
+                out[(axis, step)] = nx * py + ny
+            else:
+                out[(axis, step)] = PROC_NULL
+    return out
+
+
+def _halo(mpi: MpiApi, cfg: Stencil2dConfig, neighbors: dict, u: np.ndarray | None) -> Gen:
+    recvs = {k: mpi.irecv(peer, tag=_TAGS[(k[0], -k[1])]) for k, peer in neighbors.items()}
+    sends = []
+    for (axis, step), peer in neighbors.items():
+        payload = None
+        if u is not None and peer != PROC_NULL:
+            sl = {
+                (0, -1): u[1, 1:-1],
+                (0, +1): u[-2, 1:-1],
+                (1, -1): u[1:-1, 1],
+                (1, +1): u[1:-1, -2],
+            }[(axis, step)]
+            payload = np.ascontiguousarray(sl)
+        req = yield from mpi.isend(peer, payload=payload, nbytes=cfg.face_bytes(axis), tag=_TAGS[(axis, step)])
+        sends.append(req)
+    yield from mpi.waitall(sends)
+    for (axis, step), req in recvs.items():
+        face = yield from mpi.wait(req)
+        if u is not None and face is not None:
+            if (axis, step) == (0, -1):
+                u[0, 1:-1] = face
+            elif (axis, step) == (0, +1):
+                u[-1, 1:-1] = face
+            elif (axis, step) == (1, -1):
+                u[1:-1, 0] = face
+            else:
+                u[1:-1, -1] = face
+
+
+def stencil2d(mpi: MpiApi, cfg: Stencil2dConfig, store: CheckpointStore | None = None) -> Gen:
+    """Five-point 2-D stencil with checkpoint/restart (same discipline as
+    :func:`repro.apps.heat3d.heat3d`)."""
+    yield from mpi.init()
+    if cfg.nranks != mpi.size:
+        raise ConfigurationError(f"config is for {cfg.nranks} ranks, job has {mpi.size}")
+    neighbors = _neighbors(mpi.rank, cfg.ranks)
+    real = cfg.data_mode == "real"
+    u = None
+    if real:
+        lx, ly = cfg.local_shape
+        rng = np.random.default_rng(1000 + mpi.rank)
+        u = np.zeros((lx + 2, ly + 2))
+        u[1:-1, 1:-1] = rng.random((lx, ly))
+        mpi.malloc("grid", array=u)
+    else:
+        mpi.malloc("grid", nbytes=cfg.points_per_rank * cfg.item_bytes)
+
+    proto = CheckpointProtocol(mpi, store) if store is not None else None
+    start_iter = 0
+    if proto is not None:
+        cid, payload = yield from proto.restore_latest()
+        if cid is not None:
+            start_iter = cid
+            if real:
+                u = payload["data"].copy()
+                mpi.malloc("grid", array=u)
+    yield from _halo(mpi, cfg, neighbors, u)
+
+    it = start_iter
+    ck = cfg.checkpoint_interval
+    while it < cfg.iterations:
+        target = min(cfg.iterations, ((it // ck) + 1) * ck)
+        steps = target - it
+        if real:
+            for _ in range(steps):
+                core = u[1:-1, 1:-1]
+                core += cfg.alpha * (
+                    u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:] - 4.0 * core
+                )
+        yield from mpi.compute_ops(steps * cfg.points_per_rank, cfg.native_seconds_per_point)
+        it = target
+        yield from _halo(mpi, cfg, neighbors, u)
+        if proto is not None:
+            payload = {"iteration": it, "data": u.copy() if real else None}
+            yield from proto.checkpoint(it, payload, cfg.checkpoint_nbytes)
+    yield from mpi.finalize()
+    return float(u[1:-1, 1:-1].sum()) if real else None

@@ -1,0 +1,184 @@
+"""``xsim-run``: command-line front end of the toolkit.
+
+Mirrors how the original tool is driven: pick an application and a
+simulated machine, optionally pass a failure schedule as rank/time pairs on
+the command line (``--xsim-failures "3@100s,17@2500s"``) or via the
+``XSIM_FAILURES`` environment variable, run, and read the per-process
+timing statistics and the informational failure/abort messages.
+
+Subcommands::
+
+    xsim-run app     --app heat3d --ranks 64 --interval 250 [--mttf 3000]
+    xsim-run table1  # Finject bit-flip campaign (paper Table I)
+    xsim-run table2  --ranks 512  # checkpoint-interval x MTTF sweep
+    xsim-run arch    --ranks 32768  # architecture self-description (Fig. 1)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps.cg import CgConfig, cg
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.apps.ring import RingConfig, ring
+from repro.apps.stencil2d import Stencil2dConfig, stencil2d
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.faults.finject import FinjectCampaign
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.harness.experiment import Table2Config, run_table2
+from repro.core.harness.report import format_table, render_table2
+from repro.core.restart import RestartDriver
+from repro.core.simulator import XSim
+
+
+def _add_system_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ranks", type=int, default=64, help="simulated MPI rank count")
+    p.add_argument("--topology", default="torus", choices=["torus", "mesh", "fattree", "star", "crossbar"])
+    p.add_argument("--latency", default="1us", help="link latency (e.g. 1us)")
+    p.add_argument("--bandwidth", default="32GB/s", help="link bandwidth")
+    p.add_argument("--eager-threshold", default="256kB", help="eager/rendezvous threshold")
+    p.add_argument("--detection-timeout", default="10s", help="failure detection timeout")
+    p.add_argument("--slowdown", type=float, default=1000.0, help="simulated node slowdown")
+    p.add_argument("--collectives", default="linear", choices=["linear", "tree", "analytic"])
+    p.add_argument("--seed", type=int, default=0, help="deterministic experiment seed")
+
+
+def _system_from(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig.paper_system(
+        nranks=args.ranks,
+        topology_kind=args.topology,
+        topology_dims=None,
+        link_latency=args.latency,
+        link_bandwidth=args.bandwidth,
+        eager_threshold=args.eager_threshold,
+        detection_timeout=args.detection_timeout,
+        slowdown=args.slowdown,
+        collective_algorithm=args.collectives,
+    )
+
+
+def _cmd_app(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    schedule = FailureSchedule.from_environment()
+    if args.xsim_failures:
+        schedule.extend(FailureSchedule.parse(args.xsim_failures))
+
+    if args.app == "heat3d":
+        workload = HeatConfig.paper_workload(
+            checkpoint_interval=args.interval, nranks=args.ranks, iterations=args.iterations
+        )
+        app, make_args = heat3d, (lambda store: (workload, store))
+    elif args.app == "stencil2d":
+        cfg2 = Stencil2dConfig.for_ranks(args.ranks, checkpoint_interval=args.interval)
+        app, make_args = stencil2d, (lambda store: (cfg2, store))
+    elif args.app == "cg":
+        cgc = CgConfig.for_ranks(
+            args.ranks, max_iterations=args.iterations, checkpoint_interval=args.interval
+        )
+        app, make_args = cg, (lambda store: (cgc, store))
+    elif args.app == "ring":
+        rcfg = RingConfig(rounds=args.iterations)
+        app, make_args = ring, (lambda store: (rcfg,))
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown app {args.app}")
+
+    if args.mttf is not None or len(schedule) > 0:
+        driver = RestartDriver(
+            system,
+            app,
+            make_args=make_args,
+            mttf=args.mttf,
+            schedule=schedule if schedule else None,
+            seed=args.seed,
+            log_stream=sys.stdout,
+        )
+        run = driver.run()
+        last = run.segments[-1].result
+        print(last.timing_report())
+        print(
+            f"E2={run.e2:,.1f}s failures={run.f} restarts={run.restarts} "
+            f"MTTF_a={'-' if run.mttf_a is None else f'{run.mttf_a:,.1f}s'}"
+        )
+    else:
+        sim = XSim(system, seed=args.seed, log_stream=sys.stdout)
+        result = sim.run(app, args=make_args(CheckpointStore()))
+        print(result.timing_report())
+        print(f"E1={result.exit_time:,.1f}s completed={result.completed}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    campaign = FinjectCampaign(
+        victims=args.victims, max_injections=args.max_injections, seed=args.seed
+    )
+    result = campaign.run()
+    rows = [(f, v, d) for f, v, d in result.table_rows()]
+    print(format_table(["Field", "Value", "Description"], rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    cfg = Table2Config(nranks=args.ranks, seed=args.seed)
+    cells = run_table2(cfg)
+    print(f"Table II reproduction at {args.ranks} simulated ranks "
+          f"(paper columns measured at 32,768):")
+    print(render_table2(cells))
+    return 0
+
+
+def _cmd_arch(args: argparse.Namespace) -> int:
+    sim = XSim(_system_from(args))
+    print(sim.render_architecture())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``xsim-run`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="xsim-run",
+        description="xsim-resilience: performance/resilience co-design simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_app = sub.add_parser("app", help="run a simulated application")
+    _add_system_args(p_app)
+    p_app.add_argument("--app", default="heat3d", choices=["heat3d", "cg", "stencil2d", "ring"])
+    p_app.add_argument("--iterations", type=int, default=1000)
+    p_app.add_argument("--interval", type=int, default=1000, help="checkpoint interval")
+    p_app.add_argument("--mttf", type=float, default=None, help="system MTTF for random injection (s)")
+    p_app.add_argument(
+        "--xsim-failures",
+        default="",
+        help='failure schedule as "rank@time,rank@time" (also: XSIM_FAILURES env var)',
+    )
+    p_app.set_defaults(fn=_cmd_app)
+
+    p_t1 = sub.add_parser("table1", help="Finject bit-flip campaign (paper Table I)")
+    p_t1.add_argument("--victims", type=int, default=100)
+    p_t1.add_argument("--max-injections", type=int, default=100)
+    p_t1.add_argument("--seed", type=int, default=FinjectCampaign.seed)
+    p_t1.set_defaults(fn=_cmd_table1)
+
+    p_t2 = sub.add_parser("table2", help="checkpoint interval x MTTF sweep (paper Table II)")
+    p_t2.add_argument("--ranks", type=int, default=512)
+    p_t2.add_argument("--seed", type=int, default=0)
+    p_t2.set_defaults(fn=_cmd_table2)
+
+    p_arch = sub.add_parser("arch", help="architecture self-description (paper Figure 1)")
+    _add_system_args(p_arch)
+    p_arch.set_defaults(fn=_cmd_arch)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

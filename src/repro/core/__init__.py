@@ -1,0 +1,34 @@
+"""The resilience co-design toolkit (the paper's primary contribution).
+
+This package layers the paper's new capabilities over the simulation
+substrates:
+
+* :mod:`repro.core.faults` — MPI process failure schedules (rank/time
+  pairs via API, environment variable, or command line), MTTF-driven
+  random injection, component reliability models, the soft-error (bit
+  flip) injector, and the Finject-style campaign behind Table I;
+* :mod:`repro.core.checkpoint` — the simulated parallel-file-system
+  checkpoint store with *complete/corrupted/missing* file states, the
+  application-level checkpoint protocol helpers, and Daly's optimal
+  checkpoint interval analysis;
+* :mod:`repro.core.simulator` — :class:`XSim`, the single-run facade
+  combining engine, models, MPI layer, and injection;
+* :mod:`repro.core.restart` — the failure/restart driver that persists
+  the simulated exit time across aborts so virtual time is continuous
+  (paper §IV-E) and measures E2/F/MTTF_a;
+* :mod:`repro.core.harness` — system/workload configuration and the
+  experiment drivers that regenerate the paper's tables.
+"""
+
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.restart import FailureRunResult, RestartDriver
+from repro.core.simulator import XSim
+
+__all__ = [
+    "FailureRunResult",
+    "FailureSchedule",
+    "RestartDriver",
+    "SystemConfig",
+    "XSim",
+]

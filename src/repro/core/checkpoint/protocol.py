@@ -1,0 +1,90 @@
+"""Application-level checkpoint protocol helpers.
+
+Encapsulates the paper's target-application checkpoint discipline so other
+simulated applications can reuse it:
+
+* **write** — create the per-rank file, pay the (modeled) file-system write
+  time, commit; a failure mid-write leaves a corrupted file;
+* **synchronize-and-prune** — "after writing out a checkpoint, a global
+  barrier synchronizes all processes, such that the previous checkpoint can
+  be deleted safely";
+* **restore** — at (re)start, scan for the newest valid checkpoint set,
+  "automatically delete any corrupted checkpoint", and return the restored
+  payload (or ``None`` for a cold start).
+
+All methods are generators to be driven with ``yield from`` inside the
+application coroutine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.core.checkpoint.store import CheckpointStore, FileState
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.mpi.api import MpiApi
+
+Gen = Generator[Any, Any, Any]
+
+
+class CheckpointProtocol:
+    """Per-rank view of the application checkpoint discipline."""
+
+    def __init__(self, api: "MpiApi", store: CheckpointStore):
+        self.api = api
+        self.store = store
+        #: Id of the most recent checkpoint this rank completed (for pruning).
+        self.previous_id: int | None = None
+
+    # ------------------------------------------------------------------
+    def write(self, ckpt_id: int, data: Any, nbytes: int) -> Gen:
+        """Write this rank's checkpoint file (may die mid-write)."""
+        api = self.api
+        self.store.begin_write(ckpt_id, api.rank, data, nbytes)
+        # The I/O time is where a failure during the checkpoint phase lands,
+        # leaving the file in the corrupted (PARTIAL) state.
+        yield from api.file_write(nbytes, concurrent_clients=api.size)
+        self.store.commit_write(ckpt_id, api.rank)
+
+    def synchronize_and_prune(self, ckpt_id: int) -> Gen:
+        """Barrier, then delete this rank's previous checkpoint file.
+
+        A failure during the barrier aborts *before* the deletes, leaving
+        "only partially deleted old checkpoints" — the third failure mode
+        the paper's First Impressions section observes.
+        """
+        yield from self.api.barrier()
+        if self.previous_id is not None and self.previous_id != ckpt_id:
+            if self.store.delete(self.previous_id, self.api.rank):
+                yield from self.api.file_delete()
+        self.previous_id = ckpt_id
+
+    def checkpoint(self, ckpt_id: int, data: Any, nbytes: int) -> Gen:
+        """The full per-interval sequence: write, barrier, prune."""
+        yield from self.write(ckpt_id, data, nbytes)
+        yield from self.synchronize_and_prune(ckpt_id)
+
+    # ------------------------------------------------------------------
+    def restore_latest(self) -> Gen:
+        """Find, clean up around, and load the newest valid checkpoint.
+
+        Returns ``(ckpt_id, data)`` or ``(None, None)`` on a cold start.
+        Corrupted files discovered during the scan are deleted, matching
+        the application behaviour the paper describes; fully missing sets
+        are expected to have been removed by the restart driver's
+        shell-script step already, but are skipped (and removed) defensively.
+        """
+        api = self.api
+        store = self.store
+        for cid in reversed(store.checkpoint_ids()):
+            if store.is_valid(cid, api.size):
+                f = store.read(cid, api.rank)
+                yield from api.file_read(f.nbytes, concurrent_clients=api.size)
+                self.previous_id = cid
+                return cid, f.data
+            # Invalid set: delete this rank's file if it is corrupted.
+            if store.state_of(cid, api.rank) is FileState.PARTIAL:
+                store.delete(cid, api.rank)
+                yield from api.file_delete()
+        return None, None

@@ -1,0 +1,173 @@
+"""Simulated parallel-file-system checkpoint store.
+
+The store models the PFS *namespace* (which files exist and whether they
+are complete) and persists across simulated job restarts — it lives in the
+restart driver, outside any single engine run, exactly like a real parallel
+file system outlives an aborted job.
+
+File lifecycle: :meth:`begin_write` creates the file in the ``PARTIAL``
+state ("exists, but misses some information"); :meth:`commit_write`
+promotes it to ``COMPLETE``.  A virtual process killed between the two —
+a failure during the checkpoint phase — leaves a *corrupted* file, which
+the application deletes when it finds it at restart.  A rank killed before
+it began writing leaves the file *missing*, making the whole checkpoint set
+*incomplete*; the paper deletes those "using a shell script" before
+restart, which :meth:`cleanup_incomplete` reproduces.
+
+Timing is **not** modeled here — the store is pure namespace/state.  The
+application pays I/O time through :meth:`MpiApi.file_write` against the
+file-system model (zero-cost in the paper's Table II configuration).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.errors import CheckpointError
+
+
+class FileState(enum.Enum):
+    """State of one per-rank checkpoint file."""
+
+    PARTIAL = "partial"
+    """Created but not committed — the paper's "corrupted" checkpoint file."""
+    COMPLETE = "complete"
+
+
+@dataclass
+class CheckpointFile:
+    """One per-rank checkpoint file in the simulated PFS."""
+
+    ckpt_id: int
+    rank: int
+    state: FileState
+    data: Any
+    nbytes: int
+
+
+class CheckpointStore:
+    """Namespace of per-rank checkpoint files, keyed by (checkpoint id, rank).
+
+    Checkpoint ids are application-chosen (the heat application uses the
+    iteration number), and must be monotonically meaningful: "latest" means
+    the numerically largest id.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[tuple[int, int], CheckpointFile] = {}
+        #: Cumulative operation counters (for reports and tests).
+        self.writes = 0
+        self.deletes = 0
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def begin_write(self, ckpt_id: int, rank: int, data: Any, nbytes: int) -> None:
+        """Create (or overwrite) the file in the PARTIAL state."""
+        if nbytes < 0:
+            raise CheckpointError(f"nbytes must be >= 0, got {nbytes}")
+        self._files[(ckpt_id, rank)] = CheckpointFile(
+            ckpt_id=ckpt_id, rank=rank, state=FileState.PARTIAL, data=data, nbytes=nbytes
+        )
+        self.writes += 1
+
+    def commit_write(self, ckpt_id: int, rank: int) -> None:
+        """Promote the file to COMPLETE (the write finished)."""
+        f = self._files.get((ckpt_id, rank))
+        if f is None:
+            raise CheckpointError(f"commit of unknown checkpoint file ({ckpt_id}, {rank})")
+        f.state = FileState.COMPLETE
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read(self, ckpt_id: int, rank: int) -> CheckpointFile:
+        """Return a COMPLETE file; corrupted or missing files raise."""
+        f = self._files.get((ckpt_id, rank))
+        if f is None:
+            raise CheckpointError(f"checkpoint file ({ckpt_id}, {rank}) does not exist")
+        if f.state is not FileState.COMPLETE:
+            raise CheckpointError(f"checkpoint file ({ckpt_id}, {rank}) is corrupted")
+        return f
+
+    def exists(self, ckpt_id: int, rank: int) -> bool:
+        """Does the file exist (in any state)?"""
+        return (ckpt_id, rank) in self._files
+
+    def state_of(self, ckpt_id: int, rank: int) -> FileState | None:
+        """File state, or ``None`` when the file does not exist."""
+        f = self._files.get((ckpt_id, rank))
+        return None if f is None else f.state
+
+    # ------------------------------------------------------------------
+    # namespace queries
+    # ------------------------------------------------------------------
+    def checkpoint_ids(self) -> list[int]:
+        """All checkpoint ids with at least one file, ascending."""
+        return sorted({cid for cid, _ in self._files})
+
+    def ranks_present(self, ckpt_id: int) -> list[int]:
+        """Ranks with a file (any state) for ``ckpt_id``."""
+        return sorted(r for cid, r in self._files if cid == ckpt_id)
+
+    def is_valid(self, ckpt_id: int, nranks: int) -> bool:
+        """Complete file present for every rank?"""
+        for rank in range(nranks):
+            f = self._files.get((ckpt_id, rank))
+            if f is None or f.state is not FileState.COMPLETE:
+                return False
+        return True
+
+    def latest_valid(self, nranks: int) -> int | None:
+        """Largest checkpoint id valid for an ``nranks``-wide restart."""
+        for cid in reversed(self.checkpoint_ids()):
+            if self.is_valid(cid, nranks):
+                return cid
+        return None
+
+    def corrupted_files(self, ckpt_id: int) -> list[int]:
+        """Ranks whose file for ``ckpt_id`` exists but is PARTIAL."""
+        return sorted(
+            r
+            for (cid, r), f in self._files.items()
+            if cid == ckpt_id and f.state is FileState.PARTIAL
+        )
+
+    def total_bytes(self) -> int:
+        """Sum of all stored file sizes."""
+        return sum(f.nbytes for f in self._files.values())
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, ckpt_id: int, rank: int | None = None) -> int:
+        """Delete one file (or, with ``rank=None``, the whole set).
+        Returns the number of files removed (deleting nothing is fine —
+        another rank may have cleaned up already)."""
+        if rank is not None:
+            removed = self._files.pop((ckpt_id, rank), None)
+            if removed is not None:
+                self.deletes += 1
+                return 1
+            return 0
+        keys = [k for k in self._files if k[0] == ckpt_id]
+        for k in keys:
+            del self._files[k]
+        self.deletes += len(keys)
+        return len(keys)
+
+    def cleanup_incomplete(self, nranks: int) -> list[int]:
+        """Delete every checkpoint set that is not valid for ``nranks``
+        ranks — the paper's pre-restart shell script.  Returns the ids
+        removed."""
+        removed = []
+        for cid in self.checkpoint_ids():
+            if not self.is_valid(cid, nranks):
+                self.delete(cid)
+                removed.append(cid)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,45 @@
+"""Fault, error, and failure injection.
+
+* :mod:`repro.core.faults.schedule` — explicit MPI process failure
+  schedules ("xSim additionally offers to pass a simulated MPI process
+  failure schedule in the form of rank/time pairs on the command line or
+  via an environment variable on startup").
+* :mod:`repro.core.faults.reliability` — component reliability models
+  (exponential and Weibull) and the paper's Table II placement policy:
+  a uniformly random rank at a uniformly random time within 2x the system
+  MTTF, drawn independently for every run segment.
+* :mod:`repro.core.faults.softerror` — bit-flip injection into tracked
+  process memory (paper future work 1 / the redMPI-style studies).
+* :mod:`repro.core.faults.finject` — the Finject robustness-testing
+  campaign reproduced for Table I.
+"""
+
+from repro.core.faults.policies import (
+    InjectionPolicy,
+    ReliabilityInjectionPolicy,
+    SingleUniformFailurePolicy,
+)
+from repro.core.faults.reliability import (
+    ExponentialReliability,
+    MttfInjectionPolicy,
+    SystemReliability,
+    WeibullReliability,
+)
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.faults.softerror import SoftErrorInjector, SoftErrorOutcome
+from repro.core.faults.finject import FinjectCampaign, VictimModel
+
+__all__ = [
+    "ExponentialReliability",
+    "FailureSchedule",
+    "FinjectCampaign",
+    "InjectionPolicy",
+    "MttfInjectionPolicy",
+    "ReliabilityInjectionPolicy",
+    "SingleUniformFailurePolicy",
+    "SoftErrorInjector",
+    "SoftErrorOutcome",
+    "SystemReliability",
+    "VictimModel",
+    "WeibullReliability",
+]

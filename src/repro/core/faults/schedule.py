@@ -1,0 +1,120 @@
+"""Explicit MPI process failure schedules.
+
+Paper §IV-B: "xSim additionally offers to pass a simulated MPI process
+failure schedule in the form of rank/time pairs on the command line or via
+an environment variable on startup.  This is the typical method for
+injecting failures at this point."
+
+The textual format is ``rank@time[,rank@time...]`` with times accepting the
+unit suffixes of :func:`repro.util.units.parse_time`, e.g.::
+
+    XSIM_FAILURES="3@100s,17@2500s" xsim-run ...
+    xsim-run --xsim-failures "3@100s,17@2500s" ...
+
+Times are *earliest* failure times, exactly as the simulator-internal
+trigger function interprets them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import parse_time
+
+#: Environment variable consulted by :meth:`FailureSchedule.from_environment`.
+ENV_VAR = "XSIM_FAILURES"
+
+
+@dataclass(frozen=True)
+class ScheduledFailure:
+    """One rank/time pair."""
+
+    rank: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"failure rank must be >= 0, got {self.rank}")
+        if self.time < 0:
+            raise ConfigurationError(f"failure time must be >= 0, got {self.time}")
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered collection of scheduled MPI process failures."""
+
+    entries: list[ScheduledFailure] = field(default_factory=list)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def of(cls, *pairs: tuple[int, float]) -> "FailureSchedule":
+        """Build from ``(rank, time)`` tuples."""
+        return cls([ScheduledFailure(r, float(t)) for r, t in pairs])
+
+    @classmethod
+    def parse(cls, text: str) -> "FailureSchedule":
+        """Parse the ``rank@time,rank@time`` command-line format."""
+        entries: list[ScheduledFailure] = []
+        text = text.strip()
+        if not text:
+            return cls(entries)
+        for item in text.split(","):
+            item = item.strip()
+            if "@" not in item:
+                raise ConfigurationError(
+                    f"bad failure schedule entry {item!r}; expected rank@time"
+                )
+            rank_s, time_s = item.split("@", 1)
+            try:
+                rank = int(rank_s)
+            except ValueError as err:
+                raise ConfigurationError(f"bad rank in {item!r}") from err
+            entries.append(ScheduledFailure(rank, parse_time(time_s)))
+        return cls(entries)
+
+    @classmethod
+    def from_environment(cls, environ: dict[str, str] | None = None) -> "FailureSchedule":
+        """Read the schedule from the ``XSIM_FAILURES`` environment variable
+        (empty schedule when unset)."""
+        env = environ if environ is not None else os.environ
+        return cls.parse(env.get(ENV_VAR, ""))
+
+    # -- use -------------------------------------------------------------
+    def add(self, rank: int, time: float) -> None:
+        """Append one rank/time pair."""
+        self.entries.append(ScheduledFailure(rank, float(time)))
+
+    def extend(self, other: "FailureSchedule") -> None:
+        """Append every entry of another schedule."""
+        self.entries.extend(other.entries)
+
+    def validate(self, nranks: int) -> None:
+        """Reject entries targeting ranks outside an ``nranks`` job."""
+        for e in self.entries:
+            if e.rank >= nranks:
+                raise ConfigurationError(
+                    f"failure schedule targets rank {e.rank} but the job has {nranks} ranks"
+                )
+
+    def shifted(self, offset: float) -> "FailureSchedule":
+        """Schedule with all times shifted by ``offset`` (restart segments
+        interpret per-segment times relative to segment start)."""
+        return FailureSchedule(
+            [ScheduledFailure(e.rank, e.time + offset) for e in self.entries]
+        )
+
+    def render(self) -> str:
+        """The canonical ``rank@time`` textual form."""
+        return ",".join(f"{e.rank}@{e.time}" for e in self.entries)
+
+    def __iter__(self) -> Iterator[ScheduledFailure]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)

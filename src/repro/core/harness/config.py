@@ -1,0 +1,173 @@
+"""Declarative configuration of the simulated machine.
+
+:class:`SystemConfig` collects every knob of the simulated system —
+topology, link parameters, protocol thresholds, per-message software
+overheads, processor slowdown, collective algorithm family, file-system and
+power models — and builds the model objects.  The paper's exact machine is
+:meth:`SystemConfig.paper_system`:
+
+    "The simulated future HPC system is configured with 32,768 (2^15)
+    nodes organized in a 32x32x32 3-D wrapped torus with 1 us link latency
+    and 32 GB/s link bandwidth. ... each simulated MPI rank is placed on
+    one simulated compute node.  The simulated eager communication
+    threshold is set to 256 kB ... MPI collectives utilize linear
+    algorithms.  For demonstration purposes, the simulated compute node is
+    operating at a speed 1000x slower than a single 1.7 GHz AMD Opteron
+    6164 HE core."
+
+Calibration note: the per-message software overheads (paid on the
+1000x-slowed node CPU, hence milliseconds of simulated time per message)
+are the free parameter that sets the cost of the linear-algorithm barrier
+at 32,768 ranks, and with it the checkpoint-phase overhead visible in the
+paper's E1 column.  The default of 2.6 us native per message puts the
+full-scale per-phase cost near the paper's observed range (see
+EXPERIMENTS.md for the per-cell comparison).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.models.filesystem import FileSystemModel
+from repro.models.network.model import NetworkModel
+from repro.models.network.topology import (
+    CrossbarTopology,
+    FatTreeTopology,
+    MeshTopology,
+    StarTopology,
+    Topology,
+    TorusTopology,
+)
+from repro.models.power import PowerModel
+from repro.models.processor import ProcessorModel
+from repro.util.errors import ConfigurationError
+
+
+def balanced_dims(nnodes: int, ndims: int = 3) -> tuple[int, ...]:
+    """Near-cubic grid dimensions whose product is at least ``nnodes``.
+
+    Perfect powers factor exactly (32768 -> (32, 32, 32)); otherwise each
+    dimension is shrunk greedily while capacity still suffices.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise ConfigurationError("need nnodes >= 1 and ndims >= 1")
+    k = max(1, math.ceil(nnodes ** (1.0 / ndims)))
+    dims = [k] * ndims
+    for i in range(ndims):
+        while dims[i] > 1:
+            dims[i] -= 1
+            if math.prod(dims) < nnodes:
+                dims[i] += 1
+                break
+    return tuple(dims)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build the simulated machine's models."""
+
+    nranks: int
+    topology_kind: str = "torus"
+    #: Grid dims for torus/mesh, (arity, levels) for fattree; None derives
+    #: near-cubic dims from the node count.
+    topology_dims: tuple[int, ...] | None = None
+    ranks_per_node: int = 1
+    chips_per_node: int = 1
+    link_latency: Any = "1us"
+    link_bandwidth: Any = "32GB/s"
+    eager_threshold: Any = "256kB"
+    #: Native (unscaled) per-message software overheads; the simulated
+    #: node pays these scaled by ``slowdown``.
+    send_overhead_native: float = 2.6e-6
+    recv_overhead_native: float = 2.6e-6
+    detection_timeout: Any = "10s"
+    reference_hz: float = 1.7e9
+    slowdown: float = 1000.0
+    collective_algorithm: str = "linear"
+    congestion_factor: float = 1.0
+    filesystem: FileSystemModel = field(default_factory=FileSystemModel.disabled)
+    power: PowerModel = field(default_factory=PowerModel)
+    strict_finalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ConfigurationError(f"nranks must be >= 1, got {self.nranks}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_system(cls, nranks: int = 32768, **overrides: Any) -> "SystemConfig":
+        """The paper's simulated machine, optionally scaled down.
+
+        With ``nranks != 32768`` the torus is re-dimensioned near-cubically
+        while all other parameters stay at the paper's values.
+        """
+        dims: tuple[int, ...] | None = (32, 32, 32) if nranks == 32768 else None
+        base = cls(nranks=nranks, topology_kind="torus", topology_dims=dims)
+        return replace(base, **overrides) if overrides else base
+
+    @classmethod
+    def small_test_system(cls, nranks: int = 8, **overrides: Any) -> "SystemConfig":
+        """A tiny fast machine for unit tests: no software overheads, no
+        slowdown, short detection timeout."""
+        base = cls(
+            nranks=nranks,
+            send_overhead_native=0.0,
+            recv_overhead_native=0.0,
+            detection_timeout="1s",
+            slowdown=1.0,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    def scaled(self, **overrides: Any) -> "SystemConfig":
+        """Copy with field overrides (convenience wrapper)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # model builders
+    # ------------------------------------------------------------------
+    @property
+    def nnodes(self) -> int:
+        return math.ceil(self.nranks / self.ranks_per_node)
+
+    def make_topology(self) -> Topology:
+        """Build the interconnect topology object."""
+        kind = self.topology_kind
+        if kind == "torus":
+            return TorusTopology(self.topology_dims or balanced_dims(self.nnodes))
+        if kind == "mesh":
+            return MeshTopology(self.topology_dims or balanced_dims(self.nnodes))
+        if kind == "fattree":
+            if self.topology_dims is not None:
+                arity, levels = self.topology_dims
+            else:
+                arity = 16
+                levels = max(1, math.ceil(math.log(self.nnodes, arity)))
+            return FatTreeTopology(arity=arity, levels=levels)
+        if kind == "star":
+            return StarTopology(self.nnodes)
+        if kind == "crossbar":
+            return CrossbarTopology(self.nnodes)
+        raise ConfigurationError(f"unknown topology kind {self.topology_kind!r}")
+
+    def make_network(self) -> NetworkModel:
+        """Build the communication cost model (overheads pre-scaled)."""
+        return NetworkModel(
+            self.make_topology(),
+            latency=self.link_latency,
+            bandwidth=self.link_bandwidth,
+            eager_threshold=self.eager_threshold,
+            send_overhead=self.send_overhead_native * self.slowdown,
+            recv_overhead=self.recv_overhead_native * self.slowdown,
+            detection_timeout=self.detection_timeout,
+            ranks_per_node=self.ranks_per_node,
+            chips_per_node=self.chips_per_node,
+            congestion_factor=self.congestion_factor,
+        )
+
+    def make_processor(self) -> ProcessorModel:
+        """Build the node speed model."""
+        return ProcessorModel(reference_hz=self.reference_hz, slowdown=self.slowdown)

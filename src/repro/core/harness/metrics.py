@@ -1,0 +1,130 @@
+"""Resilience cost/benefit metrics.
+
+The paper's stated goal is "a resilience co-design toolkit with
+definitions, metrics, and methods to evaluate the cost/benefit trade-off
+of resilience solutions".  This module defines those metrics over a
+completed :class:`~repro.core.restart.FailureRunResult`:
+
+* **efficiency** — useful computation over total time-to-solution (the
+  fraction of E2 that was not overhead);
+* the **waste breakdown** — where the non-useful time went: checkpoint
+  overhead (E1 - useful), lost/recomputed work plus detection and abort
+  latency (E2 - E1);
+* **availability** — fraction of node-time with live processes;
+* **application MTTF/MTBF** and the E2/(F+1) relation the paper's
+  Table II reports.
+
+All quantities are virtual-time; ``useful_time`` is the application's
+failure-free computation floor, supplied by the caller (for heat3d it is
+``iterations x points/rank x per-point cost x slowdown``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.restart import FailureRunResult
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResilienceMetrics:
+    """Cost/benefit metrics of one run-with-restarts experiment."""
+
+    useful_time: float
+    """The workload's failure-free computation floor (virtual seconds)."""
+    e1: float
+    """Failure-free time-to-solution (with checkpoint overhead)."""
+    e2: float
+    """Time-to-solution with failures and restarts."""
+    failures: int
+    restarts: int
+    node_seconds: float
+    """Total machine capacity over the run (nranks x E2)."""
+    lost_node_seconds: float
+    """Capacity lost to dead processes (from failure to end of segment)."""
+
+    # ------------------------------------------------------------------
+    @property
+    def efficiency(self) -> float:
+        """useful / E2 — the headline cost/benefit number."""
+        return self.useful_time / self.e2
+
+    @property
+    def checkpoint_overhead(self) -> float:
+        """Virtual seconds spent on resilience in the failure-free run."""
+        return self.e1 - self.useful_time
+
+    @property
+    def failure_overhead(self) -> float:
+        """Virtual seconds added by failures: lost work, detection, abort,
+        restart cycles."""
+        return self.e2 - self.e1
+
+    @property
+    def waste(self) -> float:
+        """Everything that is not useful computation."""
+        return self.e2 - self.useful_time
+
+    @property
+    def availability(self) -> float:
+        """Fraction of node-time with a live process on the node."""
+        if self.node_seconds == 0:
+            return 1.0
+        return 1.0 - self.lost_node_seconds / self.node_seconds
+
+    @property
+    def mttf_application(self) -> float | None:
+        """E2 / (F + 1): the paper's experienced application MTTF."""
+        if self.failures == 0:
+            return None
+        return self.e2 / (self.failures + 1)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"time-to-solution: E2 = {self.e2:,.1f} s "
+            f"(E1 = {self.e1:,.1f} s, useful = {self.useful_time:,.1f} s)",
+            f"efficiency: {self.efficiency * 100:.1f} %  "
+            f"(checkpoint overhead {self.checkpoint_overhead:,.1f} s, "
+            f"failure overhead {self.failure_overhead:,.1f} s)",
+            f"failures: {self.failures}, restarts: {self.restarts}, "
+            f"availability: {self.availability * 100:.2f} %",
+        ]
+        if self.mttf_application is not None:
+            lines.append(f"application MTTF: {self.mttf_application:,.1f} s")
+        return "\n".join(lines)
+
+
+def compute_metrics(
+    run: FailureRunResult, useful_time: float, e1: float, nranks: int
+) -> ResilienceMetrics:
+    """Derive the metrics from a completed experiment.
+
+    ``useful_time`` is the workload's pure-computation floor; ``e1`` the
+    measured failure-free time-to-solution (so checkpoint overhead can be
+    separated from failure overhead); ``nranks`` sizes the machine for
+    availability accounting.
+    """
+    if not run.completed:
+        raise ConfigurationError("metrics require a completed run")
+    if useful_time <= 0 or e1 < useful_time or nranks < 1:
+        raise ConfigurationError(
+            f"need 0 < useful_time <= e1 and nranks >= 1 "
+            f"(got useful_time={useful_time}, e1={e1}, nranks={nranks})"
+        )
+    e2 = run.e2
+    lost = 0.0
+    for seg in run.segments:
+        seg_end = seg.result.exit_time
+        for rank, t_fail in seg.result.failures:
+            lost += max(0.0, seg_end - t_fail)
+    return ResilienceMetrics(
+        useful_time=useful_time,
+        e1=e1,
+        e2=e2,
+        failures=run.f,
+        restarts=run.restarts,
+        node_seconds=nranks * e2,
+        lost_node_seconds=lost,
+    )

@@ -1,0 +1,108 @@
+"""Result serialization: experiment outputs as JSON/CSV-friendly records.
+
+Reproduction artifacts should be machine-readable, not just pretty tables:
+these helpers flatten the harness result objects into plain dictionaries
+(JSON-safe scalar values only) so runs can be archived, diffed across
+simulator versions, or post-processed outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.core.harness.experiment import PAPER_TABLE2, Table2Cell
+from repro.core.restart import FailureRunResult
+from repro.pdes.engine import SimulationResult
+
+
+def simulation_result_record(result: SimulationResult) -> dict[str, Any]:
+    """Flatten one engine run (aggregates only; per-rank maps elided)."""
+    return {
+        "start_time": result.start_time,
+        "exit_time": result.exit_time,
+        "completed": result.completed,
+        "aborted": result.aborted,
+        "abort_time": result.abort_time,
+        "abort_rank": result.abort_rank,
+        "failures": [[r, t] for r, t in result.failures],
+        "nranks": len(result.states),
+        "event_count": result.event_count,
+        "vp_time_min": result.timing.minimum,
+        "vp_time_max": result.timing.maximum,
+        "vp_time_avg": result.timing.average,
+    }
+
+
+def failure_run_record(run: FailureRunResult) -> dict[str, Any]:
+    """Flatten a run-with-restarts experiment."""
+    return {
+        "completed": run.completed,
+        "e2": run.e2,
+        "f": run.f,
+        "restarts": run.restarts,
+        "mttf_a": run.mttf_a,
+        "failures": [[r, t] for r, t in run.failures],
+        "segments": [
+            {
+                "index": seg.index,
+                "start_time": seg.start_time,
+                "drawn_failures": [[r, t] for r, t in seg.drawn_failures],
+                **simulation_result_record(seg.result),
+            }
+            for seg in run.segments
+        ],
+    }
+
+
+def table2_records(
+    cells: Sequence[Table2Cell], include_paper: bool = True
+) -> list[dict[str, Any]]:
+    """Table II cells as records, optionally with the paper's values."""
+    out = []
+    for cell in cells:
+        rec: dict[str, Any] = {
+            "mttf_s": cell.mttf,
+            "interval": cell.interval,
+            "e1": cell.e1,
+            "e2": cell.e2,
+            "f": cell.f,
+            "mttf_a": cell.mttf_a,
+        }
+        if include_paper:
+            paper = PAPER_TABLE2.get((cell.mttf, cell.interval))
+            if paper is not None:
+                rec["paper_e1"], rec["paper_e2"], rec["paper_f"], rec["paper_mttf_a"] = paper
+        out.append(rec)
+    return out
+
+
+def to_json(records: Any, path: str | None = None, indent: int = 2) -> str:
+    """Serialize records to JSON; optionally also write them to ``path``."""
+    text = json.dumps(records, indent=indent, sort_keys=True, allow_nan=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return text
+
+
+def to_csv(records: Sequence[dict[str, Any]]) -> str:
+    """Serialize flat records to CSV (union of keys, sorted header)."""
+    if not records:
+        return ""
+    keys = sorted({k for rec in records for k in rec})
+    lines = [",".join(keys)]
+    for rec in records:
+        lines.append(",".join(_csv_cell(rec.get(k)) for k in keys))
+    return "\n".join(lines) + "\n"
+
+
+def _csv_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    text = str(value)
+    if any(c in text for c in ",\"\n"):
+        text = '"' + text.replace('"', '""') + '"'
+    return text

@@ -1,0 +1,218 @@
+"""The failure/restart driver: continuous virtual time across aborts.
+
+Paper §IV-E: "To support continuous virtual timing after an abort and a
+following restart, xSim optionally writes out the simulated time of the
+application exit (maximum simulated MPI process time) to a file.  This file
+can be read in upon restart to initialize the clock of all simulated MPI
+processes with this time.  With this simple addition, xSim fully supports
+the simulation of application-level checkpoint/restart triggered by
+injected simulated MPI process failures."
+
+:class:`RestartDriver` reproduces the full experimental loop behind
+Table II:
+
+1. run the application under a fresh :class:`~repro.core.simulator.XSim`
+   whose engine clock starts at the previous segment's exit time;
+2. per segment, optionally draw one random failure — uniform rank, uniform
+   time within ``2 x MTTF_s`` *relative to the segment start* ("this ...
+   system MTTF applies to each application run separately, i.e., from
+   start to finish/failure and from restart to finish/failure");
+3. on abort, run the "shell script" step
+   (:meth:`CheckpointStore.cleanup_incomplete`) and restart;
+4. on completion, report E2 (total simulated time), F (failures that
+   actually activated), and MTTF_a = E2 / (F + 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import IO, Any, Callable
+
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.faults.policies import InjectionPolicy, SingleUniformFailurePolicy
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+from repro.pdes.engine import SimulationResult
+from repro.util.errors import SimulationError
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One run segment (start to finish or abort)."""
+
+    index: int
+    start_time: float
+    result: SimulationResult
+    drawn_failures: tuple[tuple[int, float], ...]
+    """(rank, absolute time) pairs drawn for this segment (may be empty;
+    component-model policies can draw several)."""
+
+    @property
+    def drawn_failure(self) -> tuple[int, float] | None:
+        """The first drawn failure (the Table II policy draws exactly one)."""
+        return self.drawn_failures[0] if self.drawn_failures else None
+
+    @property
+    def activated_failures(self) -> list[tuple[int, float]]:
+        return self.result.failures
+
+
+@dataclass
+class FailureRunResult:
+    """Outcome of a complete run-with-restarts experiment."""
+
+    segments: list[SegmentRecord]
+    store: CheckpointStore
+    exit_values: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.segments) and self.segments[-1].result.completed
+
+    @property
+    def e2(self) -> float:
+        """Total simulated execution time including failure/restart cycles
+        (Table II's E2; equals E1 when no failure activated)."""
+        return self.segments[-1].result.exit_time - self.segments[0].start_time
+
+    @property
+    def failures(self) -> list[tuple[int, float]]:
+        """Every activated failure across all segments."""
+        out: list[tuple[int, float]] = []
+        for seg in self.segments:
+            out.extend(seg.result.failures)
+        return out
+
+    @property
+    def f(self) -> int:
+        """Table II's F: the number of failures that actually activated."""
+        return len(self.failures)
+
+    @property
+    def restarts(self) -> int:
+        return len(self.segments) - 1
+
+    @property
+    def mttf_a(self) -> float | None:
+        """Experienced application MTTF: E2 / (F + 1) — the relation the
+        paper's Table II rows satisfy exactly.  None when no failure."""
+        if self.f == 0:
+            return None
+        return self.e2 / (self.f + 1)
+
+
+class RestartDriver:
+    """Run an application to completion through failure/restart cycles.
+
+    Parameters
+    ----------
+    system:
+        The simulated machine.
+    app:
+        Application generator function ``app(mpi, *args)``.
+    make_args:
+        Builds the app argument tuple for each segment, given the shared
+        checkpoint store (persisted across segments like a real PFS).
+    mttf:
+        Optional system MTTF: draw one random failure per segment per the
+        paper's policy (shorthand for
+        ``policy=SingleUniformFailurePolicy(mttf)``).  ``policy`` accepts
+        any :class:`~repro.core.faults.policies.InjectionPolicy`, e.g. the
+        component-reliability-driven one.  ``schedule`` may be given
+        instead of (or in addition to) either; schedule times are absolute
+        virtual times and apply to the first segment.
+    seed:
+        Seeds the failure-draw stream ("the experiments are repeatable as
+        the simulator and the application are deterministic").
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        app,
+        make_args: Callable[[CheckpointStore], tuple],
+        mttf: float | None = None,
+        policy: InjectionPolicy | None = None,
+        schedule: FailureSchedule | None = None,
+        seed: int = 0,
+        max_restarts: int = 1000,
+        draw_horizon: float | None = None,
+        interceptor: Callable[[XSim, list[tuple[int, float]]], list[tuple[int, float]]]
+        | None = None,
+        log_stream: IO[str] | None = None,
+    ):
+        if mttf is not None and policy is not None:
+            raise SimulationError("pass either mttf or policy, not both")
+        self.system = system
+        self.app = app
+        self.make_args = make_args
+        self.policy: InjectionPolicy | None
+        self.policy = SingleUniformFailurePolicy(mttf) if mttf is not None else policy
+        self.schedule = schedule
+        self.seed = seed
+        self.max_restarts = max_restarts
+        #: How far past each segment start the policy should bother drawing
+        #: (unbounded by default; activations beyond the segment's end are
+        #: naturally inert).
+        self.draw_horizon = draw_horizon if draw_horizon is not None else float("inf")
+        #: Optional hook inspecting each segment's drawn failures before
+        #: they are armed (e.g. proactive migration replaces predicted
+        #: failures with migration pauses); returns the failures to inject.
+        self.interceptor = interceptor
+        self.log_stream = log_stream
+
+    def run(self) -> FailureRunResult:
+        """Execute segments until the application completes (or the restart
+        budget is exhausted); see the module docstring for the loop."""
+        store = CheckpointStore()
+        rng = RngStreams(self.seed).get("restart-failures")
+        segments: list[SegmentRecord] = []
+        start = 0.0
+        for index in range(self.max_restarts + 1):
+            sim = XSim(
+                self.system,
+                seed=self.seed,
+                start_time=start,
+                log_stream=self.log_stream,
+            )
+            if self.schedule is not None and index == 0:
+                sim.inject_schedule(self.schedule)
+            drawn: list[tuple[int, float]] = []
+            if self.policy is not None:
+                drawn = [
+                    (rank, start + t_rel)
+                    for rank, t_rel in self.policy.draw_segment(
+                        rng, self.system.nranks, self.draw_horizon
+                    )
+                ]
+            to_inject = drawn if self.interceptor is None else self.interceptor(sim, drawn)
+            for rank, t_abs in to_inject:
+                sim.inject_failure(rank, t_abs)
+            result = sim.run(self.app, args=self.make_args(store))
+            segments.append(
+                SegmentRecord(
+                    index=index,
+                    start_time=start,
+                    result=result,
+                    drawn_failures=tuple(drawn),
+                )
+            )
+            if result.completed:
+                return FailureRunResult(
+                    segments=segments, store=store, exit_values=result.exit_values
+                )
+            if not result.aborted:
+                raise SimulationError(
+                    f"segment {index} ended without completing or aborting "
+                    f"(states: {set(s.value for s in result.states.values())})"
+                )
+            # Pre-restart cleanup: "incomplete checkpoints (missing
+            # checkpoint files due to a failure during checkpointing) are
+            # deleted using a shell script."
+            store.cleanup_incomplete(self.system.nranks)
+            start = result.exit_time
+        raise SimulationError(
+            f"application did not complete within {self.max_restarts} restarts"
+        )

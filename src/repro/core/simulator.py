@@ -1,0 +1,166 @@
+"""The :class:`XSim` facade: one configured simulation run.
+
+Ties together the engine, the hardware models, the simulated MPI layer, and
+the resilience injection surface.  One ``XSim`` instance is one simulated
+job execution (the engine is single-shot); the
+:class:`~repro.core.restart.RestartDriver` creates a fresh instance per
+failure/restart segment, carrying the simulated exit time forward.
+
+Usage::
+
+    sim = XSim(SystemConfig.paper_system(nranks=4096))
+    sim.inject_failure(rank=17, time=1000.0)          # rank/time pair
+    sim.inject_schedule(FailureSchedule.parse("3@5s"))  # CLI/env format
+    result = sim.run(my_app, args=(cfg,))
+"""
+
+from __future__ import annotations
+
+from typing import IO, Any
+
+import numpy as np
+
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.faults.softerror import SoftErrorInjector
+from repro.core.harness.config import SystemConfig
+from repro.mpi.world import MpiWorld
+from repro.models.memory import MemoryTracker
+from repro.pdes.engine import Engine, SimulationResult
+from repro.util.errors import SimulationError
+from repro.util.rng import RngStreams
+from repro.util.simlog import SimLog
+
+
+class XSim:
+    """One configured, single-shot simulation of an MPI job."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        seed: int = 0,
+        start_time: float = 0.0,
+        log_stream: IO[str] | None = None,
+        record_trace: bool = False,
+    ):
+        self.system = system
+        self.rng = RngStreams(seed)
+        self.engine = Engine(start_time=start_time, log=SimLog(stream=log_stream))
+        self.memory = MemoryTracker()
+        self.world = MpiWorld(
+            self.engine,
+            system.make_network(),
+            processor=system.make_processor(),
+            filesystem=system.filesystem,
+            memory=self.memory,
+            strict_finalize=system.strict_finalize,
+            collective_algorithm=system.collective_algorithm,
+            record_trace=record_trace,
+        )
+        self._soft_errors: SoftErrorInjector | None = None
+        self._pending_failures: list[tuple[int, float]] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # injection surface
+    # ------------------------------------------------------------------
+    def inject_failure(self, rank: int, time: float) -> None:
+        """Arm an MPI process failure (earliest ``time``, paper §IV-B).
+
+        May be called before or after :meth:`run` launched the job;
+        pre-launch injections are applied at launch.
+        """
+        self._check_rank(rank)
+        if rank < len(self.engine.vps):
+            self.engine.schedule_failure(rank, time)
+        else:
+            self._pending_failures.append((rank, time))
+
+    def inject_schedule(self, schedule: FailureSchedule) -> None:
+        """Arm every rank/time pair of a schedule."""
+        schedule.validate(self.system.nranks)
+        for entry in schedule:
+            self.inject_failure(entry.rank, entry.time)
+
+    def inject_from_environment(self) -> FailureSchedule:
+        """Arm the ``XSIM_FAILURES`` environment schedule; returns it."""
+        schedule = FailureSchedule.from_environment()
+        self.inject_schedule(schedule)
+        return schedule
+
+    @property
+    def soft_errors(self) -> SoftErrorInjector:
+        """The lazily created soft-error injector bound to this run."""
+        if self._soft_errors is None:
+            self._soft_errors = SoftErrorInjector(
+                engine=self.engine, memory=self.memory, rng=self.rng.get("soft-errors")
+            )
+        return self._soft_errors
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.system.nranks:
+            raise SimulationError(f"rank {rank} outside job of {self.system.nranks} ranks")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, app, args: tuple = (), nranks: int | None = None) -> SimulationResult:
+        """Launch ``app(mpi, *args)`` on ``nranks`` (default: the system's
+        full rank count) and simulate to completion or abort."""
+        if self._ran:
+            raise SimulationError("XSim instances are single-shot; create a new one")
+        self._ran = True
+        self.world.launch(app, nranks if nranks is not None else self.system.nranks, args)
+        for rank, time in self._pending_failures:
+            self.engine.schedule_failure(rank, time)
+        self._pending_failures.clear()
+        return self.engine.run()
+
+    # ------------------------------------------------------------------
+    # architecture self-description (Figure 1 reproduction)
+    # ------------------------------------------------------------------
+    def describe_architecture(self) -> dict[str, Any]:
+        """Structured description of the layered architecture, mirroring
+        the paper's Figure 1 (a) architecture / (b) design diagrams."""
+        net = self.world.network
+        return {
+            "layers": [
+                "application (simulated MPI processes / virtual processes)",
+                "simulated MPI layer (pt2pt matching, collectives, error handlers, ULFM)",
+                "resilience extensions (failure injection, detection/notification, abort, C/R)",
+                "PDES engine (virtual clocks, event queue, conservative synchronization)",
+                "hardware models (processor, network, file system, power, memory)",
+            ],
+            "virtual_processes": self.system.nranks,
+            "topology": type(net.topology).__name__,
+            "nodes": net.topology.nnodes,
+            "ranks_per_node": net.ranks_per_node,
+            "link_latency_s": net.system.latency,
+            "link_bandwidth_Bps": net.system.bandwidth,
+            "eager_threshold_B": net.eager_threshold,
+            "detection_timeout_s": net.system.detection_timeout,
+            "collective_algorithm": self.world.collective_algorithm,
+            "processor_slowdown": self.system.slowdown,
+            "components": {
+                "engine": type(self.engine).__name__,
+                "world": type(self.world).__name__,
+                "network_model": type(net).__name__,
+                "processor_model": type(self.world.processor).__name__,
+                "filesystem_model": type(self.world.filesystem).__name__,
+                "memory_tracker": type(self.memory).__name__,
+            },
+        }
+
+    def render_architecture(self) -> str:
+        """ASCII rendering of :meth:`describe_architecture`."""
+        d = self.describe_architecture()
+        width = 74
+        lines = ["+" + "-" * width + "+"]
+        for layer in d["layers"]:
+            lines.append("| " + layer.ljust(width - 2) + " |")
+            lines.append("+" + "-" * width + "+")
+        lines.append(
+            f"simulated machine: {d['virtual_processes']} VPs on {d['nodes']} nodes "
+            f"({d['topology']}), {d['collective_algorithm']} collectives, "
+            f"{d['processor_slowdown']:g}x slowdown"
+        )
+        return "\n".join(lines)

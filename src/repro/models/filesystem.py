@@ -1,0 +1,94 @@
+"""Parallel file system cost model.
+
+The paper excludes checkpoint I/O cost from its experiments ("since the
+individual checkpoint files are extremely small and xSim's file system model
+is a work in progress, the file system overhead for checkpoint/restart was
+not considered") but names file system models as future work (4).  This
+model implements the straightforward shared-bandwidth PFS the paper's
+discussion implies: writers share an aggregate backend bandwidth, each
+client is additionally capped by its injection bandwidth, and every file
+operation pays a metadata latency.
+
+``FileSystemModel.disabled()`` gives the zero-cost configuration used for
+the Table II reproduction; :mod:`benchmarks.test_filesystem_model` exercises
+the non-zero model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import parse_rate, parse_time
+
+
+@dataclass(frozen=True)
+class FileSystemModel:
+    """Cost model of the simulated parallel file system.
+
+    Parameters
+    ----------
+    aggregate_bandwidth:
+        Total backend bandwidth shared by all concurrent clients
+        (bytes/second, or a string like ``"500GB/s"``).
+    client_bandwidth:
+        Per-client cap (a single writer cannot exceed its node's injection
+        bandwidth into the I/O network).
+    metadata_latency:
+        Fixed cost per file open/create/delete operation.
+    enabled:
+        When False every operation costs zero simulated time (the paper's
+        Table II configuration).
+    """
+
+    aggregate_bandwidth: float = 500e9
+    client_bandwidth: float = 4e9
+    metadata_latency: float = 1e-3
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.aggregate_bandwidth <= 0 or self.client_bandwidth <= 0:
+            raise ConfigurationError("file system bandwidths must be > 0")
+        if self.metadata_latency < 0:
+            raise ConfigurationError("metadata_latency must be >= 0")
+
+    @staticmethod
+    def disabled() -> "FileSystemModel":
+        """The zero-overhead configuration the paper's experiments use."""
+        return FileSystemModel(enabled=False)
+
+    @staticmethod
+    def create(
+        aggregate_bandwidth: float | str = "500GB/s",
+        client_bandwidth: float | str = "4GB/s",
+        metadata_latency: float | str = "1ms",
+    ) -> "FileSystemModel":
+        """Build a model from human-readable unit strings."""
+        return FileSystemModel(
+            aggregate_bandwidth=parse_rate(aggregate_bandwidth),
+            client_bandwidth=parse_rate(client_bandwidth),
+            metadata_latency=parse_time(metadata_latency),
+        )
+
+    def effective_bandwidth(self, concurrent_clients: int) -> float:
+        """Per-client bandwidth with ``concurrent_clients`` active writers."""
+        if concurrent_clients < 1:
+            raise ConfigurationError("concurrent_clients must be >= 1")
+        return min(self.client_bandwidth, self.aggregate_bandwidth / concurrent_clients)
+
+    def write_time(self, nbytes: int, concurrent_clients: int = 1) -> float:
+        """Simulated duration of one client writing ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if not self.enabled:
+            return 0.0
+        return self.metadata_latency + nbytes / self.effective_bandwidth(concurrent_clients)
+
+    def read_time(self, nbytes: int, concurrent_clients: int = 1) -> float:
+        """Simulated duration of one client reading ``nbytes`` (same cost
+        shape as writes for this model)."""
+        return self.write_time(nbytes, concurrent_clients)
+
+    def delete_time(self) -> float:
+        """Simulated duration of removing one file (metadata only)."""
+        return self.metadata_latency if self.enabled else 0.0

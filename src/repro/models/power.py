@@ -1,0 +1,55 @@
+"""Node power and energy model (paper future work 5).
+
+The paper's outlook targets "the first holistic HPC co-design toolkit that
+considers architectural performance and resilience parameters to optimize
+parallel application performance within a given power consumption budget"
+and lists "developing power consumption models" as ongoing work.  This is
+the standard two-state model used in such studies: a node draws
+``idle_watts`` always and ``busy_watts`` while computing; communication
+waits count as idle.  The experiment harness integrates per-phase busy/idle
+durations into machine energy, including the energy *wasted* on work lost
+to failures and on checkpoint overhead — the quantity the co-design
+trade-off needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Two-state (idle/busy) per-node power model."""
+
+    idle_watts: float = 60.0
+    busy_watts: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.busy_watts < self.idle_watts:
+            raise ConfigurationError(
+                f"need 0 <= idle_watts <= busy_watts, got {self.idle_watts}, {self.busy_watts}"
+            )
+
+    def node_energy(self, busy_seconds: float, idle_seconds: float) -> float:
+        """Joules one node consumes for the given busy/idle durations."""
+        if busy_seconds < 0 or idle_seconds < 0:
+            raise ConfigurationError("durations must be >= 0")
+        return busy_seconds * self.busy_watts + idle_seconds * self.idle_watts
+
+    def machine_energy(
+        self, nnodes: int, wall_seconds: float, busy_seconds_per_node: float
+    ) -> float:
+        """Joules ``nnodes`` consume over ``wall_seconds`` of which each node
+        is busy ``busy_seconds_per_node`` (and otherwise idle)."""
+        if busy_seconds_per_node > wall_seconds:
+            raise ConfigurationError("busy time cannot exceed wall time")
+        idle = wall_seconds - busy_seconds_per_node
+        return nnodes * self.node_energy(busy_seconds_per_node, idle)
+
+    def average_power(self, nnodes: int, wall_seconds: float, busy_seconds_per_node: float) -> float:
+        """Machine-average watts over the run."""
+        if wall_seconds <= 0:
+            raise ConfigurationError("wall_seconds must be > 0")
+        return self.machine_energy(nnodes, wall_seconds, busy_seconds_per_node) / wall_seconds

@@ -1,0 +1,68 @@
+"""Processor model: how long modeled computation takes on a simulated node.
+
+The paper's simulated system runs each MPI rank on one simulated compute
+node "operating at a speed 1000x slower than a single 1.7 GHz AMD Opteron
+6164 HE core".  The model therefore needs only two knobs: the reference
+core and a slowdown factor.  Work is expressed either as *native seconds*
+(time the work would take on the unscaled reference core) or as an
+operation count with a per-operation native cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """Speed model of one simulated compute node.
+
+    Parameters
+    ----------
+    reference_hz:
+        Clock rate of the reference core (default: the paper's 1.7 GHz
+        AMD Opteron 6164 HE).
+    slowdown:
+        Factor by which the simulated node is slower than the reference
+        core (the paper uses 1000 "for demonstration purposes", which
+        lessens the native computational load and permits simulations with
+        more realistic failure frequencies).
+    """
+
+    reference_hz: float = 1.7e9
+    slowdown: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.reference_hz <= 0:
+            raise ConfigurationError(f"reference_hz must be > 0, got {self.reference_hz}")
+        if self.slowdown <= 0:
+            raise ConfigurationError(f"slowdown must be > 0, got {self.slowdown}")
+
+    @property
+    def effective_hz(self) -> float:
+        """Cycle rate of the simulated node."""
+        return self.reference_hz / self.slowdown
+
+    def time_for_native_seconds(self, native_seconds: float) -> float:
+        """Simulated duration of work that takes ``native_seconds`` on the
+        reference core."""
+        if native_seconds < 0:
+            raise ConfigurationError(f"work must be >= 0, got {native_seconds}")
+        return native_seconds * self.slowdown
+
+    def time_for_cycles(self, cycles: float) -> float:
+        """Simulated duration of ``cycles`` reference-core cycles."""
+        if cycles < 0:
+            raise ConfigurationError(f"cycles must be >= 0, got {cycles}")
+        return cycles / self.effective_hz
+
+    def time_for_ops(self, ops: float, native_seconds_per_op: float) -> float:
+        """Simulated duration of ``ops`` operations, each costing
+        ``native_seconds_per_op`` on the reference core.
+
+        The heat3d application uses this with its calibrated per-point
+        stencil-update cost (see :mod:`repro.apps.heat3d`).
+        """
+        return self.time_for_native_seconds(ops * native_seconds_per_op)

@@ -1,0 +1,68 @@
+"""Simulated MPI layer.
+
+xSim is "designed like a traditional performance tool, as an interposition
+library that sits between the MPI application and the MPI layer".  In this
+reproduction the application is a Python coroutine and the interposition
+library is this package: a full simulated MPI with point-to-point matching
+semantics (tags, ``MPI_ANY_SOURCE``/``MPI_ANY_TAG``, non-overtaking order),
+eager and rendezvous protocols, nonblocking requests, linear-algorithm
+collectives (the paper's configuration) plus tree variants, communicator
+management, MPI error handlers, ``MPI_Abort``, and the ULFM user-level
+failure mitigation extension the paper lists as recently added.
+
+Applications receive a per-rank :class:`~repro.mpi.api.MpiApi` facade and
+issue calls with ``yield from`` (every call is a simulator control point):
+
+    def app(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=8, tag=1)
+        elif mpi.rank == 1:
+            msg = yield from mpi.recv(0, tag=1)
+        yield from mpi.barrier()
+        yield from mpi.finalize()
+
+Failure semantics follow paper §IV-C: failure detection is based on
+simulated network communication timeouts; blocked requests involving a
+failed peer are released and failed; later requests fail from the per-rank
+failed-process list; the default ``MPI_ERRORS_ARE_FATAL`` handler turns any
+such error into a simulated ``MPI_Abort``.
+"""
+
+from repro.mpi.api import MpiApi
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ERR_ABORT,
+    ERR_PROC_FAILED,
+    ERR_REVOKED,
+    PROC_NULL,
+    SUCCESS,
+)
+from repro.mpi.datatypes import BYTE, DOUBLE, FLOAT, INT, Datatype
+from repro.mpi.errhandler import ERRORS_ARE_FATAL, ERRORS_RETURN, MpiError
+from repro.mpi.group import Group
+from repro.mpi.world import MpiWorld
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BYTE",
+    "Communicator",
+    "DOUBLE",
+    "Datatype",
+    "ERRORS_ARE_FATAL",
+    "ERRORS_RETURN",
+    "ERR_ABORT",
+    "ERR_PROC_FAILED",
+    "ERR_REVOKED",
+    "FLOAT",
+    "Group",
+    "INT",
+    "MpiApi",
+    "MpiError",
+    "MpiWorld",
+    "PROC_NULL",
+    "SUCCESS",
+]

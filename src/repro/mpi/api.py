@@ -1,0 +1,597 @@
+"""Per-rank MPI facade handed to simulated applications.
+
+An application is a generator function ``def app(mpi, *args)`` whose first
+argument is an :class:`MpiApi`.  Every MPI call is itself a generator and
+must be driven with ``yield from`` — each call is a point where the
+simulator regains control (and may activate an injected failure, exactly
+like xSim's interposition layer).
+
+The facade exposes:
+
+* lifecycle — :meth:`init`, :meth:`finalize`, :meth:`abort`;
+* modeled computation and timing — :meth:`compute`,
+  :meth:`compute_native`, :meth:`compute_ops`, :meth:`wtime`;
+* point-to-point — :meth:`send`/:meth:`recv`/:meth:`sendrecv` and the
+  nonblocking :meth:`isend`/:meth:`irecv`/:meth:`wait`/:meth:`waitall`/
+  :meth:`test`;
+* collectives — :meth:`barrier`, :meth:`bcast`, :meth:`reduce`,
+  :meth:`allreduce`, :meth:`gather`, :meth:`scatter`, :meth:`allgather`,
+  :meth:`alltoall`, :meth:`scan`;
+* communicator management — :meth:`comm_dup`, :meth:`comm_split`,
+  :meth:`comm_free`, :meth:`set_errhandler`;
+* resilience — the ULFM calls (:meth:`comm_revoke`, :meth:`comm_shrink`,
+  :meth:`comm_agree`, :meth:`comm_failure_ack`,
+  :meth:`comm_failure_get_acked`), :meth:`failed_ranks`, and
+  condition-based self-injection via :meth:`fail_here`;
+* simulated file I/O (:meth:`file_write` et al.) and tracked dynamic
+  memory (:meth:`malloc`/:meth:`free`) feeding the soft-error injector.
+
+Ranks in all calls are *communicator* ranks of the ``comm`` argument
+(default ``MPI_COMM_WORLD``); the facade translates to world ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Sequence
+
+from repro.models.memory import MemoryRegion, RegionKind
+from repro.mpi import collectives as coll
+from repro.mpi import ops
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB
+from repro.mpi.datatypes import payload_nbytes
+from repro.mpi.errhandler import Errhandler
+from repro.mpi.group import Group
+from repro.mpi.messages import Msg, Request
+from repro.pdes.requests import Advance, Block
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.mpi.world import MpiWorld
+    from repro.pdes.context import VirtualProcess
+
+Gen = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Receive status (``MPI_Status``): source/tag/size of the message."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class MpiApi:
+    """The simulated MPI interface of one rank."""
+
+    def __init__(self, world: "MpiWorld", rank: int):
+        self.world = world
+        self.rank = rank
+        #: Set by :meth:`MpiWorld.launch` once the VP exists.
+        self.vp: "VirtualProcess" = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # identity and timing
+    # ------------------------------------------------------------------
+    @property
+    def comm_world(self) -> Communicator:
+        return self.world.world_comm  # type: ignore[return-value]
+
+    @property
+    def size(self) -> int:
+        return self.comm_world.size
+
+    def wtime(self) -> float:
+        """Current virtual time of this rank (``MPI_Wtime``)."""
+        return self.vp.clock
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def initialized(self) -> bool:
+        return self._state().initialized
+
+    @property
+    def finalized(self) -> bool:
+        return self._state().finalized
+
+    def init(self) -> Gen:
+        """``MPI_Init``."""
+        state = self._state()
+        if state.initialized:
+            raise ConfigurationError(f"rank {self.rank}: MPI already initialized")
+        state.initialized = True
+        yield Advance(0.0)  # simulator control point
+
+    def finalize(self) -> Gen:
+        """``MPI_Finalize`` (synchronizes like a barrier, then marks the
+        rank finalized — a VP exiting without this counts as a failure)."""
+        self._check_active()
+        yield from coll.barrier(self, self.comm_world)
+        self._state().finalized = True
+
+    def abort(self, code: int = 1) -> Gen:
+        """``MPI_Abort``: terminate the whole simulated job (paper §IV-D)."""
+        self.world.engine.request_abort(self.vp.clock, self.rank)
+        yield Block("aborting")
+
+    def fail_here(self, reason: str = "application-triggered failure") -> Gen:
+        """Condition-based failure self-injection: the application asks the
+        simulator to fail this rank *now* (paper §IV-B)."""
+        self.world.engine.schedule_failure(self.rank, self.vp.clock)
+        yield Advance(0.0)  # control point at which the failure activates
+
+    # ------------------------------------------------------------------
+    # modeled computation, I/O, memory
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float) -> Gen:
+        """Advance this rank's clock by ``seconds`` of simulated work."""
+        if seconds < 0:
+            raise ConfigurationError(f"compute() needs seconds >= 0, got {seconds}")
+        yield Advance(seconds)
+
+    def compute_native(self, native_seconds: float) -> Gen:
+        """Work that would take ``native_seconds`` on the reference core,
+        scaled by the simulated node's slowdown."""
+        yield Advance(self.world.processor.time_for_native_seconds(native_seconds))
+
+    def compute_ops(self, nops: float, native_seconds_per_op: float) -> Gen:
+        """``nops`` operations at a calibrated native per-op cost."""
+        yield Advance(self.world.processor.time_for_ops(nops, native_seconds_per_op))
+
+    def file_write(self, nbytes: int, concurrent_clients: int = 1) -> Gen:
+        """Write ``nbytes`` to the simulated parallel file system."""
+        yield Advance(self.world.filesystem.write_time(nbytes, concurrent_clients), busy=False)
+
+    def file_read(self, nbytes: int, concurrent_clients: int = 1) -> Gen:
+        """Read ``nbytes`` from the simulated parallel file system."""
+        yield Advance(self.world.filesystem.read_time(nbytes, concurrent_clients), busy=False)
+
+    def file_delete(self) -> Gen:
+        """Remove one simulated file (metadata cost only)."""
+        yield Advance(self.world.filesystem.delete_time(), busy=False)
+
+    def malloc(
+        self,
+        name: str,
+        nbytes: int = 0,
+        kind: RegionKind = RegionKind.DATA,
+        array: Any = None,
+    ) -> MemoryRegion:
+        """Register a tracked dynamic allocation (soft-error target)."""
+        return self.world.memory.allocate(self.rank, name, nbytes, kind, array)
+
+    def free(self, name: str) -> None:
+        """Release a tracked allocation."""
+        self.world.memory.free(self.rank, name)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        dest: int,
+        payload: Any = None,
+        nbytes: int | None = None,
+        tag: int = 0,
+        comm: Communicator | None = None,
+    ) -> Generator[Any, Any, Request]:
+        """Nonblocking send to communicator rank ``dest``."""
+        self._check_active()
+        comm = self._comm(comm)
+        self._check_tag(tag)
+        size = payload_nbytes(payload, nbytes)
+        if dest == PROC_NULL:
+            return self._null_request(Request.SEND, comm, tag)
+        dst = comm.world_rank(dest)
+        return (
+            yield from self.world.isend(self.vp, comm, comm.context_id * 2, dst, tag, payload, size)
+        )
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Communicator | None = None,
+    ) -> Request:
+        """Nonblocking receive from communicator rank ``source`` (local call)."""
+        self._check_active()
+        comm = self._comm(comm)
+        self._check_tag(tag, allow_any=True)
+        if source == PROC_NULL:
+            return self._null_request(Request.RECV, comm, tag)
+        src = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
+        return self.world.irecv(self.vp, comm, comm.context_id * 2, src, tag)
+
+    def wait(self, request: Request) -> Gen:
+        """Complete one request; returns the received payload for receives."""
+        self._check_active()
+        msg = yield from self.world.wait(self.vp, request)
+        return msg.payload if isinstance(msg, Msg) else None
+
+    def waitall(self, requests: Iterable[Request]) -> Gen:
+        """Complete all requests; returns their payloads in order."""
+        out = []
+        for req in requests:
+            out.append((yield from self.wait(req)))
+        return out
+
+    def test(self, request: Request) -> Generator[Any, Any, tuple[bool, Any]]:
+        """``MPI_Test``: (completed?, payload)."""
+        done, msg = yield from self.world.test(self.vp, request)
+        return done, (msg.payload if isinstance(msg, Msg) else None)
+
+    def send(
+        self,
+        dest: int,
+        payload: Any = None,
+        nbytes: int | None = None,
+        tag: int = 0,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """Blocking send."""
+        self._check_active()
+        req = yield from self.isend(dest, payload, nbytes, tag, comm)
+        yield from self.wait(req)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Communicator | None = None,
+        status: bool = False,
+    ) -> Gen:
+        """Blocking receive; returns the payload (or ``(payload, Status)``)."""
+        self._check_active()
+        comm = self._comm(comm)
+        req = self.irecv(source, tag, comm)
+        msg = yield from self.world.wait(self.vp, req)
+        if not status:
+            return msg.payload if isinstance(msg, Msg) else None
+        if isinstance(msg, Msg):
+            st = Status(source=comm.rank_of(msg.src), tag=msg.tag, nbytes=msg.nbytes)
+            return msg.payload, st
+        return None, Status(source=PROC_NULL, tag=tag, nbytes=0)
+
+    def sendrecv(
+        self,
+        dest: int,
+        source: int,
+        send_payload: Any = None,
+        nbytes: int | None = None,
+        send_tag: int = 0,
+        recv_tag: int | None = None,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Sendrecv``: concurrent send and receive; returns the
+        received payload."""
+        self._check_active()
+        comm = self._comm(comm)
+        rtag = send_tag if recv_tag is None else recv_tag
+        rreq = self.irecv(source, rtag, comm)
+        sreq = yield from self.isend(dest, send_payload, nbytes, send_tag, comm)
+        yield from self.wait(sreq)
+        return (yield from self.wait(rreq))
+
+    def iprobe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Communicator | None = None,
+    ) -> Status | None:
+        """``MPI_Iprobe``: status of a matching buffered message already
+        delivered to this rank, or ``None`` (local, nonblocking)."""
+        self._check_active()
+        comm = self._comm(comm)
+        self._check_tag(tag, allow_any=True)
+        src = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
+        state = self._state()
+        best = None
+        for (ctx, msrc, mtag), msgs in state.unexpected.items():
+            if ctx != comm.context_id * 2:
+                continue
+            if (src == ANY_SOURCE or src == msrc) and (tag == ANY_TAG or tag == mtag):
+                head = msgs[0]
+                if head.arrival <= self.vp.clock and (best is None or head.seq < best.seq):
+                    best = head
+        if best is None:
+            return None
+        return Status(source=comm.rank_of(best.src), tag=best.tag, nbytes=best.nbytes)
+
+    def probe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Communicator | None = None,
+        poll_interval: float = 1e-6,
+    ) -> Gen:
+        """``MPI_Probe``: wait (by polling the simulated clock) until a
+        matching message is available; returns its :class:`Status`."""
+        while True:
+            status = self.iprobe(source, tag, comm)
+            if status is not None:
+                return status
+            yield Advance(poll_interval)
+
+    def _null_request(self, kind: str, comm: Communicator, tag: int) -> Request:
+        req = Request(kind, self.vp, comm, comm.context_id * 2, PROC_NULL, PROC_NULL, tag, 0, self.vp.clock)
+        req.complete(self.vp.clock)
+        return req
+
+    # ------------------------------------------------------------------
+    # collectives (communicator rank order everywhere)
+    # ------------------------------------------------------------------
+    def barrier(self, comm: Communicator | None = None) -> Gen:
+        """``MPI_Barrier`` on ``comm`` (default ``MPI_COMM_WORLD``)."""
+        self._check_active()
+        yield from coll.barrier(self, self._comm(comm))
+
+    def bcast(
+        self,
+        value: Any = None,
+        nbytes: int | None = None,
+        root: int = 0,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Bcast``: every member returns the root's ``value``."""
+        self._check_active()
+        comm = self._comm(comm)
+        size = payload_nbytes(value, nbytes) if comm.rank_of(self.rank) == root else (nbytes or 0)
+        return (yield from coll.bcast(self, comm, value, size, root))
+
+    def reduce(
+        self,
+        value: Any = None,
+        nbytes: int | None = None,
+        op: ops.Op = ops.SUM,
+        root: int = 0,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Reduce``: the folded value at ``root``, ``None`` elsewhere."""
+        self._check_active()
+        return (yield from coll.reduce(self, self._comm(comm), value, payload_nbytes(value, nbytes), op, root))
+
+    def allreduce(
+        self,
+        value: Any = None,
+        nbytes: int | None = None,
+        op: ops.Op = ops.SUM,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Allreduce``: every member returns the folded value."""
+        self._check_active()
+        return (yield from coll.allreduce(self, self._comm(comm), value, payload_nbytes(value, nbytes), op))
+
+    def gather(
+        self,
+        value: Any = None,
+        nbytes: int | None = None,
+        root: int = 0,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Gather``: rank-ordered value list at ``root``."""
+        self._check_active()
+        return (yield from coll.gather(self, self._comm(comm), value, payload_nbytes(value, nbytes), root))
+
+    def allgather(
+        self, value: Any = None, nbytes: int | None = None, comm: Communicator | None = None
+    ) -> Gen:
+        """``MPI_Allgather``: every member gets the rank-ordered list."""
+        self._check_active()
+        return (yield from coll.allgather(self, self._comm(comm), value, payload_nbytes(value, nbytes)))
+
+    def scatter(
+        self,
+        values: Sequence[Any] | None = None,
+        nbytes: int | None = None,
+        root: int = 0,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Scatter``: ``values[i]`` (supplied at ``root``) to rank i."""
+        self._check_active()
+        comm = self._comm(comm)
+        size = nbytes
+        if size is None:
+            size = payload_nbytes(values[0], None) if values else 0
+        return (yield from coll.scatter(self, comm, list(values) if values is not None else None, size, root))
+
+    def alltoall(
+        self,
+        values: Sequence[Any],
+        nbytes: int | Sequence[int] | None = None,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Alltoall``; with per-destination payloads of differing
+        sizes (``nbytes=None`` infers each, or pass a size list) this is
+        ``MPI_Alltoallv``."""
+        self._check_active()
+        comm = self._comm(comm)
+        vals = list(values)
+        if nbytes is None:
+            sizes: int | list[int] = [payload_nbytes(v, None) for v in vals]
+        elif isinstance(nbytes, (list, tuple)):
+            sizes = [int(n) for n in nbytes]
+        else:
+            sizes = int(nbytes)
+        return (yield from coll.alltoall(self, comm, vals, sizes))
+
+    def scan(
+        self,
+        value: Any = None,
+        nbytes: int | None = None,
+        op: ops.Op = ops.SUM,
+        comm: Communicator | None = None,
+    ) -> Gen:
+        """``MPI_Scan`` (inclusive prefix reduction)."""
+        self._check_active()
+        return (yield from coll.scan(self, self._comm(comm), value, payload_nbytes(value, nbytes), op))
+
+    # internal collective-context point-to-point helpers
+    def _coll_send(self, comm: Communicator, dst: int, tag: int, payload: Any, nbytes: int) -> Gen:
+        req = yield from self.world.isend(
+            self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(dst), tag, payload, nbytes
+        )
+        yield from self.world.wait(self.vp, req)
+
+    def _coll_recv(self, comm: Communicator, src: int, tag: int) -> Gen:
+        req = self.world.irecv(self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(src), tag)
+        return (yield from self.world.wait(self.vp, req))
+
+    def _coll_isend(self, comm: Communicator, dst: int, tag: int, payload: Any, nbytes: int) -> Gen:
+        return (
+            yield from self.world.isend(
+                self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(dst), tag, payload, nbytes
+            )
+        )
+
+    def _coll_irecv(self, comm: Communicator, src: int, tag: int) -> Request:
+        return self.world.irecv(self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(src), tag)
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def comm_rank(self, comm: Communicator | None = None) -> int:
+        """This process's rank within ``comm``."""
+        return self._comm(comm).rank_of(self.rank)
+
+    def comm_size(self, comm: Communicator | None = None) -> int:
+        """Member count of ``comm``."""
+        return self._comm(comm).size
+
+    def comm_dup(self, comm: Communicator | None = None) -> Gen:
+        """Collectively duplicate ``comm`` into a fresh context."""
+        self._check_active()
+        comm = self._comm(comm)
+        me = comm.rank_of(self.rank)
+        new = None
+        if me == 0:
+            new = Communicator(comm.group, self.world.alloc_context(), f"{comm.name}.dup")
+        return (yield from coll.bcast(self, comm, new, 16, root=0))
+
+    def comm_split(
+        self, color: int | None, key: int | None = None, comm: Communicator | None = None
+    ) -> Gen:
+        """Collectively split ``comm`` by color, ordering members by key.
+
+        Returns the new communicator, or ``None`` for ``color=None``
+        (``MPI_UNDEFINED``) callers.
+        """
+        self._check_active()
+        comm = self._comm(comm)
+        me = comm.rank_of(self.rank)
+        entry = (color, me if key is None else key, me)
+        entries = yield from coll.gather(self, comm, entry, 24, root=0)
+        table: dict[int, Communicator] | None = None
+        if me == 0:
+            table = {}
+            by_color: dict[int, list[tuple[int, int]]] = {}
+            for c, k, m in entries:  # type: ignore[union-attr]
+                if c is not None:
+                    by_color.setdefault(c, []).append((k, m))
+            for c in sorted(by_color):
+                members = [comm.world_rank(m) for _, m in sorted(by_color[c])]
+                table[c] = Communicator(
+                    Group(members), self.world.alloc_context(), f"{comm.name}.split({c})"
+                )
+        table = yield from coll.bcast(self, comm, table, 16, root=0)
+        return None if color is None else table[color]
+
+    def comm_free(self, comm: Communicator) -> Gen:
+        """Mark ``comm`` freed (local bookkeeping + a control point)."""
+        comm.freed = True
+        yield Advance(0.0)
+
+    def set_errhandler(self, handler: Errhandler, comm: Communicator | None = None) -> None:
+        """``MPI_Comm_set_errhandler`` for this rank on ``comm``."""
+        self._comm(comm).set_errhandler(self.rank, handler)
+
+    # ------------------------------------------------------------------
+    # resilience / ULFM
+    # ------------------------------------------------------------------
+    def failed_ranks(self, comm: Communicator | None = None) -> list[int]:
+        """Communicator ranks this process knows to have failed."""
+        comm = self._comm(comm)
+        return sorted(
+            comm.rank_of(w) for w in self.vp.failed_peers if comm.contains(w)
+        )
+
+    def comm_failure_ack(self, comm: Communicator | None = None) -> Gen:
+        """``MPI_Comm_failure_ack``: acknowledge currently known failures,
+        re-enabling ``MPI_ANY_SOURCE`` receives on ``comm``."""
+        comm = self._comm(comm)
+        known = frozenset(w for w in self.vp.failed_peers if comm.contains(w))
+        comm.ack_failures(self.rank, known)
+        yield Advance(0.0)
+
+    def comm_failure_get_acked(self, comm: Communicator | None = None) -> list[int]:
+        """``MPI_Comm_failure_get_acked``: acknowledged failed comm ranks."""
+        comm = self._comm(comm)
+        return sorted(comm.rank_of(w) for w in comm.acked_failures(self.rank))
+
+    def comm_revoke(self, comm: Communicator | None = None) -> Gen:
+        """``MPI_Comm_revoke``: interrupt all pending/future operations on
+        ``comm`` at every member (they observe ``MPI_ERR_REVOKED``)."""
+        comm = self._comm(comm)
+        self.world.revoke(comm, self.vp.clock, self.rank)
+        yield Advance(0.0)
+
+    def comm_shrink(self, comm: Communicator | None = None) -> Gen:
+        """``MPI_Comm_shrink``: collectively build a new communicator from
+        the surviving members of ``comm`` (works on revoked communicators
+        and tolerates failures during the operation)."""
+        self._check_active()
+        comm = self._comm(comm)
+        seq = comm.next_collective_seq(self.rank)
+        result = yield from self.world.sync_arrive(self.vp, comm, "shrink", seq)
+        cache_key = ("shrink", comm.context_id, seq)
+        newcomm = self.world.comm_cache.get(cache_key)
+        if newcomm is None:
+            newcomm = Communicator(
+                Group(result.alive), self.world.alloc_context(), f"{comm.name}.shrink"
+            )
+            self.world.comm_cache[cache_key] = newcomm
+        return newcomm
+
+    def comm_agree(self, flag: bool, comm: Communicator | None = None) -> Gen:
+        """``MPI_Comm_agree``: fault-tolerant agreement on the logical AND
+        of ``flag`` over the surviving members; returns the agreed value."""
+        self._check_active()
+        comm = self._comm(comm)
+        seq = comm.next_collective_seq(self.rank)
+        result = yield from self.world.sync_arrive(self.vp, comm, "agree", seq, value=bool(flag))
+        return all(result.values.values())
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _comm(self, comm: Communicator | None) -> Communicator:
+        c = comm if comm is not None else self.world.world_comm
+        if c is None:
+            raise ConfigurationError("MPI world not launched")
+        if c.freed:
+            raise ConfigurationError(f"operation on freed communicator {c.name}")
+        if not c.contains(self.rank):
+            raise ConfigurationError(f"rank {self.rank} is not a member of {c.name}")
+        return c
+
+    def _state(self):
+        return self.world.states[self.rank]
+
+    def _check_active(self) -> None:
+        state = self._state()
+        if not state.initialized:
+            raise ConfigurationError(f"rank {self.rank}: MPI_Init has not been called")
+        if state.finalized:
+            raise ConfigurationError(f"rank {self.rank}: MPI already finalized")
+
+    def _check_tag(self, tag: int, allow_any: bool = False) -> None:
+        if allow_any and tag == ANY_TAG:
+            return
+        if not 0 <= tag <= TAG_UB:
+            raise ConfigurationError(f"tag {tag} outside [0, {TAG_UB}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MpiApi rank={self.rank}/{self.size}>"

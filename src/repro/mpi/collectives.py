@@ -1,0 +1,412 @@
+"""Simulated MPI collective operations.
+
+Three algorithm families, selected by ``MpiWorld.collective_algorithm``:
+
+* ``"linear"`` — the paper's configuration ("MPI collectives utilize
+  linear algorithms"): rooted operations are a flat fan-in/fan-out at the
+  root, built literally from simulated point-to-point messages.  At 32,768
+  ranks the root's per-message software overheads serialize, which is what
+  makes the paper's checkpoint-phase barriers expensive.
+* ``"tree"`` — binomial-tree variants (the ablation baseline quantifying
+  the paper's linear-algorithm choice).
+* ``"analytic"`` — an O(1)-events-per-rank fast path for full-scale runs:
+  members join a simulator-internal synchronization point and all complete
+  at ``max(arrival) + modeled linear-algorithm cost``.  Failure semantics
+  are preserved: if any communicator member is dead when the point
+  completes, every participant experiences ``MPI_ERR_PROC_FAILED`` after
+  the detection timeout (so the heat application still aborts in the
+  barrier after a checkpoint-phase failure).  ``scatter``, ``alltoall``
+  and ``scan`` always use their message-level implementations.
+
+Every function is a generator to be driven with ``yield from`` inside an
+application coroutine; ``comm`` ranks (not world ranks) are used
+throughout, with the data-carrying collectives taking/returning payloads
+in communicator rank order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.mpi.constants import ERR_PROC_FAILED
+from repro.mpi.errhandler import MpiError
+from repro.mpi.ops import Op, fold
+from repro.pdes.requests import Advance
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.mpi.api import MpiApi
+    from repro.mpi.communicator import Communicator
+
+GenOp = Generator[Any, Any, Any]
+
+
+def _setup(api: "MpiApi", comm: "Communicator") -> tuple[int, int, int]:
+    """Per-call (me, size, tag): the tag is the communicator's collective
+    sequence number, which SPMD symmetry keeps consistent across members."""
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_seq(api.rank)
+    return me, comm.size, tag
+
+
+# ----------------------------------------------------------------------
+# linear algorithms (the paper's configuration)
+# ----------------------------------------------------------------------
+def _barrier_linear(api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int) -> GenOp:
+    if me == 0:
+        for r in range(1, size):
+            yield from api._coll_recv(comm, r, tag)
+        for r in range(1, size):
+            yield from api._coll_send(comm, r, tag, None, 0)
+    else:
+        yield from api._coll_send(comm, 0, tag, None, 0)
+        yield from api._coll_recv(comm, 0, tag)
+
+
+def _bcast_linear(
+    api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int, value: Any, nbytes: int, root: int
+) -> GenOp:
+    if me == root:
+        for r in range(size):
+            if r != root:
+                yield from api._coll_send(comm, r, tag, value, nbytes)
+        return value
+    msg = yield from api._coll_recv(comm, root, tag)
+    return msg.payload
+
+
+def _reduce_linear(
+    api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int, value: Any, nbytes: int, op: Op, root: int
+) -> GenOp:
+    if me != root:
+        yield from api._coll_send(comm, root, tag, value, nbytes)
+        return None
+    contributions: list[Any] = [None] * size
+    contributions[root] = value
+    for r in range(size):
+        if r != root:
+            msg = yield from api._coll_recv(comm, r, tag)
+            contributions[r] = msg.payload
+    return fold(op, contributions)
+
+
+def _gather_linear(
+    api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int, value: Any, nbytes: int, root: int
+) -> GenOp:
+    if me != root:
+        yield from api._coll_send(comm, root, tag, value, nbytes)
+        return None
+    out: list[Any] = [None] * size
+    out[root] = value
+    for r in range(size):
+        if r != root:
+            msg = yield from api._coll_recv(comm, r, tag)
+            out[r] = msg.payload
+    return out
+
+
+def _scatter_linear(
+    api: "MpiApi",
+    comm: "Communicator",
+    me: int,
+    size: int,
+    tag: int,
+    values: list[Any] | None,
+    nbytes: int,
+    root: int,
+) -> GenOp:
+    if me == root:
+        if values is None or len(values) != size:
+            raise ConfigurationError(f"scatter root needs one value per rank ({size})")
+        for r in range(size):
+            if r != root:
+                yield from api._coll_send(comm, r, tag, values[r], nbytes)
+        return values[root]
+    msg = yield from api._coll_recv(comm, root, tag)
+    return msg.payload
+
+
+def _alltoall_linear(
+    api: "MpiApi",
+    comm: "Communicator",
+    me: int,
+    size: int,
+    tag: int,
+    values: list[Any],
+    nbytes: int | list[int],
+) -> GenOp:
+    if len(values) != size:
+        raise ConfigurationError(f"alltoall needs one value per rank ({size})")
+    if isinstance(nbytes, list):
+        if len(nbytes) != size:
+            raise ConfigurationError(f"alltoallv needs one size per rank ({size})")
+        sizes = nbytes
+    else:
+        sizes = [nbytes] * size
+    recvs = [
+        api._coll_irecv(comm, r, tag) if r != me else None for r in range(size)
+    ]
+    for r in range(size):
+        if r != me:
+            req = yield from api._coll_isend(comm, r, tag, values[r], sizes[r])
+            yield from api.world.wait(api.vp, req)
+    out: list[Any] = [None] * size
+    out[me] = values[me]
+    for r in range(size):
+        if r != me:
+            msg = yield from api.world.wait(api.vp, recvs[r])
+            out[r] = msg.payload
+    return out
+
+
+def _scan_linear(
+    api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int, value: Any, nbytes: int, op: Op
+) -> GenOp:
+    acc = value
+    if me > 0:
+        msg = yield from api._coll_recv(comm, me - 1, tag)
+        acc = fold(op, [msg.payload, value])
+    if me < size - 1:
+        yield from api._coll_send(comm, me + 1, tag, acc, nbytes)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# binomial tree algorithms (ablation variant)
+# ----------------------------------------------------------------------
+def _bcast_tree(
+    api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int, value: Any, nbytes: int, root: int
+) -> GenOp:
+    vr = (me - root) % size
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            src = (vr - mask + root) % size
+            msg = yield from api._coll_recv(comm, src, tag)
+            value = msg.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < size:
+            dst = (vr + mask + root) % size
+            yield from api._coll_send(comm, dst, tag, value, nbytes)
+        mask >>= 1
+    return value
+
+
+def _reduce_tree(
+    api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int, value: Any, nbytes: int, op: Op, root: int
+) -> GenOp:
+    vr = (me - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            dst = (vr - mask + root) % size
+            yield from api._coll_send(comm, dst, tag, acc, nbytes)
+            return None
+        if vr + mask < size:
+            src = (vr + mask + root) % size
+            msg = yield from api._coll_recv(comm, src, tag)
+            acc = fold(op, [acc, msg.payload])
+        mask <<= 1
+    return acc
+
+
+def _barrier_tree(api: "MpiApi", comm: "Communicator", me: int, size: int, tag: int) -> GenOp:
+    yield from _reduce_tree(api, comm, me, size, tag, None, 0, _NOOP, 0)
+    # second phase needs a distinct tag to stay unambiguous
+    tag2 = comm.next_collective_seq(api.rank)
+    yield from _bcast_tree(api, comm, me, size, tag2, None, 0, 0)
+
+
+_NOOP = Op("NOOP", lambda a, b: None)
+
+
+# ----------------------------------------------------------------------
+# analytic fast path (simulator-internal synchronization points)
+# ----------------------------------------------------------------------
+def _analytic(
+    api: "MpiApi",
+    comm: "Communicator",
+    kind: str,
+    tag: int,
+    value: Any,
+    cost: float,
+) -> GenOp:
+    """Join the sync point, then enforce failure semantics: any dead
+    communicator member surfaces as MPI_ERR_PROC_FAILED after the
+    detection timeout, mirroring the message-level algorithms."""
+    world = api.world
+    result = yield from world.sync_arrive(
+        api.vp, comm, kind, tag, value=value, cost_fn=lambda n: cost
+    )
+    dead = [r for r in comm.group if r not in result.values]
+    if dead:
+        f = dead[0]
+        yield Advance(world.network.detection_timeout(api.rank, f), busy=False)
+        world.engine.log.log(
+            api.vp.clock,
+            "detect",
+            f"detected failure of rank {f} ({kind} ctx={comm.context_id * 2 + 1})",
+            rank=api.rank,
+        )
+        yield from world.handle_error(
+            api.vp, comm, MpiError(ERR_PROC_FAILED, f"{kind} with failed rank {f}", f)
+        )
+    return result
+
+
+def _linear_cost(api: "MpiApi", size: int, nbytes: int, phases: int = 2) -> float:
+    """Modeled completion cost of a linear fan-in/fan-out at the root.
+
+    In the message-level linear algorithms the root serializes (size-1)
+    receives at its receive overhead (fan-in) and (size-1) sends at its
+    send overhead (fan-out); the members' own per-message overheads are
+    paid in parallel.  ``phases=2`` models fan-in + fan-out (barrier,
+    allreduce), ``phases=1`` a single rooted phase (bcast, reduce,
+    gather)."""
+    net = api.world.network
+    per_msg = net.send_overhead + net.recv_overhead
+    avg_hops = max(1, net.topology.diameter() // 2)
+    wire = avg_hops * net.system.latency + nbytes / net.system.bandwidth
+    if phases >= 2:
+        root_serial = (size - 1) * per_msg
+    else:
+        root_serial = (size - 1) * per_msg / 2.0
+    return root_serial + phases * wire + per_msg
+
+
+# ----------------------------------------------------------------------
+# public dispatchers
+# ----------------------------------------------------------------------
+def barrier(api: "MpiApi", comm: "Communicator") -> GenOp:
+    """``MPI_Barrier``."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return
+    algo = api.world.collective_algorithm
+    if algo == "linear":
+        yield from _barrier_linear(api, comm, me, size, tag)
+    elif algo == "tree":
+        yield from _barrier_tree(api, comm, me, size, tag)
+    else:
+        yield from _analytic(api, comm, "barrier", tag, None, _linear_cost(api, size, 0))
+
+
+def bcast(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, root: int = 0) -> GenOp:
+    """``MPI_Bcast``: returns the root's value on every member."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return value
+    algo = api.world.collective_algorithm
+    if algo == "linear":
+        return (yield from _bcast_linear(api, comm, me, size, tag, value, nbytes, root))
+    if algo == "tree":
+        return (yield from _bcast_tree(api, comm, me, size, tag, value, nbytes, root))
+    result = yield from _analytic(
+        api, comm, "bcast", tag, value if me == root else None,
+        _linear_cost(api, size, nbytes, phases=1),
+    )
+    return result.values[comm.world_rank(root)]
+
+
+def reduce(
+    api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op, root: int = 0
+) -> GenOp:
+    """``MPI_Reduce``: the folded value at the root, ``None`` elsewhere."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return fold(op, [value])
+    algo = api.world.collective_algorithm
+    if algo == "linear":
+        return (yield from _reduce_linear(api, comm, me, size, tag, value, nbytes, op, root))
+    if algo == "tree":
+        return (yield from _reduce_tree(api, comm, me, size, tag, value, nbytes, op, root))
+    result = yield from _analytic(
+        api, comm, "reduce", tag, value, _linear_cost(api, size, nbytes, phases=1)
+    )
+    if me != root:
+        return None
+    return fold(op, [result.values[w] for w in comm.group if w in result.values])
+
+
+def allreduce(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op) -> GenOp:
+    """``MPI_Allreduce`` (reduce to rank 0, then broadcast)."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return fold(op, [value])
+    algo = api.world.collective_algorithm
+    if algo == "analytic":
+        result = yield from _analytic(
+            api, comm, "allreduce", tag, value, _linear_cost(api, size, nbytes)
+        )
+        return fold(op, [result.values[w] for w in comm.group if w in result.values])
+    if algo == "linear":
+        acc = yield from _reduce_linear(api, comm, me, size, tag, value, nbytes, op, 0)
+    else:
+        acc = yield from _reduce_tree(api, comm, me, size, tag, value, nbytes, op, 0)
+    return (yield from bcast(api, comm, acc, nbytes, root=0))
+
+
+def gather(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, root: int = 0) -> GenOp:
+    """``MPI_Gather``: list of member values (rank order) at the root."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return [value]
+    algo = api.world.collective_algorithm
+    if algo == "analytic":
+        result = yield from _analytic(
+            api, comm, "gather", tag, value, _linear_cost(api, size, nbytes, phases=1)
+        )
+        if me != root:
+            return None
+        return [result.values.get(w) for w in comm.group]
+    return (yield from _gather_linear(api, comm, me, size, tag, value, nbytes, root))
+
+
+def allgather(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int) -> GenOp:
+    """``MPI_Allgather``: every member gets the rank-ordered value list."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return [value]
+    algo = api.world.collective_algorithm
+    if algo == "analytic":
+        result = yield from _analytic(
+            api, comm, "allgather", tag, value, _linear_cost(api, size, nbytes)
+        )
+        return [result.values.get(w) for w in comm.group]
+    out = yield from _gather_linear(api, comm, me, size, tag, value, nbytes, 0)
+    return (yield from bcast(api, comm, out, nbytes * size, root=0))
+
+
+def scatter(
+    api: "MpiApi", comm: "Communicator", values: list[Any] | None, nbytes: int, root: int = 0
+) -> GenOp:
+    """``MPI_Scatter``: always message-level (per-destination payloads)."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        if values is None or len(values) != 1:
+            raise ConfigurationError("scatter root needs one value per rank (1)")
+        return values[0]
+    return (yield from _scatter_linear(api, comm, me, size, tag, values, nbytes, root))
+
+
+def alltoall(
+    api: "MpiApi", comm: "Communicator", values: list[Any], nbytes: int | list[int]
+) -> GenOp:
+    """``MPI_Alltoall``/``MPI_Alltoallv``: always message-level.  A list of
+    sizes (one per destination) gives the variable-size semantics."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return [values[0]]
+    return (yield from _alltoall_linear(api, comm, me, size, tag, values, nbytes))
+
+
+def scan(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op) -> GenOp:
+    """``MPI_Scan`` (inclusive): always message-level (chain)."""
+    me, size, tag = _setup(api, comm)
+    if size == 1:
+        return fold(op, [value])
+    return (yield from _scan_linear(api, comm, me, size, tag, value, nbytes, op))

@@ -1,0 +1,110 @@
+"""Simulated MPI communicators.
+
+A communicator couples a :class:`~repro.mpi.group.Group` with a *context
+id* that isolates its message traffic (point-to-point and collective
+traffic use separate contexts, as real MPI implementations do), the
+per-rank error handlers, and the ULFM state (revocation flag and per-rank
+acknowledged-failure sets).
+
+Communicator objects are shared across all member ranks — the simulator
+equivalent of each rank holding a handle to the same distributed object.
+State that is logically per-rank (error handler, acknowledged failures,
+collective sequence numbers) is stored in per-rank tables inside the
+shared object.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mpi.errhandler import ERRORS_ARE_FATAL, Errhandler
+from repro.mpi.group import Group
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    pass
+
+
+class Communicator:
+    """One simulated communicator."""
+
+    __slots__ = (
+        "group",
+        "context_id",
+        "name",
+        "revoked",
+        "freed",
+        "_errhandlers",
+        "_acked",
+        "_coll_seq",
+    )
+
+    def __init__(self, group: Group, context_id: int, name: str = ""):
+        self.group = group
+        self.context_id = context_id
+        self.name = name or f"comm#{context_id}"
+        #: Set by ``MPI_Comm_revoke``; all subsequent operations fail with
+        #: ``MPI_ERR_REVOKED`` (except shrink/agree).
+        self.revoked = False
+        self.freed = False
+        self._errhandlers: dict[int, Errhandler] = {}
+        self._acked: dict[int, frozenset[int]] = {}
+        self._coll_seq: dict[int, int] = {}
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def rank_of(self, world_rank: int) -> int:
+        """Communicator rank of ``world_rank`` (raises if not a member)."""
+        r = self.group.group_rank(world_rank)
+        if r is None:
+            raise ConfigurationError(f"world rank {world_rank} not in {self.name}")
+        return r
+
+    def world_rank(self, comm_rank: int) -> int:
+        """World rank of communicator rank ``comm_rank``."""
+        return self.group.world_rank(comm_rank)
+
+    def contains(self, world_rank: int) -> bool:
+        """Is ``world_rank`` a member?"""
+        return self.group.contains(world_rank)
+
+    # -- error handlers ---------------------------------------------------
+    def get_errhandler(self, world_rank: int) -> Errhandler:
+        """This member's error handler (default ``MPI_ERRORS_ARE_FATAL``)."""
+        return self._errhandlers.get(world_rank, ERRORS_ARE_FATAL)
+
+    def set_errhandler(self, world_rank: int, handler: Errhandler) -> None:
+        """Set this member's error handler."""
+        self._errhandlers[world_rank] = handler
+
+    # -- ULFM per-rank acknowledged failures ------------------------------
+    def acked_failures(self, world_rank: int) -> frozenset[int]:
+        """Failed world ranks this member has acknowledged
+        (``MPI_Comm_failure_ack`` / ``_get_acked``)."""
+        return self._acked.get(world_rank, frozenset())
+
+    def ack_failures(self, world_rank: int, failed: frozenset[int]) -> None:
+        """Record this member's acknowledged failed-rank set (ULFM)."""
+        self._acked[world_rank] = frozenset(failed)
+
+    # -- collective sequencing ---------------------------------------------
+    def next_collective_seq(self, world_rank: int) -> int:
+        """Per-member counter of collective calls on this communicator.
+
+        Collective-internal messages use this as their tag; because
+        collectives are called SPMD-symmetrically, members agree on the
+        sequence number of each operation, isolating overlapping
+        collectives from each other and from point-to-point traffic.
+        """
+        seq = self._coll_seq.get(world_rank, 0)
+        self._coll_seq[world_rank] = seq + 1
+        return seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            s for s, on in ((" revoked", self.revoked), (" freed", self.freed)) if on
+        )
+        return f"<Communicator {self.name} size={self.size} ctx={self.context_id}{flags}>"

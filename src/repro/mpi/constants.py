@@ -1,0 +1,46 @@
+"""MPI constants used by the simulated MPI layer.
+
+Values mirror the MPI standard's semantics, not any particular ABI: they
+are only compared within the simulator.
+"""
+
+from __future__ import annotations
+
+#: Wildcard source for receives.
+ANY_SOURCE: int = -1
+#: Wildcard tag for receives.
+ANY_TAG: int = -1
+#: Null peer: communication with it completes immediately and carries nothing.
+PROC_NULL: int = -2
+
+#: Operation completed.
+SUCCESS: int = 0
+#: A communication peer (or collective member) has failed — the ULFM
+#: ``MPI_ERR_PROC_FAILED`` error class the paper's future work adopts.
+ERR_PROC_FAILED: int = 75
+#: The communicator was revoked with ``MPI_Comm_revoke`` (ULFM).
+ERR_REVOKED: int = 76
+#: The application (or the MPI layer under ``MPI_ERRORS_ARE_FATAL``) aborted.
+ERR_ABORT: int = 77
+#: Invalid argument to an MPI call.
+ERR_ARG: int = 12
+#: Operation on a communicator this rank is not a member of, etc.
+ERR_COMM: int = 5
+
+#: Largest application-usable tag; the simulated MPI layer reserves the
+#: space above it for collective-operation internal messages.
+TAG_UB: int = 2**20
+
+ERROR_NAMES: dict[int, str] = {
+    SUCCESS: "MPI_SUCCESS",
+    ERR_PROC_FAILED: "MPI_ERR_PROC_FAILED",
+    ERR_REVOKED: "MPI_ERR_REVOKED",
+    ERR_ABORT: "MPI_ERR_ABORT",
+    ERR_ARG: "MPI_ERR_ARG",
+    ERR_COMM: "MPI_ERR_COMM",
+}
+
+
+def error_name(code: int) -> str:
+    """Human-readable name of an MPI error class."""
+    return ERROR_NAMES.get(code, f"MPI_ERR_{code}")

@@ -1,0 +1,100 @@
+"""MPI groups: ordered sets of world ranks.
+
+A group defines the rank translation of a communicator: position ``i`` in
+the group is communicator rank ``i``, holding a world (global) rank.  The
+set-like operations mirror ``MPI_Group_incl/excl/union/intersection/
+difference`` and are what ``MPI_Comm_shrink`` uses to exclude failed
+members.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.util.errors import ConfigurationError
+
+
+class Group:
+    """Immutable ordered set of world ranks."""
+
+    __slots__ = ("_ranks", "_index")
+
+    def __init__(self, ranks: Iterable[int]):
+        ranks = tuple(int(r) for r in ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ConfigurationError(f"group ranks must be unique, got {ranks!r}")
+        if any(r < 0 for r in ranks):
+            raise ConfigurationError(f"group ranks must be >= 0, got {ranks!r}")
+        self._ranks = ranks
+        self._index = {r: i for i, r in enumerate(ranks)}
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """World ranks in group order."""
+        return self._ranks
+
+    def world_rank(self, group_rank: int) -> int:
+        """Translate a group (communicator) rank to a world rank."""
+        if not 0 <= group_rank < len(self._ranks):
+            raise ConfigurationError(f"group rank {group_rank} outside group of {self.size}")
+        return self._ranks[group_rank]
+
+    def group_rank(self, world_rank: int) -> int | None:
+        """Translate a world rank to its group rank (None if absent)."""
+        return self._index.get(world_rank)
+
+    def contains(self, world_rank: int) -> bool:
+        """Is ``world_rank`` in the group?"""
+        return world_rank in self._index
+
+    # -- set-like constructors -----------------------------------------
+    def incl(self, group_ranks: Iterable[int]) -> "Group":
+        """Subgroup of the listed group ranks, in the listed order."""
+        return Group(self.world_rank(i) for i in group_ranks)
+
+    def excl(self, group_ranks: Iterable[int]) -> "Group":
+        """Subgroup without the listed group ranks, preserving order."""
+        drop = set(group_ranks)
+        for i in drop:
+            self.world_rank(i)  # validate
+        return Group(r for i, r in enumerate(self._ranks) if i not in drop)
+
+    def union(self, other: "Group") -> "Group":
+        """``MPI_Group_union``: self's ranks then other's new ones."""
+        extra = [r for r in other._ranks if r not in self._index]
+        return Group(self._ranks + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        """``MPI_Group_intersection``, in self's order."""
+        return Group(r for r in self._ranks if other.contains(r))
+
+    def difference(self, other: "Group") -> "Group":
+        """``MPI_Group_difference``: self's ranks not in other."""
+        return Group(r for r in self._ranks if not other.contains(r))
+
+    def excl_world(self, world_ranks: Iterable[int]) -> "Group":
+        """Subgroup without the listed *world* ranks (shrink's operation)."""
+        drop = set(world_ranks)
+        return Group(r for r in self._ranks if r not in drop)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ranks)
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.size <= 8:
+            return f"Group{self._ranks!r}"
+        head = ", ".join(map(str, self._ranks[:4]))
+        return f"Group(({head}, ... {self.size} ranks))"

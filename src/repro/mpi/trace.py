@@ -1,0 +1,170 @@
+"""Communication tracing (the DUMPI-trace analogue).
+
+The xSim ecosystem interoperates with trace-driven tools — SST/macro
+consumes DUMPI traces of MPI communication.  Enabling tracing on a
+:class:`~repro.mpi.world.MpiWorld` (``record_trace=True``) records one
+:class:`MsgRecord` per simulated message: post and delivery virtual times,
+endpoints, context/tag, payload size, protocol, and whether the message
+was *dropped* because its destination had failed (a resilience-specific
+extension a real DUMPI trace cannot express).
+
+The trace supports the usual post-mortem queries (per-pair traffic
+matrices, byte totals, time-window filters) and a portable row export.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(slots=True)
+class MsgRecord:
+    """One simulated message, as observed by the tracer.
+
+    Mutable only through the tracer itself (delivery fills in
+    ``arrival_time``/``dropped``); treat instances as read-only.
+    """
+
+    seq: int
+    post_time: float
+    arrival_time: float
+    """NaN while in flight / if the run ended first; see ``dropped``."""
+    src: int
+    dst: int
+    ctx: int
+    tag: int
+    nbytes: int
+    protocol: str
+    dropped: bool
+    """True when delivery was discarded because the destination failed."""
+
+    @property
+    def delivered(self) -> bool:
+        return not self.dropped and not math.isnan(self.arrival_time)
+
+    @property
+    def latency(self) -> float:
+        """Post-to-delivery virtual duration (NaN if undelivered)."""
+        return self.arrival_time - self.post_time
+
+    def as_row(self) -> tuple:
+        """Portable tuple export (CSV-friendly)."""
+        return (
+            self.seq,
+            self.post_time,
+            self.arrival_time,
+            self.src,
+            self.dst,
+            self.ctx,
+            self.tag,
+            self.nbytes,
+            self.protocol,
+            int(self.dropped),
+        )
+
+
+#: Column names matching :meth:`MsgRecord.as_row`.
+ROW_HEADER = (
+    "seq",
+    "post_time",
+    "arrival_time",
+    "src",
+    "dst",
+    "ctx",
+    "tag",
+    "nbytes",
+    "protocol",
+    "dropped",
+)
+
+
+class CommTrace:
+    """Append-only trace of every simulated message."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, MsgRecord] = {}
+
+    # -- recording (called by MpiWorld) ---------------------------------
+    def record_post(
+        self,
+        seq: int,
+        time: float,
+        src: int,
+        dst: int,
+        ctx: int,
+        tag: int,
+        nbytes: int,
+        protocol: str,
+    ) -> None:
+        """Record a message leaving its sender (called at post time)."""
+        self._records[seq] = MsgRecord(
+            seq=seq,
+            post_time=time,
+            arrival_time=math.nan,
+            src=src,
+            dst=dst,
+            ctx=ctx,
+            tag=tag,
+            nbytes=nbytes,
+            protocol=protocol,
+            dropped=False,
+        )
+
+    def record_delivery(self, seq: int, time: float, dropped: bool) -> None:
+        """Record the delivery (or resilience drop) of message ``seq``."""
+        record = self._records.get(seq)
+        if record is None:
+            return  # tracing was enabled mid-run
+        record.arrival_time = time
+        record.dropped = dropped
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MsgRecord]:
+        return iter(sorted(self._records.values(), key=lambda r: r.seq))
+
+    def messages(
+        self,
+        src: int | None = None,
+        dst: int | None = None,
+        ctx: int | None = None,
+        since: float = -math.inf,
+        until: float = math.inf,
+    ) -> list[MsgRecord]:
+        """Records filtered by endpoints, context, and post-time window."""
+        return [
+            r
+            for r in self
+            if (src is None or r.src == src)
+            and (dst is None or r.dst == dst)
+            and (ctx is None or r.ctx == ctx)
+            and since <= r.post_time < until
+        ]
+
+    def dropped_messages(self) -> list[MsgRecord]:
+        """Messages deleted because their destination had failed."""
+        return [r for r in self if r.dropped]
+
+    def total_bytes(self) -> int:
+        """Sum of all traced payload sizes."""
+        return sum(r.nbytes for r in self._records.values())
+
+    def traffic_matrix(self) -> dict[tuple[int, int], int]:
+        """(src, dst) -> total bytes."""
+        out: dict[tuple[int, int], int] = {}
+        for r in self._records.values():
+            key = (r.src, r.dst)
+            out[key] = out.get(key, 0) + r.nbytes
+        return out
+
+    def busiest_pairs(self, n: int = 10) -> list[tuple[tuple[int, int], int]]:
+        """Top-n (src, dst) pairs by bytes."""
+        return sorted(self.traffic_matrix().items(), key=lambda kv: -kv[1])[:n]
+
+    def to_rows(self) -> list[tuple]:
+        """All records as portable tuples (see :data:`ROW_HEADER`)."""
+        return [r.as_row() for r in self]

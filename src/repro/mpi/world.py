@@ -1,0 +1,715 @@
+"""The simulated MPI world: delivery, matching, and failure propagation.
+
+:class:`MpiWorld` owns the global state of one simulated MPI job — the
+per-rank matching queues, the communicator table, the network/processor/
+file-system models — and implements the mechanics behind every MPI call:
+
+* **Point-to-point** — eager messages are buffered at the sender and
+  delivered after the modeled transfer time; payloads above the eager
+  threshold use the rendezvous protocol (an RTS control message, a CTS
+  after the receive is matched, then the payload transfer).  Matching
+  honours MPI semantics: contexts isolate communicators, ``MPI_ANY_SOURCE``
+  and ``MPI_ANY_TAG`` wildcards, and non-overtaking order per sender.
+  Exact receives are matched through per-``(context, source, tag)`` indexes
+  so linear-algorithm collectives stay O(N) at 32,768 ranks.
+* **Failure propagation** (paper §IV-B/C) — when a virtual process fails,
+  all messages directed to it are deleted, a simulator-internal broadcast
+  records the failure (with its time) in every surviving rank's
+  failed-process list, and every blocked or posted request involving the
+  failed rank — including ``MPI_ANY_SOURCE`` receives on communicators
+  containing it and rendezvous sends to it — is *released and failed* at
+  ``max(failure time, post time) + detection timeout`` per the network
+  model's per-tier timeout.  Requests posted after the notification fail
+  from the failed-process list.
+* **Error delivery** (paper §IV-D) — a failed request consults the
+  communicator's error handler: ``MPI_ERRORS_ARE_FATAL`` (the default)
+  invokes the simulated ``MPI_Abort``; ``MPI_ERRORS_RETURN`` and user
+  handlers surface an :class:`~repro.mpi.errhandler.MpiError` to the
+  application (the ULFM path).
+* **Synchronization points** — a simulator-internal rendezvous facility
+  (:meth:`MpiWorld.sync_arrive`) that completes when every *currently
+  alive* expected member has arrived.  It backs the failure-tolerant ULFM
+  ``MPI_Comm_shrink``/``MPI_Comm_agree`` and the analytic (O(1)-event)
+  collective mode used for full-scale runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+import numpy as np
+
+from repro.models.filesystem import FileSystemModel
+from repro.models.memory import MemoryTracker
+from repro.models.network.model import NetworkModel
+from repro.models.processor import ProcessorModel
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, ERR_PROC_FAILED, ERR_REVOKED, SUCCESS
+from repro.mpi.errhandler import ERRORS_ARE_FATAL, ERRORS_RETURN, MpiError
+from repro.mpi.group import Group
+from repro.mpi.messages import EAGER, RTS, Msg, Request
+from repro.pdes.context import VirtualProcess
+from repro.pdes.engine import Engine
+from repro.pdes.requests import Advance, Block
+from repro.util.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.mpi.api import MpiApi
+
+MatchKey = tuple[int, int, int]  # (context, source, tag)
+
+
+class RankState:
+    """Per-rank MPI-layer state (hangs off the VP's userdata slot)."""
+
+    __slots__ = (
+        "rank",
+        "vp",
+        "posted_exact",
+        "posted_wild",
+        "unexpected",
+        "rdv_sends",
+        "initialized",
+        "finalized",
+    )
+
+    def __init__(self, rank: int, vp: VirtualProcess):
+        self.rank = rank
+        self.vp = vp
+        #: Posted receives with fully specified (ctx, src, tag), FIFO per key.
+        self.posted_exact: dict[MatchKey, list[Request]] = {}
+        #: Posted receives using ANY_SOURCE/ANY_TAG, in post order.
+        self.posted_wild: list[Request] = []
+        #: Arrived-but-unmatched messages per (ctx, src, tag), sorted by seq.
+        self.unexpected: dict[MatchKey, list[Msg]] = {}
+        #: This rank's pending rendezvous sends (awaiting their CTS).
+        self.rdv_sends: list[Request] = []
+        self.initialized = False
+        self.finalized = False
+
+    def iter_posted(self) -> list[Request]:
+        """All posted receives (exact and wildcard), unordered."""
+        out: list[Request] = []
+        for reqs in self.posted_exact.values():
+            out.extend(reqs)
+        out.extend(self.posted_wild)
+        return out
+
+    def remove_posted(self, req: Request) -> None:
+        """Drop a posted receive from whichever index holds it."""
+        if req.src != ANY_SOURCE and req.tag != ANY_TAG:
+            key = (req.ctx, req.src, req.tag)
+            reqs = self.posted_exact.get(key)
+            if reqs and req in reqs:
+                reqs.remove(req)
+                if not reqs:
+                    del self.posted_exact[key]
+        elif req in self.posted_wild:
+            self.posted_wild.remove(req)
+
+
+class SyncPoint:
+    """One open simulator-internal synchronization point."""
+
+    __slots__ = ("key", "comm", "arrived", "values", "cost_fn", "completing")
+
+    def __init__(self, key: tuple, comm: Communicator, cost_fn: Callable[[int], float]):
+        self.key = key
+        self.comm = comm
+        #: world rank -> arrival virtual time
+        self.arrived: dict[int, float] = {}
+        #: world rank -> contributed value
+        self.values: dict[int, Any] = {}
+        self.cost_fn = cost_fn
+        self.completing = False
+
+
+class SyncResult:
+    """Outcome of a synchronization point, delivered to every participant."""
+
+    __slots__ = ("alive", "values", "time")
+
+    def __init__(self, alive: tuple[int, ...], values: dict[int, Any], time: float):
+        #: World ranks alive at completion, in ascending order.
+        self.alive = alive
+        #: Contributed values of the alive participants.
+        self.values = values
+        #: Virtual completion time.
+        self.time = time
+
+
+class MpiWorld:
+    """Global state and mechanics of one simulated MPI job."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: NetworkModel,
+        processor: ProcessorModel | None = None,
+        filesystem: FileSystemModel | None = None,
+        memory: MemoryTracker | None = None,
+        strict_finalize: bool = True,
+        collective_algorithm: str = "linear",
+        record_trace: bool = False,
+    ):
+        if collective_algorithm not in ("linear", "tree", "analytic"):
+            raise ConfigurationError(
+                f"collective_algorithm must be linear/tree/analytic, got {collective_algorithm!r}"
+            )
+        #: Algorithm family used by the collectives (paper: "MPI collectives
+        #: utilize linear algorithms").
+        self.collective_algorithm = collective_algorithm
+        self.engine = engine
+        self.network = network
+        self.processor = processor if processor is not None else ProcessorModel()
+        self.filesystem = filesystem if filesystem is not None else FileSystemModel.disabled()
+        self.memory = memory if memory is not None else MemoryTracker()
+        #: When True (the xSim semantic), a VP returning from its main
+        #: function without having called ``MPI_Finalize`` counts as an
+        #: injected process failure.
+        self.strict_finalize = strict_finalize
+        self.states: list[RankState] = []
+        self.world_comm: Communicator | None = None
+        self._ctx_counter = 0
+        self._msg_seq = 0
+        self._post_seq = 0
+        self._launched = False
+        self._sync_points: dict[tuple, SyncPoint] = {}
+        #: Shared communicators produced by simulator-internal operations
+        #: (e.g. shrink): first participant creates, the rest reuse.
+        self.comm_cache: dict[tuple, Communicator] = {}
+        # traffic statistics
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        #: Optional full communication trace (DUMPI-style; see
+        #: :mod:`repro.mpi.trace`).
+        self.trace = None
+        if record_trace:
+            from repro.mpi.trace import CommTrace
+
+            self.trace = CommTrace()
+
+    # ------------------------------------------------------------------
+    # job launch
+    # ------------------------------------------------------------------
+    def alloc_context(self) -> int:
+        """Allocate a fresh communicator context id."""
+        self._ctx_counter += 1
+        return self._ctx_counter
+
+    def launch(self, app, nranks: int, args: tuple = ()) -> "list[MpiApi]":
+        """Create ``nranks`` virtual processes running ``app(mpi, *args)``.
+
+        ``app`` is a generator function taking the per-rank
+        :class:`~repro.mpi.api.MpiApi` facade as its first argument.
+        Call :meth:`Engine.run` afterwards to execute the job.
+        """
+        from repro.mpi.api import MpiApi  # local import: api builds on world
+
+        if self._launched:
+            raise SimulationError("MpiWorld.launch() may only be called once")
+        if nranks < 1:
+            raise ConfigurationError(f"nranks must be >= 1, got {nranks}")
+        if nranks > self.network.max_ranks():
+            raise ConfigurationError(
+                f"{nranks} ranks exceed the simulated machine's capacity of "
+                f"{self.network.max_ranks()} ({self.network.topology.nnodes} nodes x "
+                f"{self.network.ranks_per_node} ranks/node)"
+            )
+        self._launched = True
+        self.world_comm = Communicator(Group(range(nranks)), self.alloc_context(), "MPI_COMM_WORLD")
+        apis: list[MpiApi] = []
+        for rank in range(nranks):
+            api = MpiApi(self, rank)
+            vp = self.engine.spawn(self._vp_main(api, app, args))
+            if vp.rank != rank:
+                raise SimulationError("engine assigned unexpected rank")
+            api.vp = vp
+            state = RankState(rank, vp)
+            vp.userdata = state
+            self.states.append(state)
+            apis.append(api)
+        self.engine.exit_policy = self._exit_policy
+        self.engine.failure_listeners.append(self._on_failure)
+        return apis
+
+    @staticmethod
+    def _vp_main(api: "MpiApi", app, args: tuple) -> Generator[Any, Any, Any]:
+        result = yield from app(api, *args)
+        return result
+
+    def _exit_policy(self, vp: VirtualProcess) -> str:
+        """Paper §IV-B: "returning from main() or calling exit() without
+        having called MPI_Finalize()" is a process failure."""
+        if self.strict_finalize and not self.states[vp.rank].finalized:
+            return "failure"
+        return "done"
+
+    # ------------------------------------------------------------------
+    # point-to-point: posting
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        vp: VirtualProcess,
+        comm: Communicator,
+        ctx: int,
+        dst: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+    ) -> Generator[Any, Any, Request]:
+        """Post a send (world-rank ``dst``); returns the pending request.
+
+        Pays the per-message send software overhead, then either buffers an
+        eager message (request completes locally) or emits a rendezvous RTS
+        (request completes when the clear-to-send round-trip and payload
+        serialization finish).
+        """
+        state = self.states[vp.rank]
+        if self.network.send_overhead > 0.0:
+            yield Advance(self.network.send_overhead)
+        req = Request(Request.SEND, vp, comm, ctx, vp.rank, dst, tag, nbytes, vp.clock)
+        if comm.revoked:
+            req.fail(vp.clock, ERR_REVOKED)
+            return req
+        failed_at = vp.failed_peers.get(dst)
+        if failed_at is not None:
+            self._fail_from_list(req, dst)
+            return req
+        self._msg_seq += 1
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if self.trace is not None:
+            self.trace.record_post(
+                self._msg_seq, vp.clock, vp.rank, dst, ctx, tag, nbytes,
+                "eager" if self.network.is_eager(nbytes) else "rendezvous",
+            )
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()  # eager/rendezvous buffering semantics
+        if self.network.is_eager(nbytes):
+            msg = Msg(ctx, vp.rank, dst, tag, nbytes, payload, self._msg_seq, EAGER)
+            arrival = vp.clock + self.network.transfer_time(nbytes, vp.rank, dst)
+            self.engine.schedule(arrival, self._arrive, msg)
+            req.complete(vp.clock)
+        else:
+            msg = Msg(ctx, vp.rank, dst, tag, nbytes, payload, self._msg_seq, RTS, send_req=req)
+            arrival = vp.clock + self.network.wire_latency(vp.rank, dst)
+            state.rdv_sends.append(req)
+            self.engine.schedule(arrival, self._arrive, msg)
+        return req
+
+    def irecv(
+        self, vp: VirtualProcess, comm: Communicator, ctx: int, src: int, tag: int
+    ) -> Request:
+        """Post a receive (world-rank or ``ANY_SOURCE`` ``src``); local call."""
+        state = self.states[vp.rank]
+        req = Request(Request.RECV, vp, comm, ctx, src, vp.rank, tag, 0, vp.clock)
+        self._post_seq += 1
+        req.post_seq = self._post_seq
+        if comm.revoked:
+            req.fail(vp.clock, ERR_REVOKED)
+            return req
+        msg = self._match_unexpected(state, req)
+        if msg is not None:
+            if msg.protocol == EAGER:
+                self._complete_recv(req, msg, vp.clock)
+            else:
+                self._rendezvous(req, msg, vp.clock)
+            return req
+        # No buffered match: fail from the per-process failed list
+        # ("any similar receive requests waited on after receiving the
+        # simulator-internal notification message fail based on the
+        # per-process list of failed simulated MPI processes").
+        if src == ANY_SOURCE:
+            failed_members = {
+                r for r in vp.failed_peers if comm.contains(r)
+            } - comm.acked_failures(vp.rank)
+            if failed_members:
+                self._fail_from_list(req, min(failed_members))
+                return req
+        elif src in vp.failed_peers:
+            self._fail_from_list(req, src)
+            return req
+        if src != ANY_SOURCE and tag != ANY_TAG:
+            state.posted_exact.setdefault((ctx, src, tag), []).append(req)
+        else:
+            state.posted_wild.append(req)
+        return req
+
+    def _fail_from_list(self, req: Request, failed_rank: int) -> None:
+        """Fail a freshly posted request against a peer known (from the
+        per-process failed list) to be dead, after the detection timeout."""
+        detect = req.post_time + self.network.detection_timeout(req.vp.rank, failed_rank)
+        req.fail(detect, ERR_PROC_FAILED, failed_rank=failed_rank)
+        self.engine.log.log(
+            detect,
+            "detect",
+            f"detected failure of rank {failed_rank} ({req.describe()})",
+            rank=req.vp.rank,
+        )
+
+    def _match_unexpected(self, state: RankState, req: Request) -> Msg | None:
+        """Pop the lowest-seq buffered message matching a fresh receive."""
+        unexpected = state.unexpected
+        if req.src != ANY_SOURCE and req.tag != ANY_TAG:
+            key = (req.ctx, req.src, req.tag)
+            msgs = unexpected.get(key)
+            if not msgs:
+                return None
+            msg = msgs.pop(0)  # per-key lists are kept sorted by seq
+            if not msgs:
+                del unexpected[key]
+            return msg
+        # Wildcard: scan per-key heads for the lowest sequence number.
+        best_key: MatchKey | None = None
+        best: Msg | None = None
+        for key, msgs in unexpected.items():
+            head = msgs[0]
+            if req.matches_msg(head) and (best is None or head.seq < best.seq):
+                best, best_key = head, key
+        if best is None:
+            return None
+        msgs = unexpected[best_key]
+        msgs.pop(0)
+        if not msgs:
+            del unexpected[best_key]
+        return best
+
+    # ------------------------------------------------------------------
+    # point-to-point: completion
+    # ------------------------------------------------------------------
+    def wait(self, vp: VirtualProcess, req: Request) -> Generator[Any, Any, Msg | None]:
+        """Block until ``req`` completes; deliver its error (if any) through
+        the communicator's error handler; return the received message."""
+        if not req.done:
+            req.waiting = True
+            yield Block(req.describe())
+            req.waiting = False
+        return (yield from self._finalize_request(vp, req))
+
+    def test(
+        self, vp: VirtualProcess, req: Request
+    ) -> Generator[Any, Any, tuple[bool, Msg | None]]:
+        """Nonblocking completion check; finalizes the request when done."""
+        if not req.done or req.completion_time > vp.clock:
+            return False, None
+        msg = yield from self._finalize_request(vp, req)
+        return True, msg
+
+    def _finalize_request(
+        self, vp: VirtualProcess, req: Request
+    ) -> Generator[Any, Any, Msg | None]:
+        if req.completion_time > vp.clock:
+            # waiting for completion (in-flight data, detection timeout)
+            yield Advance(req.completion_time - vp.clock, busy=False)
+        if req.error == SUCCESS and req.kind == Request.RECV and self.network.recv_overhead > 0.0:
+            yield Advance(self.network.recv_overhead)
+        if req.error != SUCCESS:
+            yield from self.handle_error(
+                vp, req.comm, MpiError(req.error, req.describe(), req.failed_rank)
+            )
+        return req.result
+
+    def _complete_recv(self, req: Request, msg: Msg, time: float) -> None:
+        req.complete(time, result=msg)
+        if req.waiting:
+            self.engine.wake(req.vp, time)
+
+    def _rendezvous(self, req: Request, rts: Msg, t_match: float) -> None:
+        """Complete the RTS/CTS/payload hand-shake matched at ``t_match``.
+
+        The clear-to-send travels back to the sender; the sender then
+        serializes the payload onto the wire (completing its request) and
+        the receiver gets it one wire-latency later.
+        """
+        send_req = rts.send_req
+        if send_req is None:
+            raise SimulationError("rendezvous RTS without a send request")
+        src, dst = rts.src, rts.dst
+        t_cts = t_match + self.network.wire_latency(dst, src)
+        t_send_done = t_cts + self.network.serialization_time(rts.nbytes, src, dst)
+        t_recv_done = t_cts + self.network.transfer_time(rts.nbytes, src, dst)
+        sender_state = self.states[src]
+        if send_req in sender_state.rdv_sends:
+            sender_state.rdv_sends.remove(send_req)
+        send_req.complete(t_send_done)
+        if send_req.waiting:
+            self.engine.wake(send_req.vp, t_send_done)
+        req.complete(t_recv_done, result=rts)
+        if req.waiting:
+            self.engine.wake(req.vp, t_recv_done)
+
+    def _arrive(self, msg: Msg) -> None:
+        """Delivery event: the message reached the destination NIC."""
+        state = self.states[msg.dst]
+        if not state.vp.alive:
+            # "all messages directed to this simulated MPI process are deleted"
+            if self.trace is not None:
+                self.trace.record_delivery(msg.seq, self.engine.now, dropped=True)
+            return
+        if msg.protocol == RTS and not self.states[msg.src].vp.alive:
+            if self.trace is not None:
+                self.trace.record_delivery(msg.seq, self.engine.now, dropped=True)
+            return  # sender died in flight; the hand-shake can never complete
+        if self.trace is not None:
+            self.trace.record_delivery(msg.seq, self.engine.now, dropped=False)
+        msg.arrival = self.engine.now
+        req = self._match_posted(state, msg)
+        if req is not None:
+            if msg.protocol == EAGER:
+                self._complete_recv(req, msg, msg.arrival)
+            else:
+                self._rendezvous(req, msg, msg.arrival)
+            return
+        # Buffer, keeping each per-key list sorted by send sequence so
+        # matching preserves non-overtaking order even when a larger,
+        # earlier message arrives after a smaller, later one.
+        msgs = state.unexpected.setdefault((msg.ctx, msg.src, msg.tag), [])
+        if msgs and msgs[-1].seq > msg.seq:
+            i = len(msgs) - 1
+            while i > 0 and msgs[i - 1].seq > msg.seq:
+                i -= 1
+            msgs.insert(i, msg)
+        else:
+            msgs.append(msg)
+
+    def _match_posted(self, state: RankState, msg: Msg) -> Request | None:
+        """Pop the earliest-posted receive accepting ``msg``."""
+        key = (msg.ctx, msg.src, msg.tag)
+        exact = state.posted_exact.get(key)
+        candidate: Request | None = exact[0] if exact else None
+        wild_i = -1
+        for i, req in enumerate(state.posted_wild):
+            if req.matches_msg(msg):
+                if candidate is None or req.post_time < candidate.post_time or (
+                    req.post_time == candidate.post_time and req.post_seq < candidate.post_seq
+                ):
+                    candidate = req
+                    wild_i = i
+                break
+        if candidate is None:
+            return None
+        if wild_i >= 0 and candidate is state.posted_wild[wild_i]:
+            del state.posted_wild[wild_i]
+        else:
+            exact.pop(0)
+            if not exact:
+                del state.posted_exact[key]
+        return candidate
+
+    # ------------------------------------------------------------------
+    # failure propagation (paper §IV-B/C)
+    # ------------------------------------------------------------------
+    def _on_failure(self, fvp: VirtualProcess, t_fail: float) -> None:
+        f = fvp.rank
+        fstate = self.states[f]
+        # Delete messages directed to (and state of) the failed process.
+        fstate.posted_exact.clear()
+        fstate.posted_wild.clear()
+        fstate.unexpected.clear()
+        fstate.rdv_sends.clear()
+        self.memory.free_all(f)
+        # Simulator-internal notification broadcast: every VP maintains its
+        # own list of failed processes and their failure times.
+        for state in self.states:
+            if state.vp.alive:
+                state.vp.failed_peers[f] = t_fail
+        # Release (and fail) requests involving the failed process.
+        for state in self.states:
+            if not state.vp.alive:
+                continue
+            # Unmatched RTS messages from the dead sender can never complete.
+            dead_keys = [
+                key
+                for key, msgs in state.unexpected.items()
+                if key[1] == f and any(m.protocol == RTS for m in msgs)
+            ]
+            for key in dead_keys:
+                kept = [m for m in state.unexpected[key] if m.protocol != RTS]
+                if kept:
+                    state.unexpected[key] = kept
+                else:
+                    del state.unexpected[key]
+            released: list[Request] = []
+            for key, reqs in list(state.posted_exact.items()):
+                if key[1] == f:
+                    released.extend(reqs)
+                    del state.posted_exact[key]
+            for req in [r for r in state.posted_wild if r.src == ANY_SOURCE and r.comm.contains(f)]:
+                state.posted_wild.remove(req)
+                released.append(req)
+            for req in [r for r in state.posted_wild if r.src == f]:
+                state.posted_wild.remove(req)
+                released.append(req)
+            for req in released:
+                self._release_failed(req, f, t_fail)
+            for req in [r for r in state.rdv_sends if r.dst == f]:
+                state.rdv_sends.remove(req)
+                self._release_failed(req, f, t_fail)
+        # Re-check open synchronization points that were waiting on it.
+        for key in list(self._sync_points):
+            sp = self._sync_points.get(key)
+            if sp is not None and sp.comm.contains(f):
+                self._check_sync(sp)
+
+    def _release_failed(self, req: Request, failed_rank: int, t_fail: float) -> None:
+        """Release-and-fail a request after the failure-detection timeout.
+
+        "The simulated network communication time of the waiting simulated
+        MPI process is adjusted for the time of failure, simulating a
+        configurable network communication timeout according to the network
+        model."
+        """
+        timeout = self.network.detection_timeout(req.vp.rank, failed_rank)
+        detect = max(t_fail, req.post_time) + timeout
+        req.fail(detect, ERR_PROC_FAILED, failed_rank=failed_rank)
+        self.engine.log.log(
+            detect,
+            "detect",
+            f"detected failure of rank {failed_rank} ({req.describe()})",
+            rank=req.vp.rank,
+        )
+        if req.waiting:
+            self.engine.wake(req.vp, detect)
+
+    # ------------------------------------------------------------------
+    # revocation (ULFM)
+    # ------------------------------------------------------------------
+    def revoke(self, comm: Communicator, t: float, initiator: int) -> None:
+        """Mark ``comm`` revoked and interrupt its pending operations.
+
+        Members learn of the revocation one wire latency after ``t``
+        (xSim-style simulator-internal propagation with a modeled delay).
+        """
+        if comm.revoked:
+            return
+        comm.revoked = True
+        self.engine.log.log(t, "revoke", f"{comm.name} revoked", rank=initiator)
+        ctxs = (comm.context_id * 2, comm.context_id * 2 + 1)
+        for state in self.states:
+            if not state.vp.alive or not comm.contains(state.rank):
+                continue
+            notify = (
+                t
+                if state.rank == initiator
+                else t + self.network.wire_latency(initiator, state.rank)
+            )
+            for req in [r for r in state.iter_posted() if r.ctx in ctxs]:
+                state.remove_posted(req)
+                req.fail(max(notify, req.post_time), ERR_REVOKED)
+                if req.waiting:
+                    self.engine.wake(req.vp, req.completion_time)
+            for req in [r for r in state.rdv_sends if r.ctx in ctxs]:
+                state.rdv_sends.remove(req)
+                req.fail(max(notify, req.post_time), ERR_REVOKED)
+                if req.waiting:
+                    self.engine.wake(req.vp, req.completion_time)
+
+    # ------------------------------------------------------------------
+    # error delivery (paper §IV-D)
+    # ------------------------------------------------------------------
+    def handle_error(
+        self, vp: VirtualProcess, comm: Communicator, err: MpiError
+    ) -> Generator[Any, Any, None]:
+        """Run the communicator's error handler for ``err`` at ``vp``.
+
+        Under ``MPI_ERRORS_ARE_FATAL`` this invokes the simulated
+        ``MPI_Abort`` and never returns (the VP is terminated at its
+        current clock).  Otherwise :class:`MpiError` is raised into the
+        application.
+        """
+        handler = comm.get_errhandler(vp.rank)
+        if handler is ERRORS_ARE_FATAL:
+            self.engine.request_abort(vp.clock, vp.rank)
+            yield Block("aborting")
+            raise SimulationError("aborted VP resumed")  # pragma: no cover
+        if handler is ERRORS_RETURN:
+            raise err
+        handler(comm, err)  # user handler; returning falls through to raise
+        raise err
+
+    # ------------------------------------------------------------------
+    # simulator-internal synchronization points
+    # ------------------------------------------------------------------
+    def sync_arrive(
+        self,
+        vp: VirtualProcess,
+        comm: Communicator,
+        kind: str,
+        seq: int,
+        value: Any = None,
+        cost_fn: Callable[[int], float] | None = None,
+    ) -> Generator[Any, Any, SyncResult]:
+        """Join synchronization point ``(comm, kind, seq)`` and block until
+        every *currently alive* member of ``comm`` has joined.
+
+        Members that fail while the point is open are dropped from the
+        expectation, so the point still completes — the property ULFM
+        shrink/agree need.  All participants are woken at
+        ``max(arrival times) + cost_fn(n_alive)`` with the same
+        :class:`SyncResult`.
+        """
+        key = (comm.context_id, kind, seq)
+        sp = self._sync_points.get(key)
+        if sp is None:
+            sp = SyncPoint(key, comm, cost_fn or self.default_sync_cost)
+            self._sync_points[key] = sp
+        sp.arrived[vp.rank] = vp.clock
+        sp.values[vp.rank] = value
+        if not sp.completing:
+            # Defer: the arriving VP must yield Block before any wake.
+            sp.completing = True
+            self.engine.schedule(vp.clock, self._check_sync_deferred, key)
+        result = yield Block(f"sync {kind}#{seq} on {comm.name}")
+        if not isinstance(result, SyncResult):
+            raise SimulationError(f"sync point delivered {result!r}")
+        return result
+
+    def _check_sync_deferred(self, key: tuple) -> None:
+        sp = self._sync_points.get(key)
+        if sp is not None:
+            sp.completing = False
+            self._check_sync(sp)
+
+    def _check_sync(self, sp: SyncPoint) -> None:
+        alive = [r for r in sp.comm.group if self.states[r].vp.alive]
+        if not alive:
+            del self._sync_points[sp.key]
+            return
+        if any(r not in sp.arrived for r in alive):
+            return  # still waiting for members
+        # Completion waits for the last arrival — or, when a failure is what
+        # unblocked the point, for the failure to become known (now).
+        t_done = max(max(sp.arrived[r] for r in alive), self.engine.now) + sp.cost_fn(len(alive))
+        result = SyncResult(
+            alive=tuple(alive),
+            values={r: sp.values[r] for r in alive},
+            time=t_done,
+        )
+        del self._sync_points[sp.key]
+        for r in alive:
+            self.engine.wake(self.states[r].vp, t_done, value=result)
+
+    def default_sync_cost(self, n: int) -> float:
+        """Modeled cost of a simulator-internal agreement among ``n`` ranks:
+        a binomial-tree reduce-broadcast over the system network."""
+        rounds = 2 * max(1, math.ceil(math.log2(max(2, n))))
+        per_round = self.network.system.latency + self.network.send_overhead + self.network.recv_overhead
+        return rounds * per_round
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def alive_ranks(self) -> list[int]:
+        """Ranks whose virtual process is still alive."""
+        return [s.rank for s in self.states if s.vp.alive]
+
+    def pending_requests(self, rank: int) -> list[Request]:
+        """This rank's posted receives and pending rendezvous sends."""
+        state = self.states[rank]
+        return state.iter_posted() + list(state.rdv_sends)
+
+    def traffic_summary(self) -> dict[str, int]:
+        """Cumulative message/byte counters."""
+        return {"messages_sent": self.messages_sent, "bytes_sent": self.bytes_sent}

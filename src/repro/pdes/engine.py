@@ -1,0 +1,465 @@
+"""The discrete event simulation engine driving all virtual processes.
+
+Execution model (paper §IV-A, reproduced exactly):
+
+* The engine "always executes one simulated MPI process ... at a time".
+  Every virtual process (VP) is a generator coroutine; :meth:`Engine._step`
+  runs it until it yields an :class:`~repro.pdes.requests.Advance` (a
+  simulator-internal clock update: modeled computation, timing function,
+  file-system access, communication overhead) or a
+  :class:`~repro.pdes.requests.Block` (waiting on a message or another
+  simulator-internal wake-up), or until it terminates.
+* "Context switches between simulated MPI processes are only performed upon
+  receiving an MPI message, receiving a simulator-internal message, or
+  termination" — i.e. at those yields.  The engine interleaves VPs from a
+  single binary-heap event queue ordered by virtual time ("a schedule based
+  on message receive time stamps").
+
+Failure activation (paper §IV-B): each VP has a ``time_of_failure``
+(infinity = never).  "A scheduled simulated MPI process failure is activated
+when the targeted simulated MPI process is executing, updates its simulated
+process clock, and the clock reaches or goes beyond the ... time of failure
+value. ... the scheduled time is the earliest time of failure, while the
+actual time of failure depends on when the simulator regains control."
+:meth:`Engine._step`, :meth:`Engine._do_wake`, and
+:meth:`Engine._resume_advance` each perform that control-point check.  A VP
+blocked on a wait that would complete after its scheduled failure time is
+killed at the scheduled time instead (its wait provably extends past it).
+
+Abort activation (paper §IV-D) is symmetric: blocked VPs are released and
+terminated at the time of abort; computing VPs abort at the next point the
+simulator regains control with their clock at-or-past the time of abort, so
+the simulation exit time can exceed the abort time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator
+
+from repro.pdes.context import VirtualProcess, VpState
+from repro.pdes.requests import Advance, Block
+from repro.util.errors import ConfigurationError, DeadlockError, SimulationError, XsimError
+from repro.util.simlog import SimLog
+from repro.util.stats import TimingStats
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :meth:`Engine.run`.
+
+    ``exit_time`` is the maximum VP end time — the value xSim "optionally
+    writes out ... to a file" so that a restarted simulation can continue
+    virtual time (paper §IV-E).
+    """
+
+    start_time: float
+    exit_time: float
+    aborted: bool
+    abort_time: float | None
+    abort_rank: int | None
+    failures: list[tuple[int, float]]
+    states: dict[int, VpState]
+    end_times: dict[int, float]
+    busy_times: dict[int, float]
+    exit_values: dict[int, Any]
+    event_count: int
+    log: SimLog
+    timing: TimingStats = field(repr=False, default_factory=TimingStats)
+
+    @property
+    def completed(self) -> bool:
+        """True when every VP terminated normally (no failure, no abort)."""
+        return all(s is VpState.DONE for s in self.states.values())
+
+    def timing_report(self) -> str:
+        """The min/max/avg VP timing line xSim prints at shutdown."""
+        t = self.timing
+        return (
+            f"simulated MPI process timing: min={t.minimum:.6f}s "
+            f"max={t.maximum:.6f}s avg={t.average:.6f}s ({t.count} processes)"
+        )
+
+
+class Engine:
+    """Sequential conservative discrete event simulator for virtual processes.
+
+    Parameters
+    ----------
+    start_time:
+        Initial virtual clock of every VP.  The checkpoint/restart driver
+        passes the persisted exit time of the previous (aborted) run here so
+        virtual time is continuous across failure/restart cycles.
+    log:
+        Structured simulator log; a fresh one is created when omitted.
+    """
+
+    def __init__(self, start_time: float = 0.0, log: SimLog | None = None):
+        if not math.isfinite(start_time) or start_time < 0.0:
+            raise ConfigurationError(f"start_time must be finite and >= 0, got {start_time!r}")
+        self.start_time = float(start_time)
+        self.now = float(start_time)
+        self.log = log if log is not None else SimLog()
+        self.vps: list[VirtualProcess] = []
+        self.failures: list[tuple[int, float]] = []
+        self.aborting = False
+        self.abort_time: float | None = None
+        self.abort_rank: int | None = None
+        self.event_count = 0
+        #: Called with ``(vp, time)`` after a VP is killed by failure
+        #: injection; the MPI layer uses this to delete queued messages,
+        #: broadcast the simulator-internal notification, and release
+        #: blocked communication partners.
+        self.failure_listeners: list[Callable[[VirtualProcess, float], None]] = []
+        #: Policy consulted when a VP returns from its main function;
+        #: returning ``"failure"`` converts the exit into a process failure
+        #: (paper: "returning from main() or calling exit() without having
+        #: called MPI_Finalize()" is a failure-injection condition).
+        self.exit_policy: Callable[[VirtualProcess], str] | None = None
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._live = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator[Any, Any, Any]) -> VirtualProcess:
+        """Register a VP coroutine; its rank is its spawn order."""
+        if self._ran:
+            raise SimulationError("cannot spawn after run()")
+        vp = VirtualProcess(rank=len(self.vps), gen=gen, start_time=self.start_time)
+        self.vps.append(vp)
+        self._live += 1
+        self.schedule(self.start_time, self._start_vp, vp)
+        return vp
+
+    def _start_vp(self, vp: VirtualProcess) -> None:
+        if vp.state is VpState.READY:
+            # Control point before first instruction: a failure scheduled at
+            # (or before) the start time kills the VP before it runs.
+            if vp.clock >= vp.time_of_failure:
+                self._kill_failure(vp, max(vp.clock, 0.0))
+                return
+            if vp.clock >= vp.time_of_abort:
+                self._kill_abort(vp, vp.clock)
+                return
+            self._step(vp)
+
+    # ------------------------------------------------------------------
+    # event queue
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at virtual ``time`` (must be >= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Process events until every VP terminated; return the outcome."""
+        if self._ran:
+            raise SimulationError("Engine.run() may only be called once")
+        self._ran = True
+        heap = self._heap
+        while heap and self._live > 0:
+            time, _, fn, args = heappop(heap)
+            self.now = time
+            self.event_count += 1
+            fn(*args)
+        if self._live > 0:
+            blocked = [
+                (vp.rank, vp.wait_tag or vp.state.value) for vp in self.vps if vp.alive
+            ]
+            raise DeadlockError(blocked)
+        return self._result()
+
+    def _result(self) -> SimulationResult:
+        timing = TimingStats()
+        end_times: dict[int, float] = {}
+        for vp in self.vps:
+            end = vp.end_time if vp.end_time is not None else vp.clock
+            end_times[vp.rank] = end
+            timing.add(end)
+        exit_time = max(end_times.values()) if end_times else self.start_time
+        return SimulationResult(
+            start_time=self.start_time,
+            exit_time=exit_time,
+            aborted=self.aborting,
+            abort_time=self.abort_time,
+            abort_rank=self.abort_rank,
+            failures=list(self.failures),
+            states={vp.rank: vp.state for vp in self.vps},
+            end_times=end_times,
+            busy_times={vp.rank: vp.busy_time for vp in self.vps},
+            exit_values={vp.rank: vp.exit_value for vp in self.vps},
+            event_count=self.event_count,
+            log=self.log,
+            timing=timing,
+        )
+
+    # ------------------------------------------------------------------
+    # stepping virtual processes
+    # ------------------------------------------------------------------
+    def _step(self, vp: VirtualProcess, value: Any = None, exc: BaseException | None = None) -> None:
+        """Run ``vp`` until it yields Advance/Block or terminates."""
+        if vp.pending_delay > 0.0:
+            # Externally injected downtime (proactive migration et al.):
+            # consumed before the VP executes again, like a forced Advance.
+            delay, vp.pending_delay = vp.pending_delay, 0.0
+            vp.state = VpState.ADVANCING
+            self.schedule(
+                vp.clock + delay, self._resume_delayed, vp, vp.epoch, vp.clock + delay, value, exc
+            )
+            return
+        vp.state = VpState.RUNNING
+        gen = vp.gen
+        while True:
+            try:
+                if exc is not None:
+                    err, exc = exc, None
+                    item = gen.throw(err)
+                else:
+                    item = gen.send(value)
+            except StopIteration as stop:
+                self._finish(vp, stop.value)
+                return
+            except XsimError:
+                raise  # simulator/host errors crash the simulation
+            except Exception as err:
+                # An exception escaping the application is a (virtual)
+                # process crash: the VP fails at its current clock, like a
+                # real MPI process dying on an unhandled error.
+                self._kill_failure(
+                    vp, vp.clock, reason=f"uncaught {type(err).__name__}: {err}"
+                )
+                return
+            value = None
+            # The simulator has regained control: failure/abort control point.
+            if vp.clock >= vp.time_of_failure:
+                self._kill_failure(vp, vp.clock)
+                return
+            if vp.clock >= vp.time_of_abort:
+                self._kill_abort(vp, vp.clock)
+                return
+            kind = type(item)
+            if kind is Advance:
+                dt = item.dt
+                if dt < 0.0:
+                    self._crash(vp, f"negative Advance({dt})")
+                if dt == 0.0:
+                    continue  # zero-cost control point; keep running
+                if item.busy:
+                    vp.busy_time += dt
+                vp.state = VpState.ADVANCING
+                self.schedule(vp.clock + dt, self._resume_advance, vp, vp.epoch, vp.clock + dt)
+                return
+            if kind is Block:
+                vp.state = VpState.BLOCKED
+                vp.wait_token += 1
+                vp.wait_tag = item.tag
+                return
+            self._crash(vp, f"yielded unknown request {item!r}")
+
+    def _crash(self, vp: VirtualProcess, why: str) -> None:
+        raise SimulationError(f"VP rank {vp.rank}: {why}")
+
+    def _resume_delayed(
+        self,
+        vp: VirtualProcess,
+        epoch: int,
+        new_clock: float,
+        value: Any,
+        exc: BaseException | None,
+    ) -> None:
+        if vp.epoch != epoch or vp.state is not VpState.ADVANCING:
+            return
+        vp.clock = new_clock
+        if vp.clock >= vp.time_of_failure:
+            self._kill_failure(vp, vp.clock)
+            return
+        if vp.clock >= vp.time_of_abort:
+            self._kill_abort(vp, vp.clock)
+            return
+        self._step(vp, value, exc)
+
+    def inject_delay(self, rank: int, time: float, duration: float, reason: str = "delay") -> None:
+        """Pause ``rank`` for ``duration`` at its first execution control
+        point at-or-after ``time`` (same activation semantics as failure
+        injection).  Used for externally imposed downtime such as a
+        proactive live migration's stop-and-copy phase."""
+        if duration < 0:
+            raise ConfigurationError(f"delay duration must be >= 0, got {duration}")
+        if time < self.start_time:
+            raise ConfigurationError(
+                f"delay time {time} precedes simulation start {self.start_time}"
+            )
+        self.schedule(time, self._delay_due, rank, duration, reason)
+
+    def _delay_due(self, rank: int, duration: float, reason: str) -> None:
+        vp = self.vps[rank]
+        if not vp.alive:
+            return
+        vp.pending_delay += duration
+        self.log.log(self.now, "delay", f"{reason} (+{duration:.6f}s)", rank=rank)
+
+    def _resume_advance(self, vp: VirtualProcess, epoch: int, new_clock: float) -> None:
+        if vp.epoch != epoch or vp.state is not VpState.ADVANCING:
+            return  # VP died while advancing
+        vp.clock = new_clock
+        if vp.clock >= vp.time_of_failure:
+            self._kill_failure(vp, vp.clock)
+            return
+        if vp.clock >= vp.time_of_abort:
+            self._kill_abort(vp, vp.clock)
+            return
+        self._step(vp)
+
+    # ------------------------------------------------------------------
+    # waking blocked VPs
+    # ------------------------------------------------------------------
+    def wake(
+        self,
+        vp: VirtualProcess,
+        time: float,
+        value: Any = None,
+        exc: BaseException | None = None,
+    ) -> None:
+        """Schedule ``vp`` (currently blocked) to resume at ``time``.
+
+        ``value`` is delivered as the result of the VP's ``yield Block``;
+        ``exc`` is raised at that yield instead when given.  Stale wakes
+        (the VP died, or was already woken and blocked again) are dropped.
+        """
+        if vp.state is not VpState.BLOCKED:
+            raise SimulationError(f"wake() on non-blocked VP rank {vp.rank} ({vp.state})")
+        self.schedule(time, self._do_wake, vp, vp.epoch, vp.wait_token, time, value, exc)
+
+    def _do_wake(
+        self,
+        vp: VirtualProcess,
+        epoch: int,
+        token: int,
+        time: float,
+        value: Any,
+        exc: BaseException | None,
+    ) -> None:
+        if vp.epoch != epoch or vp.state is not VpState.BLOCKED or vp.wait_token != token:
+            return
+        if time > vp.clock:
+            vp.clock = time
+        if vp.clock >= vp.time_of_failure:
+            self._kill_failure(vp, vp.clock)
+            return
+        if vp.clock >= vp.time_of_abort:
+            self._kill_abort(vp, vp.clock)
+            return
+        self._step(vp, value, exc)
+
+    # ------------------------------------------------------------------
+    # termination paths
+    # ------------------------------------------------------------------
+    def _finish(self, vp: VirtualProcess, value: Any) -> None:
+        verdict = self.exit_policy(vp) if self.exit_policy is not None else "done"
+        if verdict == "failure":
+            self._kill_failure(vp, vp.clock, reason="exit without MPI_Finalize")
+            return
+        vp.state = VpState.DONE
+        vp.end_time = vp.clock
+        vp.exit_value = value
+        vp.epoch += 1
+        self._live -= 1
+
+    def _retire(self, vp: VirtualProcess) -> None:
+        """Close the coroutine and invalidate queued events for ``vp``."""
+        vp.epoch += 1
+        self._live -= 1
+        gen = vp.gen
+        if gen is not None:
+            try:
+                gen.close()
+            except RuntimeError as err:  # generator refused to die
+                raise SimulationError(f"VP rank {vp.rank} swallowed its termination") from err
+
+    def _kill_failure(self, vp: VirtualProcess, time: float, reason: str = "injected failure") -> None:
+        """End ``vp`` as a simulated MPI process failure at virtual ``time``."""
+        self._retire(vp)
+        vp.state = VpState.FAILED
+        vp.clock = max(vp.clock, time)
+        vp.end_time = vp.clock
+        self.failures.append((vp.rank, vp.end_time))
+        # "An informational message is printed out ... to let the user know
+        # of the time and location (rank) of the failure."
+        self.log.log(vp.end_time, "failure", f"MPI process failure ({reason})", rank=vp.rank)
+        for listener in self.failure_listeners:
+            listener(vp, vp.end_time)
+
+    def _kill_abort(self, vp: VirtualProcess, time: float) -> None:
+        self._retire(vp)
+        vp.state = VpState.ABORTED
+        vp.clock = max(vp.clock, time)
+        vp.end_time = vp.clock
+
+    # ------------------------------------------------------------------
+    # resilience control surface (used by repro.core)
+    # ------------------------------------------------------------------
+    def schedule_failure(self, rank: int, time: float) -> None:
+        """Arm an MPI process failure for ``rank`` at earliest ``time``.
+
+        Mirrors xSim's simulator-internal trigger function: the scheduled
+        time is the *earliest* time of failure; the actual failure occurs at
+        the next simulator control point at-or-after it.  A VP blocked past
+        ``time`` is failed at exactly ``time``.
+        """
+        if time < self.start_time:
+            raise ConfigurationError(
+                f"failure time {time} precedes simulation start {self.start_time}"
+            )
+        vp = self.vps[rank]
+        vp.time_of_failure = min(vp.time_of_failure, time)
+        self.schedule(time, self._failure_due, vp, vp.epoch, time)
+
+    def fail_now(self, rank: int, reason: str = "application-triggered failure") -> None:
+        """Immediately fail ``rank`` at its current clock (simulator-internal
+        trigger with *time = now*, e.g. condition-based injection by the
+        application itself)."""
+        vp = self.vps[rank]
+        if vp.alive:
+            self._kill_failure(vp, vp.clock, reason=reason)
+
+    def _failure_due(self, vp: VirtualProcess, epoch: int, time: float) -> None:
+        if vp.epoch != epoch or not vp.alive:
+            return
+        if vp.state is VpState.BLOCKED or vp.state is VpState.READY:
+            # The wait (or the not-yet-started VP) provably extends past the
+            # scheduled failure time, so the failure occurs at exactly it.
+            self._kill_failure(vp, time)
+        # Otherwise the VP is mid-advance (or running): the control-point
+        # check in _resume_advance/_step fires at its next clock update.
+
+    def request_abort(self, time: float, initiator: int) -> None:
+        """Simulated ``MPI_Abort`` (paper §IV-D).
+
+        The first abort wins; the simulator-internal broadcast releases all
+        blocked VPs at (their clock capped to) the abort time, while
+        computing VPs abort once their clock passes it, so the simulation
+        exit time may exceed ``time``.
+        """
+        if self.aborting:
+            return
+        self.aborting = True
+        self.abort_time = time
+        self.abort_rank = initiator
+        self.log.log(time, "abort", "MPI_Abort invoked", rank=initiator)
+        for vp in self.vps:
+            if not vp.alive:
+                continue
+            vp.time_of_abort = min(vp.time_of_abort, time)
+            if vp.state is VpState.BLOCKED or vp.state is VpState.READY:
+                self._kill_abort(vp, max(vp.clock, time))
+            # RUNNING/ADVANCING VPs abort at their next control point.

@@ -1,0 +1,56 @@
+"""Engine primitives yielded by virtual-process coroutines.
+
+A virtual process interacts with the simulator only by ``yield``-ing one of
+these request objects (usually from inside the simulated MPI layer via
+``yield from``).  Each yield is a point where "the simulator regains
+control" in the paper's terminology — i.e. a failure/abort activation
+point.
+
+Only two primitives exist, mirroring the two ways an xSim VP gives up the
+processor:
+
+* :class:`Advance` — a simulator-internal clock update (timing function,
+  modeled computation, file-system access, communication overhead).  The VP
+  resumes once its virtual clock has advanced by ``dt``.
+* :class:`Block` — park until some other component wakes the VP (message
+  arrival, collective completion, rendezvous hand-shake, failure
+  notification...).  The waker supplies the VP's new clock value and either
+  a resume value or an exception to raise at the yield point.
+"""
+
+from __future__ import annotations
+
+
+class Advance:
+    """Advance the yielding VP's virtual clock by ``dt`` seconds.
+
+    ``busy`` marks whether the interval occupies the simulated node's CPU
+    (computation, per-message software overheads) or is a wait (I/O,
+    detection timeouts).  The engine accumulates per-VP busy time for the
+    power model's energy accounting.
+    """
+
+    __slots__ = ("dt", "busy")
+
+    def __init__(self, dt: float, busy: bool = True):
+        self.dt = dt
+        self.busy = busy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Advance({self.dt!r}, busy={self.busy!r})"
+
+
+class Block:
+    """Park the yielding VP until it is woken.
+
+    ``tag`` is a human-readable description of what is being waited on;
+    it appears in deadlock reports and traces (e.g. ``"recv src=3 tag=7"``).
+    """
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str = "blocked"):
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block({self.tag!r})"

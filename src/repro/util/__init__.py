@@ -1,0 +1,40 @@
+"""Shared utilities for the xsim-resilience toolkit.
+
+This package holds small, dependency-free helpers used across the
+simulator: unit parsing/formatting (:mod:`repro.util.units`), descriptive
+statistics in the shape xSim and Finject report them
+(:mod:`repro.util.stats`), deterministic named random-number streams
+(:mod:`repro.util.rng`), and the toolkit exception hierarchy
+(:mod:`repro.util.errors`).
+"""
+
+from repro.util.errors import (
+    CheckpointError,
+    ConfigurationError,
+    DeadlockError,
+    SimulationError,
+    XsimError,
+)
+from repro.util.rng import RngStreams
+from repro.util.stats import SummaryStats, summarize
+from repro.util.units import (
+    format_size,
+    format_time,
+    parse_size,
+    parse_time,
+)
+
+__all__ = [
+    "CheckpointError",
+    "ConfigurationError",
+    "DeadlockError",
+    "RngStreams",
+    "SimulationError",
+    "SummaryStats",
+    "XsimError",
+    "format_size",
+    "format_time",
+    "parse_size",
+    "parse_time",
+    "summarize",
+]

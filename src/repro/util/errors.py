@@ -1,0 +1,42 @@
+"""Exception hierarchy for the xsim-resilience toolkit.
+
+All toolkit-raised exceptions derive from :class:`XsimError` so callers can
+catch simulator problems without masking ordinary Python errors.  Exceptions
+that model *simulated* conditions (an MPI error delivered to an application,
+a virtual process being killed by fault injection) live next to the
+subsystems that raise them (:mod:`repro.mpi.errhandler`,
+:mod:`repro.pdes.context`); this module only defines host-level errors.
+"""
+
+from __future__ import annotations
+
+
+class XsimError(Exception):
+    """Base class for all toolkit errors."""
+
+
+class ConfigurationError(XsimError):
+    """A simulation, model, or experiment was configured inconsistently."""
+
+
+class SimulationError(XsimError):
+    """The simulation engine reached an internal inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """Conservative-PDES deadlock: blocked processes with an empty event queue.
+
+    Mirrors xSim's deadlock detection inside its simulator-internal
+    synchronization mechanism.  The message lists the blocked virtual
+    processes and what each one was waiting on.
+    """
+
+    def __init__(self, blocked: list[tuple[int, str]]):
+        self.blocked = list(blocked)
+        head = ", ".join(f"rank {r} waiting on {w}" for r, w in self.blocked[:8])
+        more = "" if len(self.blocked) <= 8 else f", ... ({len(self.blocked)} total)"
+        super().__init__(f"simulation deadlock: {head}{more}")
+
+
+class CheckpointError(XsimError):
+    """A checkpoint store operation failed (e.g. loading a corrupted set)."""

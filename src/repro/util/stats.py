@@ -1,0 +1,122 @@
+"""Descriptive statistics in the shapes the paper reports.
+
+Two consumers:
+
+* The Finject-style fault-injection campaign (paper Table I) reports the
+  count, minimum, maximum, mean, median, mode, and population standard
+  deviation of injections-to-victim-failure — :func:`summarize` produces
+  exactly those fields.
+* xSim prints per-virtual-process timing statistics (minimum, maximum,
+  average) at simulator shutdown — :class:`TimingStats` accumulates those
+  online without storing every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Table-I-style summary of a sample (population standard deviation)."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    mode: float
+    stddev: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Render the Table I field/value rows (values like the paper's)."""
+
+        def num(x: float) -> str:
+            return f"{int(x)}" if float(x).is_integer() else f"{x:.2f}"
+
+        return [
+            ("Victims", num(self.count)),
+            ("Injections", num(self.total)),
+            ("Minimum", num(self.minimum)),
+            ("Maximum", num(self.maximum)),
+            ("Mean", f"{self.mean:.2f}"),
+            ("Median", num(self.median)),
+            ("Mode", num(self.mode)),
+            ("Std.Dev.", f"{self.stddev:.2f}"),
+        ]
+
+
+def _median(sorted_xs: Sequence[float]) -> float:
+    n = len(sorted_xs)
+    mid = n // 2
+    if n % 2 == 1:
+        return float(sorted_xs[mid])
+    return (sorted_xs[mid - 1] + sorted_xs[mid]) / 2.0
+
+
+def summarize(samples: Iterable[float]) -> SummaryStats:
+    """Compute the Table-I statistics for ``samples``.
+
+    ``mode`` is the smallest most-frequent value (deterministic tie-break).
+    ``stddev`` is the population standard deviation, matching the paper's
+    reported sigma for its 100-victim campaign.
+    """
+    xs = sorted(float(x) for x in samples)
+    if not xs:
+        raise ValueError("summarize() requires at least one sample")
+    n = len(xs)
+    total = math.fsum(xs)
+    mean = total / n
+    var = math.fsum((x - mean) ** 2 for x in xs) / n
+    counts = Counter(xs)
+    best = max(counts.values())
+    mode = min(x for x, c in counts.items() if c == best)
+    return SummaryStats(
+        count=n,
+        total=total,
+        minimum=xs[0],
+        maximum=xs[-1],
+        mean=mean,
+        median=_median(xs),
+        mode=mode,
+        stddev=math.sqrt(var),
+    )
+
+
+class TimingStats:
+    """Online min/max/average accumulator for per-VP timing statistics.
+
+    xSim prints these three values during simulator shutdown both for
+    normal termination and after a simulated :func:`MPI_Abort`.
+    """
+
+    __slots__ = ("count", "minimum", "maximum", "_total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        self._total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def average(self) -> float:
+        return self._total / self.count if self.count else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimingStats(count={self.count}, min={self.minimum!r}, "
+            f"max={self.maximum!r}, avg={self.average!r})"
+        )

@@ -1,0 +1,121 @@
+"""Per-VP CPU busy/idle time accounting (the power model's input)."""
+
+import pytest
+
+from repro.core.harness.config import SystemConfig
+from repro.models.filesystem import FileSystemModel
+from repro.pdes.engine import Engine
+from repro.pdes.requests import Advance, Block
+from tests.conftest import run_app
+
+
+class TestEngineBusyAccounting:
+    def test_busy_advances_counted(self):
+        eng = Engine()
+
+        def worker():
+            yield Advance(3.0)
+            yield Advance(2.0, busy=False)
+            yield Advance(1.0, busy=True)
+
+        vp = eng.spawn(worker())
+        result = eng.run()
+        assert vp.busy_time == pytest.approx(4.0)
+        assert result.busy_times[0] == pytest.approx(4.0)
+        assert vp.clock == pytest.approx(6.0)
+
+    def test_blocked_time_is_idle(self):
+        eng = Engine()
+
+        def waiter():
+            yield Block("w")
+            yield Advance(1.0)
+
+        vp = eng.spawn(waiter())
+        eng.schedule(10.0, lambda: eng.wake(vp, 10.0))
+        eng.run()
+        assert vp.busy_time == pytest.approx(1.0)
+        assert vp.clock == pytest.approx(11.0)
+
+    def test_busy_never_exceeds_wall(self):
+        eng = Engine()
+
+        def worker():
+            for _ in range(5):
+                yield Advance(1.0)
+                yield Advance(0.5, busy=False)
+
+        vp = eng.spawn(worker())
+        eng.run()
+        assert vp.busy_time <= vp.clock
+        assert vp.busy_time == pytest.approx(5.0)
+
+
+class TestMpiBusyAccounting:
+    def test_compute_is_busy_waits_are_idle(self):
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.compute(2.0)
+                yield from mpi.send(1, nbytes=8, tag=0)
+            else:
+                yield from mpi.recv(0, tag=0)  # waits ~2 s idle
+            yield from mpi.finalize()
+
+        run = run_app(app, nranks=2)
+        busy = run.result.busy_times
+        assert busy[0] == pytest.approx(2.0, abs=0.01)
+        assert busy[1] == pytest.approx(0.0, abs=0.01)  # pure waiting
+        # but rank 1's clock advanced past the wait
+        assert run.result.end_times[1] >= 2.0
+
+    def test_file_io_is_idle(self):
+        system = SystemConfig.small_test_system(nranks=1).scaled(
+            filesystem=FileSystemModel(
+                aggregate_bandwidth=1e6, client_bandwidth=1e6, metadata_latency=0.0
+            )
+        )
+
+        def app(mpi):
+            yield from mpi.init()
+            yield from mpi.compute(1.0)
+            yield from mpi.file_write(5_000_000)  # 5 s of I/O wait
+            yield from mpi.finalize()
+
+        run = run_app(app, nranks=1, system=system)
+        assert run.result.end_times[0] == pytest.approx(6.0, abs=0.01)
+        assert run.result.busy_times[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_detection_timeout_is_idle(self):
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.recv(1, tag=0)
+            else:
+                yield from mpi.compute(5.0)
+            yield from mpi.finalize()
+
+        run = run_app(app, nranks=2, failures=[(1, 1.0)])
+        # rank 0 waited 5 s + 1 s timeout, all idle
+        assert run.result.busy_times[0] == pytest.approx(0.0, abs=0.01)
+
+    def test_software_overheads_are_busy(self):
+        system = SystemConfig.small_test_system(
+            nranks=2, send_overhead_native=1e-3, recv_overhead_native=1e-3
+        )
+
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                for t in range(10):
+                    yield from mpi.send(1, nbytes=8, tag=t)
+            else:
+                for t in range(10):
+                    yield from mpi.recv(0, tag=t)
+            yield from mpi.finalize()
+
+        run = run_app(app, nranks=2, system=system)
+        # sender: 10 x o_send (+1 for the finalize barrier send)
+        assert run.result.busy_times[0] == pytest.approx(11e-3, abs=2e-3)
+        # receiver pays o_recv per message
+        assert run.result.busy_times[1] == pytest.approx(11e-3, abs=2e-3)

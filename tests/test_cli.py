@@ -1,0 +1,105 @@
+"""The xsim-run command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in (["app"], ["table1"], ["table2"], ["arch"]):
+            args = parser.parse_args(cmd)
+            assert callable(args.fn)
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_app_options(self):
+        args = build_parser().parse_args(
+            ["app", "--app", "ring", "--ranks", "16", "--mttf", "100", "--collectives", "tree"]
+        )
+        assert args.app == "ring"
+        assert args.ranks == 16
+        assert args.mttf == 100.0
+        assert args.collectives == "tree"
+
+
+class TestCommands:
+    def test_arch(self, capsys):
+        assert main(["arch", "--ranks", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated MPI layer" in out
+        assert "64 VPs" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--victims", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Victims" in out
+        assert "Std.Dev." in out
+
+    def test_app_ring(self, capsys):
+        assert main(["app", "--app", "ring", "--ranks", "4", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E1=" in out
+        assert "completed=True" in out
+
+    def test_app_heat3d_clean(self, capsys):
+        assert (
+            main(
+                [
+                    "app",
+                    "--app",
+                    "heat3d",
+                    "--ranks",
+                    "8",
+                    "--iterations",
+                    "10",
+                    "--interval",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "completed=True" in out
+
+    def test_app_heat3d_with_schedule(self, capsys):
+        assert (
+            main(
+                [
+                    "app",
+                    "--app",
+                    "heat3d",
+                    "--ranks",
+                    "8",
+                    "--iterations",
+                    "20",
+                    "--interval",
+                    "5",
+                    "--xsim-failures",
+                    "3@30s",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failures=1" in out
+        assert "restarts=1" in out
+        assert "MPI process failure" in out  # informational message
+
+    def test_app_stencil2d(self, capsys):
+        assert (
+            main(["app", "--app", "stencil2d", "--ranks", "4", "--iterations", "10",
+                  "--interval", "5"])
+            == 0
+        )
+        assert "completed=True" in capsys.readouterr().out
+
+    def test_table2_tiny(self, capsys):
+        # tiny scale so the test stays fast; full scale is a benchmark
+        assert main(["table2", "--ranks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTF_s" in out
+        assert "paper E1" in out

@@ -1,0 +1,90 @@
+"""Edge cases: degenerate sizes and empty simulations."""
+
+import math
+
+import pytest
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+from repro.pdes.engine import Engine
+from tests.conftest import run_app
+
+
+class TestEmptySimulation:
+    def test_engine_with_no_vps(self):
+        result = Engine().run()
+        assert result.exit_time == 0.0
+        assert result.completed  # vacuously
+        assert result.event_count == 0
+        assert math.isinf(result.timing.minimum)
+
+    def test_engine_start_time_preserved(self):
+        result = Engine(start_time=42.0).run()
+        assert result.exit_time == 42.0
+
+
+class TestSingleRankWorld:
+    def test_heat3d_single_rank(self):
+        cfg = HeatConfig.paper_workload(nranks=1, iterations=10, checkpoint_interval=5)
+        assert cfg.ranks == (1, 1, 1)
+        run = run_app(heat3d, nranks=1, args=(cfg, CheckpointStore()))
+        assert run.result.completed
+
+    def test_single_rank_collectives_trivial(self):
+        def app(mpi):
+            yield from mpi.init()
+            assert (yield from mpi.allreduce(7, nbytes=8)) == 7
+            assert (yield from mpi.gather("x", nbytes=1)) == ["x"]
+            assert (yield from mpi.allgather("x", nbytes=1)) == ["x"]
+            assert (yield from mpi.scan(3, nbytes=8)) == 3
+            assert (yield from mpi.alltoall(["self"], nbytes=4)) == ["self"]
+            yield from mpi.barrier()
+            yield from mpi.finalize()
+            return True
+
+        run = run_app(app, nranks=1)
+        assert run.result.exit_values[0] is True
+
+    def test_single_rank_failure(self):
+        def app(mpi):
+            yield from mpi.init()
+            yield from mpi.compute(10.0)
+            yield from mpi.finalize()
+
+        run = run_app(app, nranks=1, failures=[(0, 1.0)])
+        assert run.result.failures == [(0, 10.0)]
+        assert not run.result.aborted  # nobody left to detect and abort
+
+
+class TestDegenerateWorkloads:
+    def test_heat3d_one_iteration(self):
+        cfg = HeatConfig.paper_workload(nranks=8, iterations=1, checkpoint_interval=1)
+        run = run_app(heat3d, nranks=8, args=(cfg, CheckpointStore()))
+        assert run.result.completed
+
+    def test_checkpoint_interval_beyond_iterations(self):
+        store = CheckpointStore()
+        cfg = HeatConfig.paper_workload(nranks=8, iterations=10, checkpoint_interval=1000)
+        run = run_app(heat3d, nranks=8, args=(cfg, store))
+        assert run.result.completed
+        assert store.checkpoint_ids() == [10]  # the final-result dump
+
+    def test_zero_byte_messages(self):
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=0, tag=0)
+            else:
+                got = yield from mpi.recv(0, tag=0)
+                assert got is None
+            yield from mpi.finalize()
+
+        assert run_app(app, nranks=2).result.completed
+
+    def test_paper_system_exact_dims_only_at_full_scale(self):
+        assert SystemConfig.paper_system().topology_dims == (32, 32, 32)
+        assert SystemConfig.paper_system(nranks=100).topology_dims is None
+        sim = XSim(SystemConfig.paper_system(nranks=100))
+        assert sim.world.network.topology.nnodes >= 100

@@ -1,0 +1,390 @@
+"""The PDES engine: stepping, clocks, failure/abort activation semantics."""
+
+import math
+
+import pytest
+
+from repro.pdes.context import VpState
+from repro.pdes.engine import Engine
+from repro.pdes.requests import Advance, Block
+from repro.util.errors import ConfigurationError, DeadlockError, SimulationError
+
+
+def sleeper(duration):
+    def gen():
+        yield Advance(duration)
+        return duration
+
+    return gen()
+
+
+class TestBasicExecution:
+    def test_single_vp_advances_clock(self):
+        eng = Engine()
+        vp = eng.spawn(sleeper(2.5))
+        result = eng.run()
+        assert result.completed
+        assert vp.clock == pytest.approx(2.5)
+        assert result.exit_time == pytest.approx(2.5)
+
+    def test_exit_value_captured(self):
+        eng = Engine()
+        eng.spawn(sleeper(1.0))
+        result = eng.run()
+        assert result.exit_values[0] == 1.0
+
+    def test_ranks_assigned_in_spawn_order(self):
+        eng = Engine()
+        vps = [eng.spawn(sleeper(1.0)) for _ in range(4)]
+        assert [vp.rank for vp in vps] == [0, 1, 2, 3]
+
+    def test_zero_advance_is_free_control_point(self):
+        def gen():
+            yield Advance(0.0)
+            yield Advance(0.0)
+
+        eng = Engine()
+        vp = eng.spawn(gen())
+        eng.run()
+        assert vp.clock == 0.0
+        assert vp.state is VpState.DONE
+
+    def test_negative_advance_rejected(self):
+        def gen():
+            yield Advance(-1.0)
+
+        eng = Engine()
+        eng.spawn(gen())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_unknown_yield_rejected(self):
+        def gen():
+            yield "nonsense"
+
+        eng = Engine()
+        eng.spawn(gen())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_start_time_initialises_all_clocks(self):
+        eng = Engine(start_time=100.0)
+        vp = eng.spawn(sleeper(1.0))
+        result = eng.run()
+        assert vp.clock == pytest.approx(101.0)
+        assert result.start_time == 100.0
+
+    def test_bad_start_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Engine(start_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            Engine(start_time=math.inf)
+
+    def test_run_twice_rejected(self):
+        eng = Engine()
+        eng.spawn(sleeper(1.0))
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_spawn_after_run_rejected(self):
+        eng = Engine()
+        eng.spawn(sleeper(1.0))
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.spawn(sleeper(1.0))
+
+    def test_event_count_reported(self):
+        eng = Engine()
+        eng.spawn(sleeper(1.0))
+        result = eng.run()
+        assert result.event_count >= 2  # start + resume
+
+    def test_timing_statistics(self):
+        eng = Engine()
+        for d in (1.0, 2.0, 3.0):
+            eng.spawn(sleeper(d))
+        result = eng.run()
+        assert result.timing.minimum == pytest.approx(1.0)
+        assert result.timing.maximum == pytest.approx(3.0)
+        assert result.timing.average == pytest.approx(2.0)
+        assert "min=" in result.timing_report()
+
+
+class TestBlockWake:
+    def test_wake_delivers_value(self):
+        got = []
+
+        def waiter():
+            value = yield Block("waiting")
+            got.append(value)
+
+        eng = Engine()
+        vp = eng.spawn(waiter())
+
+        def wake_later():
+            eng.wake(vp, 5.0, value="hello")
+
+        eng.schedule(0.0, wake_later)
+        eng.run()
+        assert got == ["hello"]
+        assert vp.clock == pytest.approx(5.0)
+
+    def test_wake_raises_exception_into_vp(self):
+        caught = []
+
+        class Boom(Exception):
+            pass
+
+        def waiter():
+            try:
+                yield Block("waiting")
+            except Boom:
+                caught.append(True)
+
+        eng = Engine()
+        vp = eng.spawn(waiter())
+        eng.schedule(0.0, lambda: eng.wake(vp, 1.0, exc=Boom()))
+        eng.run()
+        assert caught == [True]
+
+    def test_wake_non_blocked_rejected(self):
+        eng = Engine()
+        vp = eng.spawn(sleeper(10.0))
+        with pytest.raises(SimulationError):
+            eng.wake(vp, 1.0)
+
+    def test_schedule_into_past_rejected(self):
+        eng = Engine()
+        eng.spawn(sleeper(1.0))
+
+        def bad():
+            eng.schedule(0.0, lambda: None)
+
+        eng.schedule(0.5, lambda: eng.schedule(0.1, lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_deadlock_detection(self):
+        def waiter():
+            yield Block("never woken")
+
+        eng = Engine()
+        eng.spawn(waiter())
+        eng.spawn(sleeper(1.0))
+        with pytest.raises(DeadlockError) as err:
+            eng.run()
+        assert "never woken" in str(err.value)
+
+
+class TestFailureActivation:
+    """Paper §IV-B semantics."""
+
+    def test_scheduled_time_is_earliest_actual_at_control_point(self):
+        """A VP computing past the failure time fails when the simulator
+        regains control, with its clock at the advance's end."""
+        eng = Engine()
+        vp = eng.spawn(sleeper(10.0))
+        eng.schedule_failure(0, 4.0)
+        result = eng.run()
+        assert vp.state is VpState.FAILED
+        assert result.failures == [(0, 10.0)]  # not 4.0
+
+    def test_blocked_vp_fails_at_exactly_scheduled_time(self):
+        def waiter():
+            yield Block("forever")
+
+        eng = Engine()
+        vp = eng.spawn(waiter())
+        eng.spawn(sleeper(20.0))
+        eng.schedule_failure(0, 7.0)
+        result = eng.run()
+        assert vp.state is VpState.FAILED
+        assert result.failures == [(0, 7.0)]
+
+    def test_failure_before_start_kills_at_startup(self):
+        eng = Engine()
+        vp = eng.spawn(sleeper(5.0))
+        eng.spawn(sleeper(1.0))
+        eng.schedule_failure(0, 0.0)
+        result = eng.run()
+        assert vp.state is VpState.FAILED
+        assert result.failures[0][0] == 0
+
+    def test_earliest_of_multiple_schedules_wins(self):
+        eng = Engine()
+        eng.spawn(sleeper(100.0))
+        eng.schedule_failure(0, 50.0)
+        eng.schedule_failure(0, 10.0)
+        result = eng.run()
+        assert result.failures == [(0, 100.0)]
+        assert eng.vps[0].time_of_failure == 10.0
+
+    def test_failure_after_completion_is_noop(self):
+        eng = Engine()
+        eng.spawn(sleeper(1.0))
+        eng.schedule_failure(0, 5.0)
+        result = eng.run()
+        assert result.completed
+        assert result.failures == []
+
+    def test_failure_before_engine_start_time_rejected(self):
+        eng = Engine(start_time=100.0)
+        eng.spawn(sleeper(1.0))
+        with pytest.raises(ConfigurationError):
+            eng.schedule_failure(0, 50.0)
+
+    def test_fail_now_kills_at_current_clock(self):
+        eng = Engine()
+        eng.spawn(sleeper(3.0))
+        eng.schedule(2.0, lambda: eng.fail_now(0, "test"))
+        result = eng.run()
+        # fail_now fires at t=2 while rank 0 is mid-advance; its clock is
+        # still at the advance start (0.0), and the kill is immediate.
+        assert result.failures[0][0] == 0
+        assert eng.vps[0].state is VpState.FAILED
+
+    def test_failure_runs_listeners(self):
+        seen = []
+        eng = Engine()
+        eng.spawn(sleeper(5.0))
+        eng.failure_listeners.append(lambda vp, t: seen.append((vp.rank, t)))
+        eng.schedule_failure(0, 1.0)
+        eng.run()
+        assert seen == [(0, 5.0)]
+
+    def test_failure_logged_with_time_and_rank(self):
+        eng = Engine()
+        eng.spawn(sleeper(5.0))
+        eng.schedule_failure(0, 1.0)
+        result = eng.run()
+        entries = result.log.category("failure")
+        assert len(entries) == 1
+        assert entries[0].rank == 0
+        assert entries[0].time == pytest.approx(5.0)
+
+    def test_generator_finally_runs_on_kill(self):
+        cleaned = []
+
+        def gen():
+            try:
+                yield Advance(10.0)
+            finally:
+                cleaned.append(True)
+
+        eng = Engine()
+        eng.spawn(gen())
+        eng.schedule_failure(0, 1.0)
+        eng.run()
+        assert cleaned == [True]
+
+
+class TestAbortActivation:
+    """Paper §IV-D semantics."""
+
+    def _engine_with(self, *gens):
+        eng = Engine()
+        for g in gens:
+            eng.spawn(g)
+        return eng
+
+    def test_blocked_vps_released_at_abort_time(self):
+        def waiter():
+            yield Block("w")
+
+        def aborter():
+            yield Advance(5.0)
+            eng.request_abort(5.0, 1)
+            yield Block("aborting")
+
+        eng = Engine()
+        vp0 = eng.spawn(waiter())
+        eng.spawn(aborter())
+        result = eng.run()
+        assert result.aborted
+        assert result.abort_time == pytest.approx(5.0)
+        assert result.abort_rank == 1
+        assert vp0.state is VpState.ABORTED
+        assert vp0.end_time == pytest.approx(5.0)
+
+    def test_computing_vp_aborts_at_next_control_point(self):
+        """Exit time can exceed the abort time (paper: statistics printed
+        after *all* processes aborted)."""
+
+        def long_compute():
+            yield Advance(100.0)
+
+        def aborter():
+            yield Advance(1.0)
+            eng.request_abort(1.0, 1)
+            yield Block("aborting")
+
+        eng = Engine()
+        vp0 = eng.spawn(long_compute())
+        eng.spawn(aborter())
+        result = eng.run()
+        assert vp0.state is VpState.ABORTED
+        assert vp0.end_time == pytest.approx(100.0)
+        assert result.exit_time == pytest.approx(100.0)
+        assert result.abort_time == pytest.approx(1.0)
+
+    def test_first_abort_wins(self):
+        def aborter(me, t):
+            def gen():
+                yield Advance(t)
+                eng.request_abort(t, me)
+                yield Block("aborting")
+
+            return gen()
+
+        eng = Engine()
+        eng.spawn(aborter(0, 2.0))
+        eng.spawn(aborter(1, 1.0))
+        result = eng.run()
+        assert result.abort_rank == 1
+        assert result.abort_time == pytest.approx(1.0)
+
+    def test_abort_logged(self):
+        def aborter():
+            yield Advance(1.0)
+            eng.request_abort(1.0, 0)
+            yield Block("aborting")
+
+        eng = Engine()
+        eng.spawn(aborter())
+        result = eng.run()
+        assert len(result.log.category("abort")) == 1
+
+
+class TestExitPolicy:
+    def test_exit_policy_failure_converts_done_to_failed(self):
+        eng = Engine()
+        vp = eng.spawn(sleeper(1.0))
+        eng.exit_policy = lambda vp: "failure"
+        result = eng.run()
+        assert vp.state is VpState.FAILED
+        assert result.failures == [(0, 1.0)]
+        assert "MPI_Finalize" in str(result.log.category("failure")[0].message)
+
+    def test_exit_policy_done_keeps_done(self):
+        eng = Engine()
+        vp = eng.spawn(sleeper(1.0))
+        eng.exit_policy = lambda vp: "done"
+        result = eng.run()
+        assert vp.state is VpState.DONE
+        assert result.completed
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def build():
+            eng = Engine()
+            for d in (3.0, 1.0, 2.0):
+                eng.spawn(sleeper(d))
+            eng.schedule_failure(1, 0.5)
+            return eng.run()
+
+        r1, r2 = build(), build()
+        assert r1.end_times == r2.end_times
+        assert r1.failures == r2.failures
+        assert r1.event_count == r2.event_count

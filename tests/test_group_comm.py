@@ -1,0 +1,152 @@
+"""Groups, communicators, datatypes, and reduction ops."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.datatypes import BYTE, DOUBLE, INT, payload_nbytes
+from repro.mpi.errhandler import ERRORS_ARE_FATAL, ERRORS_RETURN
+from repro.mpi.group import Group
+from repro.mpi.ops import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM, fold
+from repro.util.errors import ConfigurationError
+
+
+class TestGroup:
+    def test_rank_translation(self):
+        g = Group([10, 20, 30])
+        assert g.size == 3
+        assert g.world_rank(1) == 20
+        assert g.group_rank(30) == 2
+        assert g.group_rank(99) is None
+        assert g.contains(10)
+
+    def test_incl_excl(self):
+        g = Group([10, 20, 30, 40])
+        assert g.incl([2, 0]).ranks == (30, 10)
+        assert g.excl([1, 3]).ranks == (10, 30)
+
+    def test_set_operations(self):
+        a, b = Group([1, 2, 3]), Group([3, 4])
+        assert a.union(b).ranks == (1, 2, 3, 4)
+        assert a.intersection(b).ranks == (3,)
+        assert a.difference(b).ranks == (1, 2)
+
+    def test_excl_world(self):
+        g = Group([5, 6, 7, 8])
+        assert g.excl_world([6, 8]).ranks == (5, 7)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Group([1, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Group([-1])
+
+    def test_out_of_range_group_rank(self):
+        with pytest.raises(ConfigurationError):
+            Group([1, 2]).world_rank(2)
+
+    def test_equality_and_hash(self):
+        assert Group([1, 2]) == Group([1, 2])
+        assert Group([1, 2]) != Group([2, 1])  # order matters
+        assert hash(Group([1, 2])) == hash(Group([1, 2]))
+
+    def test_iteration(self):
+        assert list(Group([3, 1])) == [3, 1]
+        assert len(Group([3, 1])) == 2
+
+
+class TestCommunicator:
+    def test_rank_translation(self):
+        c = Communicator(Group([10, 20]), context_id=5)
+        assert c.size == 2
+        assert c.rank_of(20) == 1
+        assert c.world_rank(0) == 10
+        with pytest.raises(ConfigurationError):
+            c.rank_of(99)
+
+    def test_default_errhandler_is_fatal(self):
+        c = Communicator(Group([0, 1]), 1)
+        assert c.get_errhandler(0) is ERRORS_ARE_FATAL
+
+    def test_errhandler_is_per_rank(self):
+        c = Communicator(Group([0, 1]), 1)
+        c.set_errhandler(0, ERRORS_RETURN)
+        assert c.get_errhandler(0) is ERRORS_RETURN
+        assert c.get_errhandler(1) is ERRORS_ARE_FATAL
+
+    def test_collective_seq_per_rank(self):
+        c = Communicator(Group([0, 1]), 1)
+        assert c.next_collective_seq(0) == 0
+        assert c.next_collective_seq(0) == 1
+        assert c.next_collective_seq(1) == 0  # independent counter
+
+    def test_acked_failures(self):
+        c = Communicator(Group([0, 1, 2]), 1)
+        assert c.acked_failures(0) == frozenset()
+        c.ack_failures(0, frozenset({2}))
+        assert c.acked_failures(0) == frozenset({2})
+        assert c.acked_failures(1) == frozenset()
+
+    def test_default_name(self):
+        assert Communicator(Group([0]), 7).name == "comm#7"
+
+
+class TestDatatypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_extent(self):
+        assert DOUBLE.extent(100) == 800
+        with pytest.raises(ConfigurationError):
+            DOUBLE.extent(-1)
+
+    def test_payload_nbytes_explicit_wins(self):
+        assert payload_nbytes(np.zeros(10), 5) == 5
+
+    def test_payload_nbytes_from_ndarray(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64), None) == 80
+
+    def test_payload_nbytes_from_bytes(self):
+        assert payload_nbytes(b"abcd", None) == 4
+        assert payload_nbytes(bytearray(3), None) == 3
+
+    def test_payload_nbytes_none_is_zero(self):
+        assert payload_nbytes(None, None) == 0
+
+    def test_payload_nbytes_opaque_requires_explicit(self):
+        with pytest.raises(ConfigurationError):
+            payload_nbytes({"a": 1}, None)
+        with pytest.raises(ConfigurationError):
+            payload_nbytes(None, -1)
+
+
+class TestOps:
+    def test_scalar_ops(self):
+        assert SUM(2, 3) == 5
+        assert PROD(2, 3) == 6
+        assert MIN(2, 3) == 2
+        assert MAX(2, 3) == 3
+        assert LAND(1, 0) is False
+        assert LOR(1, 0) is True
+        assert BAND(0b110, 0b011) == 0b010
+        assert BOR(0b110, 0b011) == 0b111
+
+    def test_array_min_max(self):
+        a, b = np.array([1, 5]), np.array([3, 2])
+        assert list(MIN(a, b)) == [1, 2]
+        assert list(MAX(a, b)) == [3, 5]
+
+    def test_fold_order(self):
+        assert fold(SUM, [1, 2, 3]) == 6
+        assert fold(MAX, [3, 1, 2]) == 3
+
+    def test_fold_single(self):
+        assert fold(SUM, [5]) == 5
+
+    def test_fold_modeled_payloads_short_circuit(self):
+        assert fold(SUM, [1, None, 3]) is None
+        assert fold(SUM, [None]) is None

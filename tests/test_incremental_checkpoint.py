@@ -1,0 +1,156 @@
+"""Incremental/differential checkpointing."""
+
+import pytest
+
+from repro.core.checkpoint.incremental import IncrementalCheckpointProtocol, IncrementalPlan
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.restart import RestartDriver
+from repro.models.filesystem import FileSystemModel
+from repro.util.errors import ConfigurationError
+from tests.conftest import run_app
+
+STATE = 1_000_000  # full checkpoint bytes
+
+
+class TestIncrementalPlan:
+    def test_full_every_kth(self):
+        plan = IncrementalPlan(full_interval=3, dirty_fraction=0.2)
+        assert [plan.is_full(i) for i in range(6)] == [True, False, False, True, False, False]
+
+    def test_write_sizes(self):
+        plan = IncrementalPlan(full_interval=4, dirty_fraction=0.25)
+        assert plan.write_nbytes(0, STATE) == STATE
+        assert plan.write_nbytes(1, STATE) == STATE // 4
+
+    def test_chain_length_resets_at_full(self):
+        plan = IncrementalPlan(full_interval=4)
+        assert [plan.chain_length(i) for i in range(8)] == [1, 2, 3, 4, 1, 2, 3, 4]
+
+    def test_restore_bytes_accumulate(self):
+        plan = IncrementalPlan(full_interval=4, dirty_fraction=0.25)
+        assert plan.restore_nbytes(0, STATE) == STATE
+        assert plan.restore_nbytes(2, STATE) == STATE + 2 * (STATE // 4)
+
+    def test_mean_write_smaller_than_full(self):
+        plan = IncrementalPlan(full_interval=4, dirty_fraction=0.25)
+        assert plan.mean_write_nbytes(STATE) < STATE
+        baseline = IncrementalPlan(full_interval=1)
+        assert baseline.mean_write_nbytes(STATE) == STATE
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalPlan(full_interval=0)
+        with pytest.raises(ConfigurationError):
+            IncrementalPlan(dirty_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            IncrementalPlan(dirty_fraction=1.5)
+
+
+def checkpointed_app(segments: int, plan: IncrementalPlan, work_per_segment: float = 10.0):
+    """A compute loop using the incremental protocol (one ckpt/segment)."""
+
+    def app(mpi, store):
+        yield from mpi.init()
+        proto = IncrementalCheckpointProtocol(mpi, store, plan)
+        cid, data = yield from proto.restore_latest()
+        done = data["segment"] if data else 0
+        while done < segments:
+            yield from mpi.compute(work_per_segment)
+            done += 1
+            yield from proto.checkpoint(done, {"segment": done}, STATE)
+        yield from mpi.finalize()
+        return done
+
+    return app
+
+
+def slow_fs_system(nranks=4):
+    # 1 MB full checkpoint at 1 MB/s effective -> visible, countable cost
+    return SystemConfig.small_test_system(nranks=nranks).scaled(
+        filesystem=FileSystemModel(
+            aggregate_bandwidth=1e9, client_bandwidth=1e6, metadata_latency=0.0
+        )
+    )
+
+
+class TestProtocolCleanRuns:
+    def test_incremental_writes_cost_less(self):
+        plan_inc = IncrementalPlan(full_interval=4, dirty_fraction=0.25)
+        plan_full = IncrementalPlan(full_interval=1)
+        app_inc = checkpointed_app(8, plan_inc)
+        app_full = checkpointed_app(8, plan_full)
+        t_inc = run_app(app_inc, nranks=4, args=(CheckpointStore(),), system=slow_fs_system()).result.exit_time
+        t_full = run_app(app_full, nranks=4, args=(CheckpointStore(),), system=slow_fs_system()).result.exit_time
+        # full: 8 x 1 s of I/O; incremental: 2 full + 6 quarter writes
+        assert t_inc < t_full
+        assert t_full - t_inc == pytest.approx(6 * 0.75, abs=0.5)
+
+    def test_pruning_keeps_only_active_chain(self):
+        store = CheckpointStore()
+        plan = IncrementalPlan(full_interval=3, dirty_fraction=0.5)
+        run = run_app(checkpointed_app(7, plan), nranks=4, args=(store,))
+        assert run.result.completed
+        # checkpoints 1..7; fulls at indices 0,3,6 -> ids 1,4,7.
+        # after full #7, ids 4,5,6 were pruned; 7 remains
+        assert store.checkpoint_ids() == [7]
+
+    def test_chain_kept_between_fulls(self):
+        store = CheckpointStore()
+        plan = IncrementalPlan(full_interval=4, dirty_fraction=0.5)
+        run = run_app(checkpointed_app(3, plan), nranks=4, args=(store,))
+        assert run.result.completed
+        # ids 1 (full), 2, 3 (incrementals): all must survive
+        assert store.checkpoint_ids() == [1, 2, 3]
+
+
+class TestRestartWithChains:
+    def _run(self, plan, fail_at, segments=8):
+        driver = RestartDriver(
+            SystemConfig.small_test_system(nranks=4),
+            checkpointed_app(segments, plan),
+            make_args=lambda store: (store,),
+            schedule=FailureSchedule.of((2, fail_at)),
+        )
+        return driver.run()
+
+    def test_restart_from_incremental_chain(self):
+        plan = IncrementalPlan(full_interval=4, dirty_fraction=0.25)
+        run = self._run(plan, fail_at=65.0)  # mid segment 7; ckpt 6 done
+        assert run.completed
+        assert run.restarts == 1
+        assert set(run.exit_values.values()) == {8}
+        # the rerun resumed from checkpoint 6, not from the last full (5)
+        final = run.segments[-1]
+        assert final.result.exit_time - final.start_time == pytest.approx(
+            2 * 10.0, abs=5.0
+        )
+
+    def test_corrupted_incremental_falls_back_along_chain(self):
+        """A corrupted newest incremental forces restore from an earlier
+        chain member."""
+        store = CheckpointStore()
+        plan = IncrementalPlan(full_interval=4, dirty_fraction=0.25)
+        run = run_app(checkpointed_app(6, plan), nranks=4, args=(store,))
+        assert run.result.completed
+        # sabotage the newest checkpoint (id 6) for rank 0
+        store.begin_write(6, 0, {"broken": True}, 10)  # PARTIAL overwrite
+
+        def resume_app(mpi, st):
+            yield from mpi.init()
+            proto = IncrementalCheckpointProtocol(mpi, st, plan)
+            cid, data = yield from proto.restore_latest()
+            yield from mpi.finalize()
+            return (cid, data["segment"] if data else None)
+
+        run2 = run_app(resume_app, nranks=4, args=(store,))
+        cid, seg = run2.result.exit_values[0]
+        assert cid == 5
+        assert seg == 5
+
+    def test_full_only_plan_equivalent_to_classic(self):
+        plan = IncrementalPlan(full_interval=1)
+        run = self._run(plan, fail_at=45.0)
+        assert run.completed
+        assert set(run.exit_values.values()) == {8}

@@ -1,0 +1,92 @@
+"""Resilience cost/benefit metrics."""
+
+import pytest
+
+from repro.apps.naive_cr import NaiveCrConfig, naive_cr
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.harness.metrics import ResilienceMetrics, compute_metrics
+from repro.core.restart import RestartDriver
+from repro.util.errors import ConfigurationError
+
+WORK, TAU, DELTA = 100.0, 10.0, 1.0  # E1 = 110 s, useful = 100 s
+
+
+def run_experiment(schedule=None):
+    system = SystemConfig.small_test_system(nranks=4)
+    cfg = NaiveCrConfig(work=WORK, tau=TAU, delta=DELTA)
+    driver = RestartDriver(
+        system, naive_cr, make_args=lambda store: (cfg, store), schedule=schedule
+    )
+    return driver.run()
+
+
+class TestComputeMetrics:
+    def test_failure_free_run(self):
+        run = run_experiment()
+        m = compute_metrics(run, useful_time=WORK, e1=run.e2, nranks=4)
+        assert m.efficiency == pytest.approx(WORK / 110.0, rel=0.01)
+        assert m.checkpoint_overhead == pytest.approx(10.0, rel=0.05)
+        assert m.failure_overhead == 0.0
+        assert m.availability == 1.0
+        assert m.mttf_application is None
+
+    def test_run_with_failure(self):
+        clean = run_experiment()
+        faulty = run_experiment(schedule=FailureSchedule.of((2, 55.0)))
+        m = compute_metrics(faulty, useful_time=WORK, e1=clean.e2, nranks=4)
+        assert m.failures == 1
+        assert m.restarts == 1
+        assert m.failure_overhead > 0
+        assert m.efficiency < WORK / clean.e2
+        assert m.waste == pytest.approx(m.checkpoint_overhead + m.failure_overhead)
+        # one node was dead from ~55 s to the segment's abort
+        assert 0.0 < m.lost_node_seconds < m.node_seconds
+        assert m.availability < 1.0
+        assert m.mttf_application == pytest.approx(m.e2 / 2)
+
+    def test_summary_renders(self):
+        run = run_experiment(schedule=FailureSchedule.of((1, 33.0)))
+        clean = run_experiment()
+        m = compute_metrics(run, useful_time=WORK, e1=clean.e2, nranks=4)
+        text = m.summary()
+        assert "efficiency" in text
+        assert "application MTTF" in text
+        assert "availability" in text
+
+    def test_validation(self):
+        run = run_experiment()
+        with pytest.raises(ConfigurationError):
+            compute_metrics(run, useful_time=0.0, e1=110.0, nranks=4)
+        with pytest.raises(ConfigurationError):
+            compute_metrics(run, useful_time=200.0, e1=110.0, nranks=4)
+        with pytest.raises(ConfigurationError):
+            compute_metrics(run, useful_time=100.0, e1=110.0, nranks=0)
+
+
+class TestMetricsAlgebra:
+    def _metrics(self, **kw):
+        base = dict(
+            useful_time=100.0,
+            e1=110.0,
+            e2=150.0,
+            failures=2,
+            restarts=2,
+            node_seconds=600.0,
+            lost_node_seconds=60.0,
+        )
+        base.update(kw)
+        return ResilienceMetrics(**base)
+
+    def test_decomposition_adds_up(self):
+        m = self._metrics()
+        assert m.checkpoint_overhead + m.failure_overhead == pytest.approx(m.waste)
+        assert m.useful_time + m.waste == pytest.approx(m.e2)
+
+    def test_availability(self):
+        assert self._metrics().availability == pytest.approx(0.9)
+        assert self._metrics(node_seconds=0.0, lost_node_seconds=0.0).availability == 1.0
+
+    def test_mttf_relation(self):
+        assert self._metrics().mttf_application == pytest.approx(50.0)
+        assert self._metrics(failures=0).mttf_application is None

@@ -1,0 +1,200 @@
+"""Proactive migration: engine delay injection and the intercept policy."""
+
+import pytest
+
+from repro.apps.naive_cr import NaiveCrConfig, naive_cr
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.migration import FailurePredictor, ProactiveMigration
+from repro.core.restart import RestartDriver
+from repro.pdes.engine import Engine
+from repro.pdes.requests import Advance, Block
+from repro.util.errors import ConfigurationError
+
+
+class TestEngineDelayInjection:
+    def test_delay_applied_at_next_control_point(self):
+        eng = Engine()
+
+        def worker():
+            yield Advance(10.0)
+            yield Advance(10.0)
+
+        vp = eng.spawn(worker())
+        eng.inject_delay(0, 3.0, duration=5.0)
+        result = eng.run()
+        # delay lands mid first advance, applied when control returns at 10
+        assert vp.clock == pytest.approx(25.0)
+        assert result.completed
+        assert result.log.category("delay")
+
+    def test_delay_on_blocked_vp_applies_after_wake(self):
+        eng = Engine()
+
+        def waiter():
+            yield Block("w")
+            yield Advance(1.0)
+
+        vp = eng.spawn(waiter())
+        eng.inject_delay(0, 1.0, duration=4.0)
+        eng.schedule(10.0, lambda: eng.wake(vp, 10.0))
+        eng.run()
+        assert vp.clock == pytest.approx(15.0)  # 10 wake + 4 delay + 1 work
+
+    def test_delays_accumulate(self):
+        eng = Engine()
+
+        def worker():
+            yield Advance(10.0)
+            yield Advance(0.0)
+
+        vp = eng.spawn(worker())
+        eng.inject_delay(0, 1.0, 2.0)
+        eng.inject_delay(0, 2.0, 3.0)
+        eng.run()
+        assert vp.clock == pytest.approx(15.0)
+
+    def test_delay_on_dead_vp_ignored(self):
+        eng = Engine()
+
+        def worker():
+            yield Advance(1.0)
+
+        eng.spawn(worker())
+
+        def straggler():
+            yield Advance(20.0)
+
+        eng.spawn(straggler())
+        eng.inject_delay(0, 5.0, 100.0)  # rank 0 already finished
+        result = eng.run()
+        assert result.end_times[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        eng = Engine(start_time=10.0)
+        eng.spawn(iter(()))
+        with pytest.raises(ConfigurationError):
+            eng.inject_delay(0, 5.0, 1.0)  # before start
+        with pytest.raises(ConfigurationError):
+            eng.inject_delay(0, 20.0, -1.0)
+
+    def test_failure_beats_pending_delay(self):
+        eng = Engine()
+
+        def worker():
+            yield Advance(10.0)
+            yield Advance(10.0)
+
+        vp = eng.spawn(worker())
+        eng.inject_delay(0, 1.0, 5.0)
+        eng.schedule_failure(0, 2.0)
+        result = eng.run()
+        # control point at t=10: the failure activates; the delay never runs
+        assert result.failures == [(0, 10.0)]
+
+
+class TestPredictor:
+    def test_recall_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FailurePredictor(recall=1.5)
+        with pytest.raises(ConfigurationError):
+            FailurePredictor(lead_time=-1.0)
+
+    def test_perfect_recall_always_predicts(self):
+        from repro.util.rng import RngStreams
+
+        p = FailurePredictor(recall=1.0)
+        rng = RngStreams(0).get("t")
+        assert all(p.predicts(rng) for _ in range(50))
+
+    def test_zero_recall_never_predicts(self):
+        from repro.util.rng import RngStreams
+
+        p = FailurePredictor(recall=0.0)
+        rng = RngStreams(0).get("t")
+        assert not any(p.predicts(rng) for _ in range(50))
+
+
+class TestProactiveMigration:
+    def _driver(self, manager, schedule):
+        system = SystemConfig.small_test_system(nranks=4)
+        cfg = NaiveCrConfig(work=100.0, tau=10.0, delta=1.0)
+        return RestartDriver(
+            system,
+            naive_cr,
+            make_args=lambda store: (cfg, store),
+            schedule=None,
+            mttf=None,
+            policy=_FixedPolicy(schedule),
+            interceptor=manager.intercept,
+        )
+
+    def test_perfect_prediction_avoids_failure(self):
+        manager = ProactiveMigration(
+            FailurePredictor(lead_time=10.0, recall=1.0),
+            spares=2,
+            state_bytes=10**9,
+            migration_bandwidth=1e9,
+            migration_latency=1.0,
+        )
+        run = self._driver(manager, [(2, 50.0)]).run()
+        assert run.completed
+        assert run.f == 0  # no failure activated
+        assert run.restarts == 0
+        assert manager.stats.migrations == 1
+        assert manager.stats.avoided_failures == 1
+        # the victim paid the stop-and-copy downtime (2 s) but nobody else
+        assert run.e2 == pytest.approx(110.0 + 2.0, abs=1.0)
+
+    def test_unpredicted_failure_still_kills(self):
+        manager = ProactiveMigration(
+            FailurePredictor(lead_time=10.0, recall=0.0), spares=2
+        )
+        run = self._driver(manager, [(2, 50.0)]).run()
+        assert run.f == 1
+        assert run.restarts == 1
+        assert manager.stats.unpredicted == 1
+        assert manager.stats.migrations == 0
+
+    def test_out_of_spares_fails(self):
+        manager = ProactiveMigration(
+            FailurePredictor(lead_time=10.0, recall=1.0), spares=0
+        )
+        run = self._driver(manager, [(2, 50.0)]).run()
+        assert run.f == 1
+        assert manager.stats.out_of_spares == 1
+
+    def test_warning_too_late_fails(self):
+        manager = ProactiveMigration(
+            FailurePredictor(lead_time=100.0, recall=1.0), spares=2
+        )
+        run = self._driver(manager, [(2, 50.0)]).run()  # warn time < 0
+        assert run.f == 1
+        assert manager.stats.too_late == 1
+
+    def test_spare_pool_depletes_across_failures(self):
+        manager = ProactiveMigration(FailurePredictor(lead_time=5.0, recall=1.0), spares=1)
+        run = self._driver(manager, [(1, 30.0), (2, 60.0)]).run()
+        assert manager.stats.migrations == 1
+        assert manager.stats.out_of_spares == 1
+        assert run.f == 1  # the second failure went through
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProactiveMigration(FailurePredictor(), spares=-1)
+        with pytest.raises(ConfigurationError):
+            ProactiveMigration(FailurePredictor(), migration_bandwidth=0.0)
+
+
+class _FixedPolicy:
+    """Injection policy replaying a fixed relative schedule once."""
+
+    def __init__(self, pairs):
+        self.pairs = list(pairs)
+        self.done = False
+
+    def draw_segment(self, rng, nranks, horizon):
+        if self.done:
+            return []
+        self.done = True
+        return list(self.pairs)

@@ -1,0 +1,188 @@
+"""Processor, file-system, power, and memory models."""
+
+import numpy as np
+import pytest
+
+from repro.models.filesystem import FileSystemModel
+from repro.models.memory import MemoryRegion, MemoryTracker, RegionKind
+from repro.models.power import PowerModel
+from repro.models.processor import ProcessorModel
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStreams
+
+
+class TestProcessorModel:
+    def test_paper_slowdown(self):
+        p = ProcessorModel()  # 1.7 GHz, 1000x
+        assert p.effective_hz == pytest.approx(1.7e6)
+
+    def test_native_seconds_scaled(self):
+        p = ProcessorModel(slowdown=1000.0)
+        assert p.time_for_native_seconds(0.001) == pytest.approx(1.0)
+
+    def test_cycles(self):
+        p = ProcessorModel(reference_hz=1e9, slowdown=10.0)
+        assert p.time_for_cycles(1e8) == pytest.approx(1.0)
+
+    def test_heat3d_calibration_point(self):
+        """4,096 points at the calibrated per-point cost = the paper's
+        ~5.24 s per iteration."""
+        p = ProcessorModel()
+        assert p.time_for_ops(4096, 1.28e-6) == pytest.approx(5.2429, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorModel(slowdown=0.0)
+        with pytest.raises(ConfigurationError):
+            ProcessorModel(reference_hz=-1.0)
+        with pytest.raises(ConfigurationError):
+            ProcessorModel().time_for_native_seconds(-1.0)
+
+
+class TestFileSystemModel:
+    def test_disabled_costs_nothing(self):
+        fs = FileSystemModel.disabled()
+        assert fs.write_time(10**9, 1000) == 0.0
+        assert fs.read_time(10**9) == 0.0
+        assert fs.delete_time() == 0.0
+
+    def test_single_writer_client_limited(self):
+        fs = FileSystemModel(aggregate_bandwidth=500e9, client_bandwidth=4e9, metadata_latency=0.0)
+        assert fs.write_time(4e9, 1) == pytest.approx(1.0)
+
+    def test_many_writers_share_aggregate(self):
+        fs = FileSystemModel(aggregate_bandwidth=500e9, client_bandwidth=4e9, metadata_latency=0.0)
+        # 1000 writers: 0.5 GB/s each < the 4 GB/s client cap
+        assert fs.effective_bandwidth(1000) == pytest.approx(0.5e9)
+        assert fs.write_time(0.5e9, 1000) == pytest.approx(1.0)
+
+    def test_metadata_latency_added(self):
+        fs = FileSystemModel(metadata_latency=0.01)
+        assert fs.write_time(0) == pytest.approx(0.01)
+        assert fs.delete_time() == pytest.approx(0.01)
+
+    def test_create_parses_units(self):
+        fs = FileSystemModel.create("500GB/s", "4GB/s", "1ms")
+        assert fs.aggregate_bandwidth == 500e9
+        assert fs.metadata_latency == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FileSystemModel(aggregate_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            FileSystemModel().write_time(-1)
+        with pytest.raises(ConfigurationError):
+            FileSystemModel().effective_bandwidth(0)
+
+
+class TestPowerModel:
+    def test_node_energy(self):
+        p = PowerModel(idle_watts=50.0, busy_watts=150.0)
+        assert p.node_energy(busy_seconds=10.0, idle_seconds=20.0) == pytest.approx(2500.0)
+
+    def test_machine_energy(self):
+        p = PowerModel(idle_watts=50.0, busy_watts=150.0)
+        e = p.machine_energy(nnodes=2, wall_seconds=10.0, busy_seconds_per_node=10.0)
+        assert e == pytest.approx(3000.0)
+
+    def test_average_power(self):
+        p = PowerModel(idle_watts=100.0, busy_watts=200.0)
+        avg = p.average_power(nnodes=1, wall_seconds=10.0, busy_seconds_per_node=5.0)
+        assert avg == pytest.approx(150.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_watts=100.0, busy_watts=50.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel().machine_energy(1, 1.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel().average_power(1, 0.0, 0.0)
+
+
+class TestMemoryTracker:
+    def test_allocate_and_footprint(self):
+        m = MemoryTracker()
+        m.allocate(0, "a", 100)
+        m.allocate(0, "b", 50)
+        m.allocate(1, "c", 10)
+        assert m.footprint(0) == 150
+        assert m.footprint(1) == 10
+        assert m.footprint(2) == 0
+
+    def test_reallocate_replaces(self):
+        m = MemoryTracker()
+        m.allocate(0, "a", 100)
+        m.allocate(0, "a", 10)
+        assert m.footprint(0) == 10
+
+    def test_free(self):
+        m = MemoryTracker()
+        m.allocate(0, "a", 100)
+        m.free(0, "a")
+        assert m.footprint(0) == 0
+        with pytest.raises(ConfigurationError):
+            m.free(0, "a")
+
+    def test_free_all(self):
+        m = MemoryTracker()
+        m.allocate(3, "a", 1)
+        m.allocate(3, "b", 2)
+        m.free_all(3)
+        assert m.footprint(3) == 0
+        m.free_all(3)  # idempotent
+
+    def test_array_backing_sets_nbytes(self):
+        m = MemoryTracker()
+        arr = np.zeros(16, dtype=np.float64)
+        region = m.allocate(0, "grid", array=arr)
+        assert region.nbytes == 128
+
+    def test_non_contiguous_array_rejected(self):
+        arr = np.zeros((4, 4))[:, ::2]
+        with pytest.raises(ConfigurationError):
+            MemoryRegion(name="x", nbytes=0, array=arr)
+
+    def test_flip_applies_to_backed_array(self):
+        m = MemoryTracker()
+        arr = np.zeros(8, dtype=np.uint8)
+        m.allocate(0, "buf", array=arr)
+        rec = m.flip_random_bit(0, RngStreams(3).get("t"))
+        assert rec.applied
+        assert arr.sum() == 2**rec.bit
+        assert rec.region == "buf"
+
+    def test_flip_is_involution(self):
+        m = MemoryTracker()
+        arr = np.arange(32, dtype=np.uint8)
+        original = arr.copy()
+        m.allocate(0, "buf", array=arr)
+        rng1 = RngStreams(5).get("t")
+        rng2 = RngStreams(5).get("t")
+        m.flip_random_bit(0, rng1)
+        m.flip_random_bit(0, rng2)  # same draw -> same bit -> restored
+        assert np.array_equal(arr, original)
+
+    def test_flip_unbacked_records_only(self):
+        m = MemoryTracker()
+        m.allocate(0, "model-only", 1000, RegionKind.CRITICAL)
+        rec = m.flip_random_bit(0, RngStreams(1).get("t"))
+        assert not rec.applied
+        assert rec.kind is RegionKind.CRITICAL
+        assert 0 <= rec.byte_offset < 1000
+        assert 0 <= rec.bit < 8
+
+    def test_flip_weighted_by_region_size(self):
+        m = MemoryTracker()
+        m.allocate(0, "big", 10_000, RegionKind.DATA)
+        m.allocate(0, "small", 10, RegionKind.CRITICAL)
+        rng = RngStreams(7).get("t")
+        hits = sum(m.flip_random_bit(0, rng).region == "big" for _ in range(200))
+        assert hits > 190
+
+    def test_flip_empty_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTracker().flip_random_bit(0, RngStreams(0).get("t"))
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTracker().allocate(0, "empty", 0)

@@ -1,0 +1,333 @@
+"""Point-to-point semantics of the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.harness.config import SystemConfig
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL
+from repro.util.errors import ConfigurationError, DeadlockError
+from tests.conftest import run_app
+
+
+def finishing(body):
+    """Wrap a per-rank body generator in init/finalize."""
+
+    def app(mpi, *args):
+        yield from mpi.init()
+        result = yield from body(mpi, *args)
+        yield from mpi.finalize()
+        return result
+
+    return app
+
+
+class TestBlockingSendRecv:
+    def test_payload_delivered(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, payload={"x": 41}, nbytes=100, tag=3)
+                return None
+            return (yield from mpi.recv(0, tag=3))
+
+        run = run_app(app, nranks=2)
+        assert run.result.completed
+        assert run.result.exit_values[1] == {"x": 41}
+
+    def test_recv_with_status(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=64, tag=9)
+                return None
+            return (yield from mpi.recv(ANY_SOURCE, tag=ANY_TAG, status=True))
+
+        run = run_app(app, nranks=2)
+        payload, status = run.result.exit_values[1]
+        assert payload is None
+        assert status.source == 0
+        assert status.tag == 9
+        assert status.nbytes == 64
+
+    def test_transfer_advances_receiver_clock(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=0, tag=0)
+            else:
+                yield from mpi.recv(0, tag=0)
+            return mpi.wtime()
+
+        run = run_app(app, nranks=2)
+        # one system-network hop at 1 us
+        assert run.result.exit_values[1] >= 1e-6
+
+    def test_numpy_payload_copied_at_send(self):
+        """Eager buffering semantics: mutating after isend must not affect
+        the receiver's data."""
+
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                data = np.array([1.0, 2.0])
+                req = yield from mpi.isend(1, payload=data, tag=0)
+                data[:] = -1.0
+                yield from mpi.wait(req)
+                return None
+            got = yield from mpi.recv(0, tag=0)
+            return list(got)
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[1] == [1.0, 2.0]
+
+    def test_send_to_self_eager(self):
+        @finishing
+        def app(mpi):
+            yield from mpi.send(mpi.rank, payload="me", nbytes=8, tag=1)
+            return (yield from mpi.recv(mpi.rank, tag=1))
+
+        run = run_app(app, nranks=1)
+        assert run.result.exit_values[0] == "me"
+
+    def test_proc_null_send_recv_are_noops(self):
+        @finishing
+        def app(mpi):
+            yield from mpi.send(PROC_NULL, nbytes=10)
+            got = yield from mpi.recv(PROC_NULL)
+            return got
+
+        run = run_app(app, nranks=1)
+        assert run.result.completed
+        assert run.result.exit_values[0] is None
+
+    def test_tag_out_of_range_rejected(self):
+        @finishing
+        def app(mpi):
+            yield from mpi.send(0, nbytes=0, tag=-5)
+
+        with pytest.raises(ConfigurationError):
+            run_app(app, nranks=1)
+
+    def test_unmatched_recv_deadlocks(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 1:
+                yield from mpi.recv(0, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run_app(app, nranks=2)
+
+
+class TestMatching:
+    def test_tag_selectivity(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, payload="a", nbytes=1, tag=1)
+                yield from mpi.send(1, payload="b", nbytes=1, tag=2)
+                return None
+            second = yield from mpi.recv(0, tag=2)
+            first = yield from mpi.recv(0, tag=1)
+            return (first, second)
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[1] == ("a", "b")
+
+    def test_non_overtaking_same_tag(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                for v in ("first", "second", "third"):
+                    yield from mpi.send(1, payload=v, nbytes=1, tag=0)
+                return None
+            out = []
+            for _ in range(3):
+                out.append((yield from mpi.recv(0, tag=0)))
+            return out
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[1] == ["first", "second", "third"]
+
+    def test_any_source_receives_from_either(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                got = set()
+                for _ in range(2):
+                    payload = yield from mpi.recv(ANY_SOURCE, tag=0)
+                    got.add(payload)
+                return got
+            yield from mpi.compute(0.001 * mpi.rank)
+            yield from mpi.send(0, payload=f"from{mpi.rank}", nbytes=1, tag=0)
+            return None
+
+        run = run_app(app, nranks=3)
+        assert run.result.exit_values[0] == {"from1", "from2"}
+
+    def test_any_tag(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, payload="x", nbytes=1, tag=77)
+                return None
+            return (yield from mpi.recv(0, tag=ANY_TAG))
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[1] == "x"
+
+    def test_wildcard_matches_lowest_seq_buffered(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, payload="early", nbytes=1, tag=5)
+                yield from mpi.send(1, payload="late", nbytes=1, tag=6)
+                return None
+            yield from mpi.compute(1.0)  # both are buffered by now
+            return (yield from mpi.recv(ANY_SOURCE, tag=ANY_TAG))
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[1] == "early"
+
+    def test_communicators_isolate_traffic(self):
+        @finishing
+        def app(mpi):
+            dup = yield from mpi.comm_dup()
+            if mpi.rank == 0:
+                yield from mpi.send(1, payload="world", nbytes=1, tag=0)
+                yield from mpi.send(1, payload="dup", nbytes=1, tag=0, comm=dup)
+                return None
+            on_dup = yield from mpi.recv(0, tag=0, comm=dup)
+            on_world = yield from mpi.recv(0, tag=0)
+            return (on_world, on_dup)
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[1] == ("world", "dup")
+
+
+class TestNonblocking:
+    def test_irecv_before_send(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                req = mpi.irecv(1, tag=0)
+                value = yield from mpi.wait(req)
+                return value
+            yield from mpi.compute(0.5)
+            yield from mpi.send(0, payload=123, nbytes=4, tag=0)
+            return None
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[0] == 123
+
+    def test_waitall_order(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                reqs = [mpi.irecv(1, tag=t) for t in (0, 1, 2)]
+                return (yield from mpi.waitall(reqs))
+            for t in (2, 0, 1):
+                yield from mpi.send(0, payload=t * 10, nbytes=4, tag=t)
+            return None
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[0] == [0, 10, 20]
+
+    def test_test_polling(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                req = mpi.irecv(1, tag=0)
+                done, _ = yield from mpi.test(req)
+                before = done
+                yield from mpi.compute(2.0)
+                done, value = yield from mpi.test(req)
+                return (before, done, value)
+            yield from mpi.compute(1.0)
+            yield from mpi.send(0, payload="late", nbytes=1, tag=0)
+            return None
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[0] == (False, True, "late")
+
+    def test_isend_eager_completes_locally(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                req = yield from mpi.isend(1, nbytes=10, tag=0)
+                assert req.done  # buffered
+                yield from mpi.wait(req)
+                return None
+            yield from mpi.recv(0, tag=0)
+            return None
+
+        assert run_app(app, nranks=2).result.completed
+
+    def test_sendrecv(self):
+        @finishing
+        def app(mpi):
+            peer = 1 - mpi.rank
+            return (
+                yield from mpi.sendrecv(
+                    peer, peer, send_payload=f"r{mpi.rank}", nbytes=4, send_tag=1
+                )
+            )
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[0] == "r1"
+        assert run.result.exit_values[1] == "r0"
+
+
+class TestRendezvous:
+    def _system(self, nranks=2):
+        # tiny eager threshold to force rendezvous
+        return SystemConfig.small_test_system(nranks=nranks, eager_threshold=100)
+
+    def test_large_payload_uses_rendezvous_and_delivers(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                req = yield from mpi.isend(1, payload="big", nbytes=1000, tag=0)
+                assert not req.done  # awaiting CTS
+                yield from mpi.wait(req)
+                return None
+            yield from mpi.compute(1.0)
+            return (yield from mpi.recv(0, tag=0))
+
+        run = run_app(app, nranks=2, system=self._system())
+        assert run.result.exit_values[1] == "big"
+
+    def test_sender_blocks_until_receiver_posts(self):
+        @finishing
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=1000, tag=0)
+                return mpi.wtime()
+            yield from mpi.compute(5.0)
+            yield from mpi.recv(0, tag=0)
+            return mpi.wtime()
+
+        run = run_app(app, nranks=2, system=self._system())
+        # sender could not complete before the receiver posted at t=5
+        assert run.result.exit_values[0] >= 5.0
+
+    def test_rendezvous_slower_than_eager_for_blocking_pair(self):
+        def timed(nbytes):
+            @finishing
+            def app(mpi):
+                if mpi.rank == 0:
+                    yield from mpi.recv(1, tag=0)
+                else:
+                    yield from mpi.send(0, nbytes=nbytes, tag=0)
+                return mpi.wtime()
+
+            return run_app(app, nranks=2, system=self._system()).result.exit_values[0]
+
+        assert timed(99) < timed(101)  # crossing the threshold adds the RTS/CTS round trip
+
+    def test_unmatched_rendezvous_to_self_deadlocks(self):
+        @finishing
+        def app(mpi):
+            yield from mpi.send(0, nbytes=1000, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run_app(app, nranks=1, system=self._system(nranks=1))

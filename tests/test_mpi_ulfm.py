@@ -1,0 +1,231 @@
+"""ULFM user-level failure mitigation (paper future work 3).
+
+The paper's conclusion: "We have also recently added initial ULFM support
+according to the pending MPI ULFM proposal.  ULFM handles process faults at
+the application through MPI-level error notification, i.e., the
+MPI_ERR_PROC_FAILED error code, and MPI calls for remote process
+notification, i.e., MPI_Comm_revoke(), and communicator reconfiguration,
+i.e., MPI_Comm_shrink()."
+"""
+
+import pytest
+
+from repro.core.harness.config import SystemConfig
+from repro.mpi.constants import ANY_SOURCE, ERR_PROC_FAILED, ERR_REVOKED
+from repro.mpi.errhandler import ERRORS_RETURN, MpiError
+from tests.conftest import run_app
+
+
+def ulfm_system(nranks, **kw):
+    return SystemConfig.small_test_system(nranks=nranks, strict_finalize=False, **kw)
+
+
+class TestFailureAck:
+    def test_any_source_blocked_until_ack(self):
+        """A known-unacknowledged failure fails wildcard receives; after
+        MPI_Comm_failure_ack they proceed."""
+
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            if mpi.rank == 0:
+                yield from mpi.compute(5.0)  # rank 2's death is known
+                try:
+                    yield from mpi.recv(ANY_SOURCE, tag=0)
+                    return "unexpected success"
+                except MpiError as err:
+                    assert err.code == ERR_PROC_FAILED
+                yield from mpi.comm_failure_ack()
+                assert mpi.comm_failure_get_acked() == [2]
+                return (yield from mpi.recv(ANY_SOURCE, tag=0))
+            if mpi.rank == 1:
+                yield from mpi.compute(10.0)
+                yield from mpi.send(0, payload="alive", nbytes=4, tag=0)
+            else:  # rank 2: dies at t=2 (scheduled t=1)
+                yield from mpi.compute(2.0)
+            return None
+
+        run = run_app(app, nranks=3, system=ulfm_system(3), failures=[(2, 1.0)])
+        assert run.result.exit_values[0] == "alive"
+
+    def test_named_source_recv_fails_regardless_of_ack(self):
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            if mpi.rank == 0:
+                yield from mpi.compute(5.0)
+                yield from mpi.comm_failure_ack()
+                try:
+                    yield from mpi.recv(1, tag=0)
+                except MpiError as err:
+                    return err.code
+            else:
+                yield from mpi.compute(2.0)  # dies here
+            return None
+
+        run = run_app(app, nranks=2, system=ulfm_system(2), failures=[(1, 1.0)])
+        assert run.result.exit_values[0] == ERR_PROC_FAILED
+
+
+class TestRevoke:
+    def test_revoke_interrupts_blocked_peers(self):
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            if mpi.rank == 0:
+                try:
+                    yield from mpi.recv(1, tag=0)  # would block forever
+                except MpiError as err:
+                    return err.code
+            else:
+                yield from mpi.compute(2.0)
+                yield from mpi.comm_revoke()
+                return "revoked"
+
+        run = run_app(app, nranks=2, system=ulfm_system(2))
+        assert run.result.exit_values[0] == ERR_REVOKED
+        assert run.result.exit_values[1] == "revoked"
+
+    def test_operations_after_revoke_fail(self):
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            if mpi.rank == 0:
+                yield from mpi.comm_revoke()
+            yield from mpi.compute(1.0)
+            try:
+                yield from mpi.send(1 - mpi.rank, nbytes=4, tag=0)
+            except MpiError as err:
+                return err.code
+            return "sent"
+
+        run = run_app(app, nranks=2, system=ulfm_system(2))
+        assert run.result.exit_values[0] == ERR_REVOKED
+        assert run.result.exit_values[1] == ERR_REVOKED
+
+    def test_revoke_is_idempotent(self):
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            yield from mpi.comm_revoke()
+            yield from mpi.comm_revoke()
+            return "ok"
+
+        run = run_app(app, nranks=1, system=ulfm_system(1))
+        assert run.result.exit_values[0] == "ok"
+
+
+class TestShrink:
+    def test_shrink_excludes_failed(self):
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            yield from mpi.compute(5.0)  # rank 1 died at t=1
+            new = yield from mpi.comm_shrink()
+            return (mpi.comm_size(new), mpi.comm_rank(new))
+
+        run = run_app(app, nranks=4, system=ulfm_system(4), failures=[(1, 1.0)])
+        vals = run.result.exit_values
+        # survivors 0, 2, 3 get dense new ranks 0, 1, 2
+        assert vals[0] == (3, 0)
+        assert vals[2] == (3, 1)
+        assert vals[3] == (3, 2)
+
+    def test_shrink_returns_shared_communicator(self):
+        comms = {}
+
+        def app(mpi):
+            yield from mpi.init()
+            new = yield from mpi.comm_shrink()
+            comms[mpi.rank] = new
+            total = yield from mpi.allreduce(1, nbytes=4, comm=new)
+            return total
+
+        run = run_app(app, nranks=3, system=ulfm_system(3))
+        assert set(run.result.exit_values.values()) == {3}
+        assert comms[0] is comms[1] is comms[2]
+
+    def test_shrink_works_on_revoked_comm(self):
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            if mpi.rank == 0:
+                yield from mpi.comm_revoke()
+            new = yield from mpi.comm_shrink()
+            return mpi.comm_size(new)
+
+        run = run_app(app, nranks=3, system=ulfm_system(3))
+        assert set(run.result.exit_values.values()) == {3}
+
+    def test_shrink_tolerates_failure_during_operation(self):
+        """A member dying while others wait in shrink must not hang it."""
+
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            if mpi.rank == 2:
+                yield from mpi.compute(50.0)  # dies mid-way (scheduled t=5)
+                return None
+            new = yield from mpi.comm_shrink()
+            return mpi.comm_size(new)
+
+        run = run_app(app, nranks=3, system=ulfm_system(3), failures=[(2, 5.0)])
+        assert run.result.exit_values[0] == 2
+        assert run.result.exit_values[1] == 2
+
+    def test_shrink_then_continue_workload(self):
+        """The canonical ULFM recovery pattern: the rank that detects the
+        failure revokes the communicator (unblocking peers stuck in the
+        collective), everyone shrinks, work continues on the new comm."""
+
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            world = None
+            try:
+                yield from mpi.compute(2.0 if mpi.rank != 1 else 10.0)
+                yield from mpi.barrier()
+            except MpiError as err:
+                if err.code == ERR_PROC_FAILED:
+                    yield from mpi.comm_revoke()
+                world = yield from mpi.comm_shrink()
+            if world is None:
+                return None
+            return (yield from mpi.allreduce(mpi.rank, nbytes=4, comm=world))
+
+        run = run_app(app, nranks=4, system=ulfm_system(4), failures=[(1, 1.0)])
+        vals = {r: v for r, v in run.result.exit_values.items() if v is not None}
+        assert vals == {0: 5, 2: 5, 3: 5}  # 0 + 2 + 3
+
+
+class TestAgree:
+    def test_agree_logical_and(self):
+        def app(mpi):
+            yield from mpi.init()
+            flag = mpi.rank != 2
+            return (yield from mpi.comm_agree(flag))
+
+        run = run_app(app, nranks=4, system=ulfm_system(4))
+        assert set(run.result.exit_values.values()) == {False}
+
+    def test_agree_true_when_all_true(self):
+        def app(mpi):
+            yield from mpi.init()
+            return (yield from mpi.comm_agree(True))
+
+        run = run_app(app, nranks=3, system=ulfm_system(3))
+        assert set(run.result.exit_values.values()) == {True}
+
+    def test_agree_excludes_failed_contributions(self):
+        def app(mpi):
+            yield from mpi.init()
+            mpi.set_errhandler(ERRORS_RETURN)
+            if mpi.rank == 1:
+                yield from mpi.compute(50.0)  # dies before contributing
+                return None
+            yield from mpi.compute(2.0)
+            return (yield from mpi.comm_agree(True))
+
+        run = run_app(app, nranks=3, system=ulfm_system(3), failures=[(1, 1.0)])
+        assert run.result.exit_values[0] is True
+        assert run.result.exit_values[2] is True

@@ -1,0 +1,90 @@
+"""End-to-end timing arithmetic of the communication paths."""
+
+import pytest
+
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+
+
+def pingpong_time(nbytes, **overrides):
+    """One-way latency measured at the receiver for a single message."""
+    system = SystemConfig.small_test_system(nranks=2, **overrides)
+
+    def app(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=nbytes, tag=0)
+        else:
+            yield from mpi.recv(0, tag=0)
+        done = mpi.wtime()
+        yield from mpi.finalize()
+        return done
+
+    return XSim(system).run(app).exit_values[1]
+
+
+class TestEagerTiming:
+    def test_zero_byte_is_pure_latency(self):
+        # nodes 0 and 1 of the small torus are 1 hop apart at 1 us
+        assert pingpong_time(0) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_payload_adds_serialization(self):
+        t = pingpong_time(32_000)  # 32 kB at 32 GB/s = 1 us
+        assert t == pytest.approx(2e-6, rel=1e-6)
+
+    def test_send_overhead_delays_delivery(self):
+        t = pingpong_time(0, send_overhead_native=1e-3, slowdown=1.0)
+        # the sender's o_send is paid before injection, then wire latency
+        assert t == pytest.approx(1e-3 + 1e-6, rel=1e-3)
+
+    def test_recv_overhead_paid_by_receiver(self):
+        t = pingpong_time(0, recv_overhead_native=2e-3, slowdown=1.0)
+        assert t == pytest.approx(1e-6 + 2e-3, rel=1e-3)
+
+    def test_latency_override(self):
+        t = pingpong_time(0, link_latency="5us")
+        assert t == pytest.approx(5e-6, rel=1e-6)
+
+    def test_bandwidth_override(self):
+        t = pingpong_time(32_000, link_bandwidth="1GB/s")
+        assert t == pytest.approx(1e-6 + 32e-6, rel=1e-3)
+
+
+class TestRendezvousTiming:
+    def test_handshake_roundtrip_added(self):
+        """RTS + CTS add two wire latencies before the payload moves."""
+        eager = pingpong_time(1000)
+        rdv = pingpong_time(1000, eager_threshold=100)
+        # the difference is the RTS/CTS round trip: 2 x 1 us
+        assert rdv - eager == pytest.approx(2e-6, rel=1e-2)
+
+    def test_congestion_scales_payload(self):
+        base = pingpong_time(320_000_000)  # 10 ms of serialization
+        congested = pingpong_time(320_000_000, congestion_factor=3.0)
+        assert congested / base == pytest.approx(3.0, rel=0.01)
+
+
+class TestMultiHopTiming:
+    def test_distance_scales_latency(self):
+        """Corner-to-corner on the torus pays diameter x latency."""
+        system = SystemConfig.paper_system(nranks=64, slowdown=1.0,
+                                           send_overhead_native=0.0,
+                                           recv_overhead_native=0.0)
+        net = system.make_network()
+        far = max(range(64), key=lambda r: net.hops(0, r))
+        hops = net.hops(0, far)
+        assert hops == net.topology.diameter()
+
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.send(mpi.size - 1 if far == mpi.size - 1 else far,
+                                    nbytes=0, tag=0)
+            elif mpi.rank == far:
+                yield from mpi.recv(0, tag=0)
+            done = mpi.wtime()
+            yield from mpi.finalize()
+            return done
+
+        result = XSim(system).run(app)
+        assert result.exit_values[far] == pytest.approx(hops * 1e-6, rel=1e-6)

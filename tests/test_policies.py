@@ -1,0 +1,125 @@
+"""Injection policies (single-uniform and component-reliability-driven)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.naive_cr import NaiveCrConfig, naive_cr
+from repro.core.faults.policies import (
+    ReliabilityInjectionPolicy,
+    SingleUniformFailurePolicy,
+)
+from repro.core.faults.reliability import ExponentialReliability, WeibullReliability
+from repro.core.harness.config import SystemConfig
+from repro.core.restart import RestartDriver
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.rng import RngStreams
+
+
+class TestSingleUniformFailurePolicy:
+    def test_draws_exactly_one(self):
+        policy = SingleUniformFailurePolicy(3000.0)
+        rng = RngStreams(0).get("t")
+        draws = policy.draw_segment(rng, nranks=64, horizon=float("inf"))
+        assert len(draws) == 1
+        rank, t = draws[0]
+        assert 0 <= rank < 64
+        assert 0 <= t < 6000.0
+
+    def test_matches_legacy_mttf_draw_sequence(self):
+        """The shorthand must reproduce the Table II calibration draws."""
+        from repro.core.faults.reliability import MttfInjectionPolicy
+
+        legacy = MttfInjectionPolicy(3000.0).draw(RngStreams(5).get("x"), 512)
+        wrapped = SingleUniformFailurePolicy(3000.0).draw_segment(
+            RngStreams(5).get("x"), 512, float("inf")
+        )
+        assert wrapped == [legacy]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SingleUniformFailurePolicy(0.0)
+
+
+class TestReliabilityInjectionPolicy:
+    def test_exponential_components_target_system_mttf(self):
+        policy = ReliabilityInjectionPolicy.for_system_mttf(1000.0, nranks=100)
+        assert isinstance(policy.component, ExponentialReliability)
+        assert policy.component.mttf == pytest.approx(100_000.0)
+        # empirical: mean time of the earliest drawn failure ~ system MTTF
+        rng = RngStreams(1).get("t")
+        firsts = []
+        for _ in range(300):
+            draws = policy.draw_segment(rng, nranks=100, horizon=float("inf"))
+            firsts.append(draws[0][1] if draws else np.nan)
+        assert np.nanmean(firsts) == pytest.approx(1000.0, rel=0.15)
+
+    def test_weibull_components(self):
+        policy = ReliabilityInjectionPolicy.for_system_mttf(500.0, nranks=16, shape=2.0)
+        assert isinstance(policy.component, WeibullReliability)
+        rng = RngStreams(2).get("t")
+        firsts = []
+        for _ in range(400):
+            draws = policy.draw_segment(rng, nranks=16, horizon=float("inf"))
+            firsts.append(draws[0][1])
+        assert np.mean(firsts) == pytest.approx(500.0, rel=0.15)
+
+    def test_horizon_filters_draws(self):
+        policy = ReliabilityInjectionPolicy(ExponentialReliability(mttf=100.0))
+        rng = RngStreams(3).get("t")
+        draws = policy.draw_segment(rng, nranks=50, horizon=10.0)
+        assert all(t < 10.0 for _, t in draws)
+
+    def test_draws_sorted_by_time(self):
+        policy = ReliabilityInjectionPolicy(ExponentialReliability(mttf=10.0))
+        rng = RngStreams(4).get("t")
+        draws = policy.draw_segment(rng, nranks=20, horizon=float("inf"))
+        times = [t for _, t in draws]
+        assert times == sorted(times)
+        assert len(draws) == 20  # every node eventually fails
+
+    def test_can_draw_multiple_failures(self):
+        """Unlike the Table II policy, several nodes can fail in one
+        segment (that is the point of the component model)."""
+        policy = ReliabilityInjectionPolicy(ExponentialReliability(mttf=100.0))
+        rng = RngStreams(5).get("t")
+        draws = policy.draw_segment(rng, nranks=100, horizon=50.0)
+        assert len(draws) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityInjectionPolicy.for_system_mttf(0.0, 4)
+        policy = ReliabilityInjectionPolicy(ExponentialReliability(mttf=1.0))
+        with pytest.raises(ConfigurationError):
+            policy.draw_segment(RngStreams(0).get("t"), 0, 1.0)
+
+
+class TestDriverIntegration:
+    def _driver(self, **kw):
+        system = SystemConfig.small_test_system(nranks=8)
+        cfg = NaiveCrConfig(work=100.0, tau=10.0, delta=1.0)
+        return RestartDriver(
+            system, naive_cr, make_args=lambda store: (cfg, store), **kw
+        )
+
+    def test_reliability_policy_through_driver(self):
+        policy = ReliabilityInjectionPolicy.for_system_mttf(80.0, nranks=8)
+        run = self._driver(policy=policy, seed=3, max_restarts=500).run()
+        assert run.completed
+        assert run.f >= 1  # at MTTF 80 over a ~110 s run, failures occur
+        for seg in run.segments:
+            # drawn failures recorded with absolute times, sorted
+            times = [t for _, t in seg.drawn_failures]
+            assert times == sorted(times)
+            assert all(t >= seg.start_time for t in times)
+
+    def test_mttf_and_policy_mutually_exclusive(self):
+        with pytest.raises(SimulationError):
+            self._driver(mttf=100.0, policy=SingleUniformFailurePolicy(100.0))
+
+    def test_draw_horizon_limits_injections(self):
+        policy = ReliabilityInjectionPolicy(ExponentialReliability(mttf=50.0))
+        driver = self._driver(policy=policy, seed=1, draw_horizon=5.0, max_restarts=500)
+        run = driver.run()
+        for seg in run.segments:
+            for _, t in seg.drawn_failures:
+                assert t < seg.start_time + 5.0

@@ -1,0 +1,194 @@
+"""redMPI-style redundant execution with online SDC detection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.harness.config import SystemConfig
+from repro.core.redundancy import (
+    HASH_NBYTES,
+    RedundancyMonitor,
+    RedundantApi,
+    payload_hash,
+    redundant,
+)
+from repro.core.simulator import XSim
+from repro.util.errors import ConfigurationError
+from tests.conftest import run_app
+
+
+def pingpong(mpi):
+    yield from mpi.init()
+    got = None
+    if mpi.rank == 0:
+        yield from mpi.send(1, payload=np.arange(4.0), tag=1)
+    else:
+        got = yield from mpi.recv(0, tag=1)
+    yield from mpi.finalize()
+    return None if got is None else float(got.sum())
+
+
+class TestPayloadHash:
+    def test_deterministic(self):
+        a = np.arange(10.0)
+        assert payload_hash(a) == payload_hash(a.copy())
+
+    def test_sensitive_to_single_bit(self):
+        a = np.arange(10.0)
+        b = a.copy()
+        b.view(np.uint8)[3] ^= 1
+        assert payload_hash(a) != payload_hash(b)
+
+    def test_modeled_payload_constant(self):
+        assert payload_hash(None) == 0
+
+    def test_generic_objects(self):
+        assert payload_hash({"x": 1}) == payload_hash({"x": 1})
+        assert payload_hash({"x": 1}) != payload_hash({"x": 2})
+
+
+class TestRedundantExecution:
+    def _run(self, app, logical, factor, failures=None, seed=0, flip=None):
+        monitor = RedundancyMonitor(factor=factor)
+        system = SystemConfig.small_test_system(nranks=logical * factor)
+        sim = XSim(system, seed=seed)
+        for rank, time in failures or []:
+            sim.inject_failure(rank, time)
+        if flip is not None:
+            sim.soft_errors.schedule_flip(*flip)
+        result = sim.run(redundant(app, factor, monitor))
+        return monitor, result, sim
+
+    def test_factor1_is_plain_execution(self):
+        monitor, result, _ = self._run(pingpong, logical=2, factor=1)
+        assert result.completed
+        assert result.exit_values[1] == 6.0
+        assert monitor.messages_compared == 0
+
+    def test_replicas_all_compute_the_answer(self):
+        monitor, result, _ = self._run(pingpong, logical=2, factor=2)
+        assert result.completed
+        # logical rank 1 exists twice: world ranks 1 and 3
+        assert result.exit_values[1] == 6.0
+        assert result.exit_values[3] == 6.0
+        assert monitor.messages_compared == 2  # one per receiving replica
+        assert monitor.clean
+
+    def test_triple_redundancy(self):
+        monitor, result, _ = self._run(pingpong, logical=2, factor=3)
+        assert result.completed
+        assert {result.exit_values[r] for r in (1, 3, 5)} == {6.0}
+        assert monitor.messages_compared == 3
+
+    def test_hash_traffic_overhead_modeled(self):
+        """Redundancy costs real (simulated) message traffic."""
+        _, _, plain = self._run(pingpong, logical=2, factor=1)
+        _, _, double = self._run(pingpong, logical=2, factor=2)
+        # factor 2: payload x2 replicas + 2 hash messages (+ finalize x2)
+        assert double.world.messages_sent > 2 * plain.world.messages_sent
+        assert double.world.bytes_sent >= 2 * plain.world.bytes_sent + 2 * HASH_NBYTES
+
+    def test_sdc_detected_by_hash_comparison(self):
+        """A bit flip in one replica's data diverges its outgoing payload;
+        the receiving replica's watcher hash catches it."""
+
+        def app(mpi):
+            yield from mpi.init()
+            data = np.arange(8.0)
+            mpi.malloc("buf", array=data)
+            yield from mpi.compute(1.0)  # flip lands here (world rank 2)
+            got = None
+            if mpi.rank == 0:
+                yield from mpi.send(1, payload=data, tag=1)
+            else:
+                got = yield from mpi.recv(0, tag=1)
+            yield from mpi.finalize()
+            return None if got is None else float(got.sum())
+
+        # world rank 2 = replica 1 of logical rank 0 (the sender)
+        monitor, result, _ = self._run(app, logical=2, factor=2, flip=(2, 0.5))
+        assert result.completed
+        assert not monitor.clean
+        det = monitor.detections[0]
+        assert det.logical_src == 0
+        assert det.logical_dst == 1
+        assert det.tag == 1
+        # BOTH receiving replicas see the divergence: replica 1 got the
+        # corrupted payload with a clean watcher hash, replica 0 got the
+        # clean payload with the corrupted sender's hash
+        assert len(monitor.detections) == 2
+        assert {d.replica for d in monitor.detections} == {0, 1}
+
+    def test_clean_run_detects_nothing(self):
+        monitor, result, _ = self._run(pingpong, logical=2, factor=2)
+        assert monitor.clean
+
+    def test_replica_failure_aborts_job(self):
+        """redMPI without recovery: a dead replica still fails the job
+        through the ordinary detection machinery."""
+        monitor, result, _ = self._run(pingpong, logical=2, factor=2, failures=[(3, 0.0)])
+        assert result.aborted
+
+    def test_heat3d_runs_under_redundancy(self):
+        cfg = HeatConfig(
+            grid=(8, 8, 8),
+            ranks=(2, 2, 2),
+            iterations=4,
+            checkpoint_interval=2,
+            exchange_interval=1,
+            data_mode="real",
+        )
+        monitor = RedundancyMonitor(factor=2)
+        system = SystemConfig.small_test_system(nranks=16)
+        sim = XSim(system)
+        result = sim.run(redundant(heat3d, 2, monitor), args=(cfg, None))
+        assert result.completed
+        assert monitor.clean
+        assert monitor.messages_compared > 0
+        # both replica sets produce the identical checksum
+        sums = {}
+        for rank, stats in result.exit_values.items():
+            sums.setdefault(rank % 8, set()).add(stats.checksum)
+        assert all(len(s) == 1 for s in sums.values())
+
+    def test_heat3d_redundancy_catches_injected_flip(self):
+        cfg = HeatConfig(
+            grid=(8, 8, 8),
+            ranks=(2, 2, 2),
+            iterations=4,
+            checkpoint_interval=4,
+            exchange_interval=1,
+            data_mode="real",
+            native_seconds_per_point=1e-3,
+        )
+        monitor = RedundancyMonitor(factor=2)
+        system = SystemConfig.small_test_system(nranks=16)
+        sim = XSim(system, seed=9)
+        # keep flipping bits in replica-1 copies until detection triggers:
+        # a single flip may land in an unread ghost byte, so inject several
+        for i in range(6):
+            sim.soft_errors.schedule_flip(rank=8 + (i % 8), time=0.05 + 0.02 * i)
+        result = sim.run(redundant(heat3d, 2, monitor), args=(cfg, None))
+        assert result.completed
+        assert not monitor.clean  # divergence detected online
+
+    def test_unsupported_features_rejected(self):
+        """Wildcard receives are a configuration (host) error, which
+        crashes the simulation rather than being masked."""
+
+        def bad_any_source(mpi):
+            yield from mpi.init()
+            mpi.irecv(-1, tag=0)  # ANY_SOURCE
+            yield from mpi.finalize()
+
+        with pytest.raises(ConfigurationError):
+            self._run(bad_any_source, logical=2, factor=2)
+
+    def test_factor_must_divide_world(self):
+        monitor = RedundancyMonitor(factor=3)
+        with pytest.raises(ConfigurationError):
+            run_app(redundant(pingpong, 3, monitor), nranks=4)
+
+    def test_api_validation(self):
+        with pytest.raises(ConfigurationError):
+            RedundantApi.__new__(RedundantApi).__init__(None, 0, None)  # type: ignore[arg-type]

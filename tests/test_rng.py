@@ -1,0 +1,55 @@
+"""Deterministic named RNG streams (repro.util.rng)."""
+
+import pytest
+
+from repro.util.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(42).get("x")
+        b = RngStreams(42).get("x")
+        assert [float(a.random()) for _ in range(5)] == [float(b.random()) for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("x")
+        b = RngStreams(2).get("x")
+        assert float(a.random()) != float(b.random())
+
+    def test_streams_are_independent_by_name(self):
+        s = RngStreams(7)
+        a = [float(s.get("alpha").random()) for _ in range(3)]
+        b = [float(s.get("beta").random()) for _ in range(3)]
+        assert a != b
+
+    def test_new_stream_does_not_perturb_existing(self):
+        s1 = RngStreams(5)
+        first = float(s1.get("failures").random())
+        s2 = RngStreams(5)
+        s2.get("unrelated-extra-stream").random()  # extra consumer
+        assert float(s2.get("failures").random()) == first
+
+    def test_get_returns_same_object(self):
+        s = RngStreams(0)
+        assert s.get("a") is s.get("a")
+
+    def test_get_keeps_position(self):
+        s = RngStreams(0)
+        v1 = float(s.get("a").random())
+        v2 = float(s.get("a").random())
+        assert v1 != v2  # position advanced, not rewound
+
+    def test_fresh_rewinds(self):
+        s = RngStreams(9)
+        v1 = float(s.get("a").random())
+        float(s.get("a").random())
+        v3 = float(s.fresh("a").random())
+        assert v3 == v1
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngStreams("abc")  # type: ignore[arg-type]
+
+    def test_bool_seed_allowed_as_int(self):
+        # bools are ints in Python; document the behaviour
+        assert RngStreams(True).seed is True

@@ -1,0 +1,95 @@
+"""Result serialization (JSON/CSV records)."""
+
+import json
+
+import pytest
+
+from repro.apps.naive_cr import NaiveCrConfig, naive_cr
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.harness.experiment import Table2Cell
+from repro.core.harness.serialize import (
+    failure_run_record,
+    simulation_result_record,
+    table2_records,
+    to_csv,
+    to_json,
+)
+from repro.core.restart import RestartDriver
+from tests.conftest import run_app
+
+
+def simple_app(mpi):
+    yield from mpi.init()
+    yield from mpi.compute(1.0)
+    yield from mpi.finalize()
+
+
+class TestSimulationRecord:
+    def test_clean_run(self):
+        run = run_app(simple_app, nranks=3)
+        rec = simulation_result_record(run.result)
+        assert rec["completed"] is True
+        assert rec["aborted"] is False
+        assert rec["nranks"] == 3
+        assert rec["failures"] == []
+        assert rec["vp_time_max"] >= rec["vp_time_min"]
+        json.dumps(rec)  # JSON-safe
+
+    def test_failed_run(self):
+        run = run_app(simple_app, nranks=2, failures=[(1, 0.5)])
+        rec = simulation_result_record(run.result)
+        assert rec["aborted"] is True
+        assert rec["failures"] == [[1, 1.0]]
+
+
+class TestFailureRunRecord:
+    def test_segments_flattened(self):
+        driver = RestartDriver(
+            SystemConfig.small_test_system(nranks=2),
+            naive_cr,
+            make_args=lambda store: (NaiveCrConfig(work=20.0, tau=5.0, delta=0.1), store),
+            schedule=FailureSchedule.of((1, 12.0)),
+        )
+        run = driver.run()
+        rec = failure_run_record(run)
+        assert rec["completed"] is True
+        assert rec["restarts"] == 1
+        assert len(rec["segments"]) == 2
+        assert rec["segments"][1]["start_time"] == rec["segments"][0]["exit_time"]
+        json.dumps(rec)
+
+
+class TestTable2Records:
+    CELLS = [
+        Table2Cell(None, 1000, 5248.0, None, 0, None),
+        Table2Cell(6000.0, 500, 5251.0, 7882.0, 1, 3941.0),
+    ]
+
+    def test_paper_columns_joined(self):
+        recs = table2_records(self.CELLS)
+        assert recs[0]["paper_e1"] == 5248.0
+        assert recs[1]["paper_e2"] == 7957.0
+        assert recs[1]["f"] == 1
+
+    def test_without_paper(self):
+        recs = table2_records(self.CELLS, include_paper=False)
+        assert "paper_e1" not in recs[0]
+
+
+class TestFormats:
+    def test_to_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = to_json([{"a": 1}], path=str(path))
+        assert json.loads(text) == [{"a": 1}]
+        assert json.loads(path.read_text()) == [{"a": 1}]
+
+    def test_to_csv_layout(self):
+        csv = to_csv([{"b": 1.5, "a": None}, {"a": "x,y", "b": 2}])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == ",1.500000"
+        assert lines[2] == '"x,y",2'
+
+    def test_to_csv_empty(self):
+        assert to_csv([]) == ""

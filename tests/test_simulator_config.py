@@ -1,0 +1,182 @@
+"""XSim facade, SystemConfig builders, and the simlog."""
+
+import io
+
+import pytest
+
+from repro.core.faults.schedule import ENV_VAR, FailureSchedule
+from repro.core.harness.config import SystemConfig, balanced_dims
+from repro.core.simulator import XSim
+from repro.models.network.topology import (
+    CrossbarTopology,
+    FatTreeTopology,
+    MeshTopology,
+    StarTopology,
+    TorusTopology,
+)
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.simlog import LogEntry, SimLog
+
+
+def trivial_app(mpi):
+    yield from mpi.init()
+    yield from mpi.compute(1.0)
+    yield from mpi.finalize()
+
+
+class TestBalancedDims:
+    def test_perfect_cube(self):
+        assert balanced_dims(32768) == (32, 32, 32)
+        assert balanced_dims(8) == (2, 2, 2)
+
+    def test_covers_at_least_n(self):
+        for n in (1, 5, 7, 100, 1000, 5000):
+            import math
+
+            dims = balanced_dims(n)
+            assert math.prod(dims) >= n
+
+    def test_near_cubic(self):
+        dims = balanced_dims(1000)
+        assert dims == (10, 10, 10)
+
+    def test_two_dims(self):
+        assert balanced_dims(16, ndims=2) == (4, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            balanced_dims(0)
+
+
+class TestSystemConfig:
+    def test_paper_system_defaults(self):
+        cfg = SystemConfig.paper_system()
+        assert cfg.nranks == 32768
+        assert cfg.topology_dims == (32, 32, 32)
+        assert cfg.slowdown == 1000.0
+        assert cfg.collective_algorithm == "linear"
+        net = cfg.make_network()
+        assert net.eager_threshold == 256_000
+        assert net.system.latency == pytest.approx(1e-6)
+        assert net.system.bandwidth == 32e9
+        assert not cfg.filesystem.enabled  # Table II excludes FS overhead
+
+    def test_paper_system_scaled(self):
+        cfg = SystemConfig.paper_system(nranks=100)
+        assert cfg.make_topology().nnodes >= 100
+
+    def test_overheads_scaled_by_slowdown(self):
+        cfg = SystemConfig.paper_system(send_overhead_native=1e-6, slowdown=1000.0)
+        assert cfg.make_network().send_overhead == pytest.approx(1e-3)
+
+    def test_topology_kinds(self):
+        for kind, cls in [
+            ("torus", TorusTopology),
+            ("mesh", MeshTopology),
+            ("fattree", FatTreeTopology),
+            ("star", StarTopology),
+            ("crossbar", CrossbarTopology),
+        ]:
+            cfg = SystemConfig(nranks=16, topology_kind=kind, topology_dims=None)
+            assert isinstance(cfg.make_topology(), cls)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(nranks=4, topology_kind="hypercube").make_topology()
+
+    def test_scaled_copy(self):
+        cfg = SystemConfig.paper_system(nranks=64).scaled(collective_algorithm="tree")
+        assert cfg.collective_algorithm == "tree"
+        assert cfg.nranks == 64
+
+    def test_small_test_system_is_fast(self):
+        cfg = SystemConfig.small_test_system()
+        assert cfg.slowdown == 1.0
+        assert cfg.send_overhead_native == 0.0
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(nranks=0)
+
+
+class TestXSim:
+    def test_single_shot(self):
+        sim = XSim(SystemConfig.small_test_system(nranks=2))
+        sim.run(trivial_app)
+        with pytest.raises(SimulationError):
+            sim.run(trivial_app)
+
+    def test_inject_rank_bounds_checked(self):
+        sim = XSim(SystemConfig.small_test_system(nranks=2))
+        with pytest.raises(SimulationError):
+            sim.inject_failure(5, 1.0)
+
+    def test_inject_from_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1@0.5s")
+        sim = XSim(SystemConfig.small_test_system(nranks=2))
+        schedule = sim.inject_from_environment()
+        assert len(schedule) == 1
+        result = sim.run(trivial_app)
+        assert result.failures == [(1, 1.0)]
+
+    def test_log_stream_receives_messages(self):
+        stream = io.StringIO()
+        sim = XSim(SystemConfig.small_test_system(nranks=2), log_stream=stream)
+        sim.inject_failure(0, 0.5)
+        sim.run(trivial_app)
+        text = stream.getvalue()
+        assert "failure" in text
+        assert "rank 0" in text
+
+    def test_nranks_override(self):
+        sim = XSim(SystemConfig.small_test_system(nranks=8))
+        result = sim.run(trivial_app, nranks=3)
+        assert len(result.states) == 3
+
+    def test_run_with_start_time(self):
+        sim = XSim(SystemConfig.small_test_system(nranks=1), start_time=500.0)
+        result = sim.run(trivial_app)
+        assert result.exit_time == pytest.approx(501.0)
+
+
+class TestArchitectureDescription:
+    """Figure 1 reproduction: the layered architecture self-description."""
+
+    def test_structure(self):
+        sim = XSim(SystemConfig.paper_system(nranks=64))
+        d = sim.describe_architecture()
+        assert d["virtual_processes"] == 64
+        assert d["topology"] == "TorusTopology"
+        assert d["collective_algorithm"] == "linear"
+        assert d["processor_slowdown"] == 1000.0
+        assert len(d["layers"]) == 5
+        assert "PDES engine" in " ".join(d["layers"])
+        assert d["components"]["engine"] == "Engine"
+
+    def test_render_ascii(self):
+        sim = XSim(SystemConfig.paper_system(nranks=64))
+        art = sim.render_architecture()
+        assert "simulated MPI layer" in art
+        assert "hardware models" in art
+        assert "64 VPs" in art
+
+
+class TestSimLog:
+    def test_entries_and_filtering(self):
+        log = SimLog()
+        log.log(1.0, "failure", "boom", rank=3)
+        log.log(2.0, "abort", "stop", rank=None)
+        assert len(log) == 2
+        assert log.category("failure")[0].rank == 3
+        assert [e.category for e in log] == ["failure", "abort"]
+
+    def test_render_format(self):
+        e = LogEntry(time=1.5, category="failure", rank=7, message="x")
+        assert "rank 7" in e.render()
+        assert "failure" in e.render()
+
+    def test_stream_echo(self):
+        stream = io.StringIO()
+        log = SimLog(stream=stream)
+        log.log(0.0, "detect", "timeout", rank=1)
+        assert "detect" in stream.getvalue()

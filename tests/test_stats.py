@@ -1,0 +1,90 @@
+"""Descriptive statistics (repro.util.stats)."""
+
+import math
+
+import pytest
+
+from repro.util.stats import SummaryStats, TimingStats, summarize
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1, 2, 2, 3, 100])
+        assert s.count == 5
+        assert s.total == 108
+        assert s.minimum == 1
+        assert s.maximum == 100
+        assert s.mean == pytest.approx(21.6)
+        assert s.median == 2
+        assert s.mode == 2
+
+    def test_population_stddev(self):
+        s = summarize([2, 4, 4, 4, 5, 5, 7, 9])
+        assert s.stddev == pytest.approx(2.0)  # the classic example
+
+    def test_even_count_median(self):
+        assert summarize([1, 2, 3, 4]).median == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        s = summarize([7])
+        assert (s.minimum, s.maximum, s.mean, s.median, s.mode) == (7, 7, 7, 7, 7)
+        assert s.stddev == 0.0
+
+    def test_mode_tie_breaks_to_smallest(self):
+        assert summarize([5, 5, 3, 3, 9]).mode == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_rows_render_like_table1(self):
+        s = summarize([1, 98, 17, 4, 4])
+        fields = [f for f, _ in s.rows()]
+        assert fields == [
+            "Victims",
+            "Injections",
+            "Minimum",
+            "Maximum",
+            "Mean",
+            "Median",
+            "Mode",
+            "Std.Dev.",
+        ]
+
+    def test_mean_formatting_two_decimals(self):
+        s = summarize([1, 2])
+        rows = dict(s.rows())
+        assert rows["Mean"] == "1.50"
+
+
+class TestTimingStats:
+    def test_accumulates_min_max_avg(self):
+        t = TimingStats()
+        for v in (3.0, 1.0, 2.0):
+            t.add(v)
+        assert t.count == 3
+        assert t.minimum == 1.0
+        assert t.maximum == 3.0
+        assert t.average == pytest.approx(2.0)
+
+    def test_empty_average_is_nan(self):
+        assert math.isnan(TimingStats().average)
+
+    def test_is_online_no_storage(self):
+        t = TimingStats()
+        for i in range(10_000):
+            t.add(float(i))
+        assert t.count == 10_000
+        assert t.average == pytest.approx(4999.5)
+        assert not hasattr(t, "__dict__")  # slots: no per-sample storage
+
+
+class TestSummaryStatsDataclass:
+    def test_frozen(self):
+        s = summarize([1.0])
+        with pytest.raises(AttributeError):
+            s.mean = 2.0  # type: ignore[misc]
+
+    def test_equality(self):
+        assert summarize([1, 2, 3]) == summarize([3, 2, 1])
+        assert isinstance(summarize([1]), SummaryStats)

@@ -1,0 +1,193 @@
+"""Communication tracing (DUMPI analogue) and probe operations."""
+
+import math
+
+import pytest
+
+from repro.core.harness.config import SystemConfig
+from repro.core.simulator import XSim
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.trace import ROW_HEADER, CommTrace
+from tests.conftest import run_app
+
+
+def traced_run(app, nranks=2, failures=None, **overrides):
+    system = SystemConfig.small_test_system(nranks=nranks, **overrides)
+    sim = XSim(system, record_trace=True)
+    for rank, time in failures or []:
+        sim.inject_failure(rank, time)
+    result = sim.run(app)
+    return sim.world.trace, result
+
+
+def pingpong(mpi):
+    yield from mpi.init()
+    if mpi.rank == 0:
+        yield from mpi.send(1, nbytes=100, tag=7)
+        yield from mpi.recv(1, tag=8)
+    else:
+        yield from mpi.recv(0, tag=7)
+        yield from mpi.send(0, nbytes=200, tag=8)
+    yield from mpi.finalize()
+
+
+class TestCommTrace:
+    def test_records_posts_and_deliveries(self):
+        trace, result = traced_run(pingpong)
+        assert result.completed
+        app_msgs = trace.messages(ctx=2)  # world pt2pt context
+        assert len(app_msgs) == 2
+        first = app_msgs[0]
+        assert (first.src, first.dst, first.tag, first.nbytes) == (0, 1, 7, 100)
+        assert first.delivered
+        assert first.latency > 0
+
+    def test_collective_traffic_traced_separately(self):
+        trace, _ = traced_run(pingpong)
+        # finalize's barrier runs on the collective context (odd)
+        assert len(trace.messages(ctx=3)) == 2  # linear barrier, 2 ranks
+
+    def test_traffic_matrix_and_totals(self):
+        trace, _ = traced_run(pingpong)
+        matrix = trace.traffic_matrix()
+        assert matrix[(0, 1)] == 100
+        assert matrix[(1, 0)] == 200
+        assert trace.total_bytes() == 300
+        assert trace.busiest_pairs(1)[0] == ((1, 0), 200)
+
+    def test_dropped_messages_marked(self):
+        """Messages to a failed process are deleted - and the trace says so."""
+
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=64, tag=0)
+                yield from mpi.compute(10.0)
+            yield from mpi.finalize()
+
+        trace, result = traced_run(app, failures=[(1, 0.0)])
+        assert result.aborted
+        dropped = trace.dropped_messages()
+        assert len(dropped) == 1
+        assert dropped[0].dst == 1
+        assert not dropped[0].delivered
+
+    def test_rows_export(self):
+        trace, _ = traced_run(pingpong)
+        rows = trace.to_rows()
+        assert len(rows) == len(trace)
+        assert len(rows[0]) == len(ROW_HEADER)
+        assert rows == sorted(rows)  # seq order
+
+    def test_time_window_filter(self):
+        trace, _ = traced_run(pingpong)
+        assert trace.messages(until=0.0) == []
+        assert len(trace.messages(since=0.0)) == len(trace)
+
+    def test_rendezvous_protocol_labelled(self):
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=10_000, tag=0)
+            else:
+                yield from mpi.recv(0, tag=0)
+            yield from mpi.finalize()
+
+        trace, _ = traced_run(app, eager_threshold=100)
+        big = trace.messages(src=0, dst=1, ctx=2)
+        assert big[0].protocol == "rendezvous"
+
+    def test_delivery_of_unknown_seq_ignored(self):
+        t = CommTrace()
+        t.record_delivery(99, 1.0, dropped=False)  # no crash
+        assert len(t) == 0
+
+    def test_tracing_disabled_by_default(self):
+        run = run_app(pingpong, nranks=2)
+        assert run.world.trace is None
+
+
+class TestProbe:
+    def test_iprobe_sees_buffered_message(self):
+        def app(mpi):
+            yield from mpi.init()
+            out = None
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=48, tag=5)
+            else:
+                yield from mpi.compute(1.0)  # message is buffered by now
+                status = mpi.iprobe(0, tag=5)
+                yield from mpi.recv(0, tag=5)
+                after = mpi.iprobe()
+                out = (status, after)
+            yield from mpi.finalize()
+            return out
+
+        run = run_app(app, nranks=2)
+        status, after = run.result.exit_values[1]
+        assert status is not None
+        assert (status.source, status.tag, status.nbytes) == (0, 5, 48)
+        assert after is None  # consumed
+
+    def test_iprobe_none_when_nothing_matches(self):
+        def app(mpi):
+            yield from mpi.init()
+            found = mpi.iprobe(source=ANY_SOURCE, tag=ANY_TAG)
+            yield from mpi.barrier()
+            return found
+
+        run = run_app(app, nranks=2)
+        assert run.result.exit_values[0] is None
+
+    def test_probe_blocks_until_message(self):
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.compute(2.0)
+                yield from mpi.send(1, nbytes=8, tag=1)
+                return None
+            status = yield from mpi.probe(0, tag=1, poll_interval=0.1)
+            arrival_clock = mpi.wtime()
+            yield from mpi.recv(0, tag=1)
+            return (status.nbytes, arrival_clock)
+
+        system = SystemConfig.small_test_system(nranks=2, strict_finalize=False)
+        run = run_app(app, nranks=2, system=system)
+        nbytes, when = run.result.exit_values[1]
+        assert nbytes == 8
+        assert when == pytest.approx(2.0, abs=0.2)
+
+    def test_probe_does_not_consume(self):
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.send(1, payload="keep", nbytes=4, tag=2)
+                return None
+            yield from mpi.probe(0, tag=2, poll_interval=0.01)
+            yield from mpi.probe(0, tag=2, poll_interval=0.01)  # still there
+            return (yield from mpi.recv(0, tag=2))
+
+        system = SystemConfig.small_test_system(nranks=2, strict_finalize=False)
+        run = run_app(app, nranks=2, system=system)
+        assert run.result.exit_values[1] == "keep"
+
+    def test_iprobe_respects_communicator(self):
+        def app(mpi):
+            yield from mpi.init()
+            dup = yield from mpi.comm_dup()
+            out = None
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=16, tag=3, comm=dup)
+            else:
+                yield from mpi.compute(1.0)
+                on_world = mpi.iprobe(0, tag=3)
+                on_dup = mpi.iprobe(0, tag=3, comm=dup)
+                yield from mpi.recv(0, tag=3, comm=dup)
+                out = (on_world, on_dup is not None)
+            yield from mpi.finalize()
+            return out
+
+        run = run_app(app, nranks=2)
+        on_world, on_dup = run.result.exit_values[1]
+        assert on_world is None
+        assert on_dup is True
