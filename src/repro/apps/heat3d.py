@@ -276,8 +276,24 @@ _FACE_RECV = {
 }
 
 
+def exchange_plan(
+    cfg: HeatConfig, neighbors: dict[tuple[int, int], int]
+) -> tuple[tuple[tuple[int, int], int, int, int, int], ...]:
+    """Precomputed per-face exchange schedule: ``((axis, step), peer,
+    send_tag, recv_tag, face_nbytes)`` rows.  Computed once per rank so the
+    per-call halo exchange avoids rebuilding face sizes and tag lookups."""
+    return tuple(
+        ((axis, step), peer, _HALO_TAGS[(axis, step)], _HALO_TAGS[(axis, -step)], cfg.face_bytes(axis))
+        for (axis, step), peer in neighbors.items()
+    )
+
+
 def halo_exchange(
-    mpi: MpiApi, cfg: HeatConfig, neighbors: dict[tuple[int, int], int], u: np.ndarray | None
+    mpi: MpiApi,
+    cfg: HeatConfig,
+    neighbors: dict[tuple[int, int], int],
+    u: np.ndarray | None,
+    plan: tuple[tuple[tuple[int, int], int, int, int, int], ...] | None = None,
 ) -> Gen:
     """Exchange the six halo faces with the neighboring cubes.
 
@@ -285,23 +301,41 @@ def halo_exchange(
     surfaces here — the paper's "failure during the computation phase is
     detected in the halo exchange due to failing communication".
     """
-    recvs = {}
-    for (axis, step), peer in neighbors.items():
-        recvs[(axis, step)] = mpi.irecv(peer, tag=_HALO_TAGS[(axis, -step)])
+    if plan is None:
+        plan = exchange_plan(cfg, neighbors)
+    recvs = []
+    for key, peer, _stag, rtag, _nbytes in plan:
+        recvs.append((key, mpi.irecv(peer, tag=rtag)))
     sends = []
-    for (axis, step), peer in neighbors.items():
-        payload = None
-        if u is not None and peer != PROC_NULL:
-            payload = np.ascontiguousarray(_FACE_SEND[(axis, step)](u))
-        req = yield from mpi.isend(
-            peer, payload=payload, nbytes=cfg.face_bytes(axis), tag=_HALO_TAGS[(axis, step)]
+    post = getattr(mpi, "post_isend", None)
+    if post is not None:
+        # Plain MpiApi facade: pay the send overhead explicitly and post
+        # via the plain-call post_isend — same virtual-time behavior as
+        # isend without a generator frame per message (PROC_NULL faces owe
+        # no overhead, as in isend).
+        overhead_adv = (
+            mpi.world.send_overhead_advance if mpi.world.network.send_overhead > 0.0 else None
         )
-        sends.append(req)
+        for key, peer, stag, _rtag, nbytes in plan:
+            payload = None
+            if u is not None and peer != PROC_NULL:
+                payload = np.ascontiguousarray(_FACE_SEND[key](u))
+            if overhead_adv is not None and peer != PROC_NULL:
+                yield overhead_adv
+            sends.append(post(peer, payload=payload, nbytes=nbytes, tag=stag))
+    else:
+        # Wrapping facades (e.g. redundancy) route every send themselves.
+        for key, peer, stag, _rtag, nbytes in plan:
+            payload = None
+            if u is not None and peer != PROC_NULL:
+                payload = np.ascontiguousarray(_FACE_SEND[key](u))
+            req = yield from mpi.isend(peer, payload=payload, nbytes=nbytes, tag=stag)
+            sends.append(req)
     yield from mpi.waitall(sends)
-    for (axis, step), req in recvs.items():
+    for key, req in recvs:
         face = yield from mpi.wait(req)
         if u is not None and face is not None:
-            _FACE_RECV[(axis, step)](u, face)
+            _FACE_RECV[key](u, face)
 
 
 # ----------------------------------------------------------------------
@@ -337,11 +371,13 @@ def heat3d(mpi: MpiApi, cfg: HeatConfig, store: CheckpointStore | None = None) -
 
     # Startup/restart halo exchange so the first computation phase sees its
     # neighbours' current faces.
-    yield from halo_exchange(mpi, cfg, neighbors, u)
+    plan = exchange_plan(cfg, neighbors)
+    yield from halo_exchange(mpi, cfg, neighbors, u, plan)
 
     it = start_iter
     exch = cfg.effective_exchange_interval
     ckpt = cfg.checkpoint_interval
+    points = cfg.points_per_rank
     while it < cfg.iterations:
         next_exch = ((it // exch) + 1) * exch
         next_ckpt = ((it // ckpt) + 1) * ckpt
@@ -350,10 +386,10 @@ def heat3d(mpi: MpiApi, cfg: HeatConfig, store: CheckpointStore | None = None) -
         if real:
             for _ in range(steps):
                 stencil_step(u, cfg.alpha)  # type: ignore[arg-type]
-        yield from mpi.compute_ops(steps * cfg.points_per_rank, cfg.native_seconds_per_point)
+        yield from mpi.compute_ops(steps * points, cfg.native_seconds_per_point)
         it = target
         if it == next_exch or it == cfg.iterations:
-            yield from halo_exchange(mpi, cfg, neighbors, u)
+            yield from halo_exchange(mpi, cfg, neighbors, u, plan)
         if proto is not None and (it == next_ckpt or it == cfg.iterations):
             payload = {"iteration": it, "data": u.copy() if real else None}
             yield from proto.checkpoint(it, payload, cfg.checkpoint_nbytes)

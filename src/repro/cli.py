@@ -29,9 +29,21 @@ from repro.core.faults.finject import FinjectCampaign
 from repro.core.faults.schedule import FailureSchedule
 from repro.core.harness.config import SystemConfig
 from repro.core.harness.experiment import Table2Config, run_table2
+from repro.core.harness.parallel import default_jobs
 from repro.core.harness.report import format_table, render_table2
 from repro.core.restart import RestartDriver
 from repro.core.simulator import XSim
+
+
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help="worker processes for independent runs (default: XSIM_JOBS or 1); "
+        "results are identical to a serial run",
+    )
 
 
 def _add_system_args(p: argparse.ArgumentParser) -> None:
@@ -111,8 +123,18 @@ def _cmd_app(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
+    independent = args.independent_streams or args.jobs > 1
+    if independent and not args.independent_streams:
+        print(
+            f"note: -j {args.jobs} implies independent per-victim RNG streams; "
+            "statistics differ from the calibrated single-stream draw"
+        )
     campaign = FinjectCampaign(
-        victims=args.victims, max_injections=args.max_injections, seed=args.seed
+        victims=args.victims,
+        max_injections=args.max_injections,
+        seed=args.seed,
+        independent_streams=independent,
+        jobs=args.jobs,
     )
     result = campaign.run()
     rows = [(f, v, d) for f, v, d in result.table_rows()]
@@ -121,7 +143,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    cfg = Table2Config(nranks=args.ranks, seed=args.seed)
+    cfg = Table2Config(nranks=args.ranks, seed=args.seed, jobs=args.jobs)
     cells = run_table2(cfg)
     print(f"Table II reproduction at {args.ranks} simulated ranks "
           f"(paper columns measured at 32,768):")
@@ -160,11 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument("--victims", type=int, default=100)
     p_t1.add_argument("--max-injections", type=int, default=100)
     p_t1.add_argument("--seed", type=int, default=FinjectCampaign.seed)
+    _add_jobs_arg(p_t1)
+    p_t1.add_argument(
+        "--independent-streams",
+        action="store_true",
+        help="one RNG sub-stream per victim (order-independent; implied by -j > 1)",
+    )
     p_t1.set_defaults(fn=_cmd_table1)
 
     p_t2 = sub.add_parser("table2", help="checkpoint interval x MTTF sweep (paper Table II)")
     p_t2.add_argument("--ranks", type=int, default=512)
     p_t2.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p_t2)
     p_t2.set_defaults(fn=_cmd_table2)
 
     p_arch = sub.add_parser("arch", help="architecture self-description (paper Figure 1)")

@@ -112,6 +112,31 @@ class FinjectResult:
         ]
 
 
+def run_victim(
+    victim: VictimModel, victim_id: int, max_injections: int, rng: np.random.Generator
+) -> tuple[int, int, int]:
+    """Inject one victim until failure or the cap.
+
+    Returns ``(injections_to_failure, sdc_hits, benign_hits)``;
+    injections-to-failure is ``-1`` when the victim survived the cap.
+    This is the unit of work a parallel campaign fans out (see
+    :mod:`repro.core.harness.parallel`).
+    """
+    tracker = MemoryTracker()
+    victim.build(tracker, victim_id)
+    sdc = 0
+    benign = 0
+    for n in range(1, max_injections + 1):
+        record = tracker.flip_random_bit(victim_id, rng)
+        if record.kind is RegionKind.CRITICAL:
+            return n, sdc, benign
+        if record.kind is RegionKind.DATA:
+            sdc += 1
+        else:
+            benign += 1
+    return -1, sdc, benign
+
+
 @dataclass
 class FinjectCampaign:
     """Run ``victims`` independent bit-flip injection experiments.
@@ -120,6 +145,14 @@ class FinjectCampaign:
     bit flips until it fails (a critical region is hit) or the injection
     cap is reached ("an arbitrary maximum of 100 injected faults was
     set").
+
+    By default every victim draws from one shared RNG stream consumed in
+    victim order — the calibrated draw whose statistics match the paper's
+    Table I.  ``independent_streams=True`` instead gives each victim its
+    own sub-stream (``finject/<victim_id>``), making the per-victim draws
+    order-independent; that is required for (and implied by) parallel
+    execution with ``jobs > 1``, and produces the same result whether the
+    victims run serially or on a worker pool.
     """
 
     victims: int = 100
@@ -130,27 +163,58 @@ class FinjectCampaign:
     #: (mean 23.3 vs 21.97, median 17.5 vs 17, mode 4 vs 4, min 1 vs 1,
     #: max 97 vs 98, sigma 21.2 vs 21.4, no censored victims).
     seed: int = 29
+    #: One RNG sub-stream per victim instead of the shared sequential
+    #: stream (see class docstring).
+    independent_streams: bool = False
+    #: Worker processes for the campaign (1 = in-process serial).
+    jobs: int = 1
 
     def run(self) -> FinjectResult:
         """Execute the campaign and compute the Table I statistics."""
         if self.victims < 1 or self.max_injections < 1:
             raise ConfigurationError("need victims >= 1 and max_injections >= 1")
-        rng = RngStreams(self.seed).get("finject")
+        if self.jobs > 1 and not self.independent_streams:
+            raise ConfigurationError(
+                "parallel finject (jobs > 1) requires independent_streams=True: "
+                "the default campaign consumes one shared RNG stream in victim "
+                "order, which cannot be partitioned across workers without "
+                "changing the draw"
+            )
+        if self.independent_streams:
+            from repro.core.harness.parallel import CampaignExecutor, RunSpec
+
+            specs = [
+                RunSpec(
+                    "finject-victim",
+                    key=("victim", victim_id),
+                    params={
+                        "victim": self.victim,
+                        "victim_id": victim_id,
+                        "max_injections": self.max_injections,
+                        "seed": self.seed,
+                    },
+                )
+                for victim_id in range(self.victims)
+            ]
+            outcomes = CampaignExecutor(max_workers=self.jobs).run(specs)
+        else:
+            rng = RngStreams(self.seed).get("finject")
+            outcomes = [
+                run_victim(self.victim, victim_id, self.max_injections, rng)
+                for victim_id in range(self.victims)
+            ]
         samples: list[int] = []
         censored = 0
         sdc = 0
         benign = 0
-        for victim_id in range(self.victims):
-            tracker = MemoryTracker()
-            self.victim.build(tracker, victim_id)
-            count = self._inject_until_failure(tracker, victim_id, rng)
+        for count, victim_sdc, victim_benign in outcomes:
             if count < 0:
                 censored += 1
                 samples.append(self.max_injections)
             else:
                 samples.append(count)
-            sdc += self._sdc
-            benign += self._benign
+            sdc += victim_sdc
+            benign += victim_benign
         return FinjectResult(
             injections_to_failure=tuple(samples),
             censored=censored,
@@ -158,19 +222,3 @@ class FinjectCampaign:
             benign_hits=benign,
             stats=summarize(samples),
         )
-
-    def _inject_until_failure(
-        self, tracker: MemoryTracker, rank: int, rng: np.random.Generator
-    ) -> int:
-        """Injections needed to fail this victim, or -1 if it survived."""
-        self._sdc = 0
-        self._benign = 0
-        for n in range(1, self.max_injections + 1):
-            record = tracker.flip_random_bit(rank, rng)
-            if record.kind is RegionKind.CRITICAL:
-                return n
-            if record.kind is RegionKind.DATA:
-                self._sdc += 1
-            else:
-                self._benign += 1
-        return -1

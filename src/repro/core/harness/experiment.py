@@ -88,6 +88,13 @@ class Table2Config:
     row_seeds: dict[tuple[float, int], int] = field(
         default_factory=lambda: {(3000.0, 500): 5}
     )
+    #: Worker processes for the sweep (1 = in-process serial; every cell
+    #: is an independent deterministic run, so results are identical).
+    jobs: int = 1
+
+    def cell_seed(self, mttf: float, interval: int) -> int:
+        """Effective failure-draw seed of one (mttf, interval) cell."""
+        return self.row_seeds.get((mttf, interval), self.seed)
 
     def system(self, **overrides: Any) -> SystemConfig:
         """The paper's machine at this configuration's scale."""
@@ -129,7 +136,7 @@ def run_table2_row(
         return Table2Cell(None, interval, e1, None, 0, None), None
     from repro.apps.heat3d import heat3d
 
-    seed = cfg.row_seeds.get((mttf, interval), cfg.seed)
+    seed = cfg.cell_seed(mttf, interval)
     driver = RestartDriver(
         system,
         heat3d,
@@ -145,19 +152,64 @@ def run_table2_row(
 
 
 def run_table2(cfg: Table2Config) -> list[Table2Cell]:
-    """Measure the full table: baseline row, then MTTF x interval rows."""
-    system = cfg.system()
-    cells: list[Table2Cell] = []
-    baseline = cfg.workload(cfg.baseline_interval)
-    e1_base = measure_e1(system, baseline, seed=cfg.seed)
-    cells.append(Table2Cell(None, cfg.baseline_interval, e1_base, None, 0, None))
-    e1_cache: dict[int, float] = {}
-    for mttf in cfg.mttfs:
-        for interval in cfg.intervals:
-            if interval not in e1_cache:
-                e1_cache[interval] = measure_e1(system, cfg.workload(interval), seed=cfg.seed)
-            cell, _ = run_table2_row(cfg, interval, mttf, e1=e1_cache[interval], system=system)
-            cells.append(cell)
+    """Measure the full table: baseline row, then MTTF x interval rows.
+
+    The baseline/per-interval E1 runs and every (mttf, interval) cell are
+    mutually independent deterministic runs, so the sweep routes through
+    :class:`~repro.core.harness.parallel.CampaignExecutor`: with
+    ``cfg.jobs > 1`` the cells fan out over worker processes and the
+    measured table is identical to the serial sweep.
+    """
+    from repro.core.harness.parallel import CampaignExecutor, RunSpec
+
+    e1_intervals: list[int] = [cfg.baseline_interval]
+    for interval in cfg.intervals:
+        if interval not in e1_intervals:
+            e1_intervals.append(interval)
+    specs = [
+        RunSpec(
+            "table2-e1",
+            key=("e1", interval),
+            params={
+                "nranks": cfg.nranks,
+                "interval": interval,
+                "iterations": cfg.iterations,
+                "seed": cfg.seed,
+            },
+        )
+        for interval in e1_intervals
+    ]
+    cell_keys = [(mttf, interval) for mttf in cfg.mttfs for interval in cfg.intervals]
+    specs.extend(
+        RunSpec(
+            "table2-cell",
+            key=("cell", mttf, interval),
+            params={
+                "nranks": cfg.nranks,
+                "interval": interval,
+                "iterations": cfg.iterations,
+                "mttf": mttf,
+                "seed": cfg.cell_seed(mttf, interval),
+            },
+        )
+        for mttf, interval in cell_keys
+    )
+    results = CampaignExecutor(max_workers=cfg.jobs).run(specs)
+    e1 = dict(zip(e1_intervals, results[: len(e1_intervals)]))
+    cells: list[Table2Cell] = [
+        Table2Cell(None, cfg.baseline_interval, e1[cfg.baseline_interval], None, 0, None)
+    ]
+    for (mttf, interval), outcome in zip(cell_keys, results[len(e1_intervals):]):
+        cells.append(
+            Table2Cell(
+                mttf=mttf,
+                interval=interval,
+                e1=e1[interval],
+                e2=outcome["e2"],
+                f=outcome["f"],
+                mttf_a=outcome["mttf_a"],
+            )
+        )
     return cells
 
 

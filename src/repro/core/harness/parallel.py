@@ -1,0 +1,265 @@
+"""Parallel campaign executor: fan independent runs across worker processes.
+
+The paper's evaluation is a *campaign* of mutually independent simulator
+runs — Table II cells (checkpoint interval x system MTTF), Finject victim
+instances, soft-error trials, ablation sweep points.  Each run is
+deterministic given its configuration and seed ("the experiments are
+repeatable as the simulator and the application are deterministic"), so a
+campaign parallelizes trivially: results are bit-identical whether the
+runs execute serially in-process or fan out over a process pool.
+
+Design:
+
+* A run is described by a picklable :class:`RunSpec` naming a registered
+  *task kind* plus keyword parameters.  Specs carry only primitive
+  configuration (rank counts, seeds, intervals) — workers rebuild the
+  heavyweight objects (system config, workload, simulator) themselves, so
+  nothing that is awkward to pickle crosses the process boundary.
+* Task implementations are registered in a module-level table at import
+  time (:func:`task`), which makes the dispatch function
+  :func:`run_spec` picklable by qualified name: worker processes import
+  this module and find the same registry.
+* :class:`CampaignExecutor` runs a list of specs and returns their
+  results *in spec order*.  ``max_workers=1`` (the default, also taken
+  from the ``XSIM_JOBS`` environment variable) executes in-process with
+  no pool at all; pool failures (unpicklable payloads, broken workers)
+  degrade gracefully to an in-process rerun rather than failing the
+  campaign.
+
+Every task seeds its own RNG streams from the spec parameters (e.g. one
+:class:`~repro.util.rng.RngStreams` sub-stream per Finject victim), never
+from shared mutable state — this is what makes parallel execution
+bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run of a campaign.
+
+    ``kind`` selects a task registered with :func:`task`; ``params`` are
+    its keyword arguments and must be picklable.  ``key`` identifies the
+    run within its campaign (e.g. ``("cell", 6000.0, 500)``) so callers
+    can reassemble results; the executor itself only uses it in error
+    messages.
+    """
+
+    kind: str
+    key: tuple = ()
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+_TASKS: dict[str, Callable[..., Any]] = {}
+
+
+def task(kind: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a campaign task implementation under ``kind``.
+
+    The decorated function receives a spec's ``params`` as keyword
+    arguments.  Registration happens at module import, so worker
+    processes (which re-import this module) see the same table.
+    """
+
+    def register(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if kind in _TASKS:
+            raise ConfigurationError(f"duplicate task kind {kind!r}")
+        _TASKS[kind] = fn
+        return fn
+
+    return register
+
+
+def run_spec(spec: RunSpec) -> Any:
+    """Execute one spec (module-level so a process pool can pickle it)."""
+    fn = _TASKS.get(spec.kind)
+    if fn is None:
+        raise ConfigurationError(
+            f"unknown task kind {spec.kind!r} for run {spec.key!r} "
+            f"(registered: {sorted(_TASKS)})"
+        )
+    return fn(**spec.params)
+
+
+def default_jobs() -> int:
+    """Worker count when none is given: the ``XSIM_JOBS`` environment
+    variable, else 1 (serial in-process execution)."""
+    raw = os.environ.get("XSIM_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"XSIM_JOBS must be an integer, got {raw!r}") from exc
+    if jobs < 1:
+        raise ConfigurationError(f"XSIM_JOBS must be >= 1, got {jobs}")
+    return jobs
+
+
+class CampaignExecutor:
+    """Execute independent :class:`RunSpec` s, serially or on a pool.
+
+    ``run`` returns results in spec order regardless of completion order.
+    With ``max_workers=1`` (or a single spec) everything runs in the
+    calling process — no pool, no pickling, no subprocess startup cost.
+    When a pool cannot be used (spec parameters or results that fail to
+    pickle, workers killed by the OS), the campaign falls back to an
+    in-process rerun: tasks are pure functions of their spec, so the
+    fallback produces the same results, only slower.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        jobs = default_jobs() if max_workers is None else max_workers
+        if jobs < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {jobs}")
+        self.max_workers = jobs
+        #: Filled by :meth:`run`: "serial", "pool", or "fallback-serial".
+        self.last_mode: str | None = None
+
+    def run(self, specs: list[RunSpec] | tuple[RunSpec, ...]) -> list[Any]:
+        """Execute every spec; returns their results in spec order."""
+        specs = list(specs)
+        for spec in specs:
+            if spec.kind not in _TASKS:  # fail fast, before forking workers
+                raise ConfigurationError(
+                    f"unknown task kind {spec.kind!r} for run {spec.key!r} "
+                    f"(registered: {sorted(_TASKS)})"
+                )
+        if self.max_workers <= 1 or len(specs) <= 1:
+            self.last_mode = "serial"
+            return [run_spec(s) for s in specs]
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.max_workers, len(specs))) as pool:
+                results = list(pool.map(run_spec, specs))
+            self.last_mode = "pool"
+            return results
+        except (pickle.PicklingError, AttributeError, TypeError, BrokenExecutor, OSError):
+            # Pool unusable (unpicklable payloads — CPython reports those
+            # as PicklingError, AttributeError, or TypeError depending on
+            # the object — dead workers, fork limits): degrade to
+            # in-process execution.  Tasks are pure, so results are
+            # identical.
+            self.last_mode = "fallback-serial"
+            return [run_spec(s) for s in specs]
+
+
+# ----------------------------------------------------------------------
+# campaign tasks
+#
+# Imports happen inside the task bodies: registration at import time must
+# not pull in the simulator stack (and must stay cycle-free — domain
+# modules may import this module to fan themselves out).
+# ----------------------------------------------------------------------
+@task("table2-e1")
+def _task_table2_e1(*, nranks: int, interval: int, iterations: int, seed: int) -> float:
+    """E1: simulated execution time of one clean (failure-free) run."""
+    from repro.core.harness.experiment import Table2Config, measure_e1
+
+    cfg = Table2Config(nranks=nranks, iterations=iterations, seed=seed)
+    return measure_e1(cfg.system(), cfg.workload(interval), seed=seed)
+
+
+@task("table2-cell")
+def _task_table2_cell(
+    *, nranks: int, interval: int, iterations: int, mttf: float, seed: int
+) -> dict[str, Any]:
+    """One failure-and-restart Table II cell; E1 is measured separately."""
+    from repro.apps.heat3d import heat3d
+    from repro.core.harness.experiment import Table2Config
+    from repro.core.restart import RestartDriver
+
+    cfg = Table2Config(nranks=nranks, iterations=iterations, seed=seed)
+    workload = cfg.workload(interval)
+    driver = RestartDriver(
+        cfg.system(),
+        heat3d,
+        make_args=lambda store: (workload, store),
+        mttf=mttf,
+        seed=seed,
+    )
+    run = driver.run()
+    return {"e2": run.e2, "f": run.f, "mttf_a": run.mttf_a, "restarts": run.restarts}
+
+
+@task("finject-victim")
+def _task_finject_victim(
+    *,
+    victim: Any,
+    victim_id: int,
+    max_injections: int,
+    seed: int,
+) -> tuple[int, int, int]:
+    """One Finject victim on its own RNG sub-stream; returns
+    ``(injections_to_failure or -1, sdc_hits, benign_hits)``."""
+    from repro.core.faults.finject import run_victim
+    from repro.util.rng import RngStreams
+
+    rng = RngStreams(seed).get(f"finject/{victim_id}")
+    return run_victim(victim, victim_id, max_injections, rng)
+
+
+@task("soft-error-trial")
+def _task_soft_error_trial(
+    *,
+    nranks: int,
+    interval: int,
+    iterations: int,
+    rate_per_rank: float,
+    horizon: float,
+    seed: int,
+) -> dict[str, Any]:
+    """One soft-error trial: the heat workload under a Poisson bit-flip
+    process; returns the outcome histogram and the run's fate."""
+    from repro.apps.heat3d import HeatConfig, heat3d
+    from repro.core.checkpoint.store import CheckpointStore
+    from repro.core.harness.config import SystemConfig
+    from repro.core.simulator import XSim
+
+    system = SystemConfig.paper_system(nranks=nranks)
+    workload = HeatConfig.paper_workload(
+        checkpoint_interval=interval, nranks=nranks, iterations=iterations
+    )
+    sim = XSim(system, seed=seed)
+    flips = sim.soft_errors.schedule_poisson(
+        rate_per_rank, horizon, ranks=list(range(nranks))
+    )
+    result = sim.run(heat3d, args=(workload, CheckpointStore()))
+    counts = sim.soft_errors.counts()
+    return {
+        "scheduled_flips": flips,
+        "counts": {effect.value: n for effect, n in counts.items()},
+        "completed": result.completed,
+        "aborted": result.aborted,
+        "exit_time": result.exit_time,
+    }
+
+
+@task("sweep-e1")
+def _task_sweep_e1(
+    *,
+    nranks: int,
+    interval: int,
+    iterations: int,
+    seed: int,
+    system_overrides: dict[str, Any],
+) -> float:
+    """Ablation sweep point: E1 under modified machine parameters (e.g.
+    ``{"congestion_factor": 2.0}``)."""
+    from repro.apps.heat3d import HeatConfig
+    from repro.core.harness.config import SystemConfig
+    from repro.core.harness.experiment import measure_e1
+
+    system = SystemConfig.paper_system(nranks=nranks, **system_overrides)
+    workload = HeatConfig.paper_workload(
+        checkpoint_interval=interval, nranks=nranks, iterations=iterations
+    )
+    return measure_e1(system, workload, seed=seed)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.models.network.topology import Topology
 from repro.util.errors import ConfigurationError
@@ -135,6 +136,36 @@ class NetworkModel:
         self.chips_per_node = chips_per_node
         self.ranks_per_chip = ranks_per_node // chips_per_node
         self.congestion_factor = congestion_factor
+        self._install_caches()
+
+    def _install_caches(self) -> None:
+        """Shadow the pure cost methods with per-instance LRU caches.
+
+        The cost inputs (topology, tier parameters, placement, congestion)
+        are fixed after construction, so every cost method is a pure
+        function of its rank/size arguments; the torus hop computation and
+        the tier dispatch dominate the simulated MPI layer's per-message
+        cost otherwise.  Mutating cost parameters afterwards (tests only)
+        requires calling :meth:`invalidate_caches`.
+        """
+        self.tier = lru_cache(maxsize=1 << 17)(self.tier)  # type: ignore[method-assign]
+        self.hops = lru_cache(maxsize=1 << 17)(self.hops)  # type: ignore[method-assign]
+        self.wire_latency = lru_cache(maxsize=1 << 17)(self.wire_latency)  # type: ignore[method-assign]
+        self.transfer_time = lru_cache(maxsize=1 << 16)(self.transfer_time)  # type: ignore[method-assign]
+        self.serialization_time = lru_cache(maxsize=1 << 16)(self.serialization_time)  # type: ignore[method-assign]
+        self.detection_timeout = lru_cache(maxsize=1 << 16)(self.detection_timeout)  # type: ignore[method-assign]
+
+    def invalidate_caches(self) -> None:
+        """Drop all memoized cost results (after mutating cost parameters)."""
+        for name in (
+            "tier",
+            "hops",
+            "wire_latency",
+            "transfer_time",
+            "serialization_time",
+            "detection_timeout",
+        ):
+            getattr(self, name).cache_clear()
 
     # ------------------------------------------------------------------
     # placement

@@ -39,9 +39,9 @@ from repro.models.memory import MemoryRegion, RegionKind
 from repro.mpi import collectives as coll
 from repro.mpi import ops
 from repro.mpi.communicator import Communicator
-from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, SUCCESS, TAG_UB
 from repro.mpi.datatypes import payload_nbytes
-from repro.mpi.errhandler import Errhandler
+from repro.mpi.errhandler import Errhandler, MpiError
 from repro.mpi.group import Group
 from repro.mpi.messages import Msg, Request
 from repro.pdes.requests import Advance, Block
@@ -71,6 +71,9 @@ class MpiApi:
         self.rank = rank
         #: Set by :meth:`MpiWorld.launch` once the VP exists.
         self.vp: "VirtualProcess" = None  # type: ignore[assignment]
+        #: Lazily cached RankState (stable after launch).
+        self._rs = None
+        self._wc = None  # validated world communicator (see _comm)
 
     # ------------------------------------------------------------------
     # identity and timing
@@ -187,8 +190,36 @@ class MpiApi:
         if dest == PROC_NULL:
             return self._null_request(Request.SEND, comm, tag)
         dst = comm.world_rank(dest)
-        return (
-            yield from self.world.isend(self.vp, comm, comm.context_id * 2, dst, tag, payload, size)
+        world = self.world
+        if world.network.send_overhead > 0.0:
+            yield world.send_overhead_advance
+        return world.post_send(self.vp, comm, comm.context_id * 2, dst, tag, payload, size)
+
+    def post_isend(
+        self,
+        dest: int,
+        payload: Any = None,
+        nbytes: int | None = None,
+        tag: int = 0,
+        comm: Communicator | None = None,
+    ) -> Request:
+        """Plain-call variant of :meth:`isend` for callers that pay the
+        per-message send overhead themselves (by yielding
+        ``world.send_overhead_advance`` first when it is nonzero).
+
+        Skipping the generator frame matters in per-message hot loops like
+        the halo exchange; semantics are otherwise identical to
+        :meth:`isend`.  ``PROC_NULL`` destinations return a completed null
+        request and owe no overhead, mirroring :meth:`isend`.
+        """
+        self._check_active()
+        comm = self._comm(comm)
+        self._check_tag(tag)
+        size = payload_nbytes(payload, nbytes)
+        if dest == PROC_NULL:
+            return self._null_request(Request.SEND, comm, tag)
+        return self.world.post_send(
+            self.vp, comm, comm.context_id * 2, comm.world_rank(dest), tag, payload, size
         )
 
     def irecv(
@@ -206,17 +237,56 @@ class MpiApi:
         src = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank(source)
         return self.world.irecv(self.vp, comm, comm.context_id * 2, src, tag)
 
+    def _wait_done_locally(self, request: Request) -> bool:
+        """True when ``request`` already completed successfully at-or-before
+        this rank's clock with no receive overhead left to pay — i.e.
+        waiting on it yields no control point at all (the common case for
+        eager sends), so the generator machinery can be skipped."""
+        return (
+            request.done
+            and request.error == SUCCESS
+            and request.completion_time <= self.vp.clock
+            and (request.kind != Request.RECV or self.world.network.recv_overhead <= 0.0)
+        )
+
     def wait(self, request: Request) -> Gen:
         """Complete one request; returns the received payload for receives."""
         self._check_active()
-        msg = yield from self.world.wait(self.vp, request)
+        if self._wait_done_locally(request):
+            msg = request.result
+            return msg.payload if isinstance(msg, Msg) else None
+        # Inline of MpiWorld.wait (saves one generator frame on every
+        # blocking completion, the per-message hot path).
+        vp = self.vp
+        world = self.world
+        req = request
+        if not req.done:
+            req.waiting = True
+            yield Block(req)  # stringified lazily, only for reports
+            req.waiting = False
+        if req.completion_time > vp.clock:
+            yield Advance(req.completion_time - vp.clock, busy=False)
+        if req.error != SUCCESS:
+            yield from world.handle_error(
+                vp, req.comm, MpiError(req.error, req.describe(), req.failed_rank)
+            )
+        elif req.kind == Request.RECV and world.network.recv_overhead > 0.0:
+            yield world.recv_overhead_advance
+        msg = req.result
         return msg.payload if isinstance(msg, Msg) else None
 
     def waitall(self, requests: Iterable[Request]) -> Gen:
         """Complete all requests; returns their payloads in order."""
+        self._check_active()
+        world = self.world
+        vp = self.vp
         out = []
         for req in requests:
-            out.append((yield from self.wait(req)))
+            if self._wait_done_locally(req):
+                msg = req.result
+            else:
+                msg = yield from world.wait(vp, req)
+            out.append(msg.payload if isinstance(msg, Msg) else None)
         return out
 
     def test(self, request: Request) -> Generator[Any, Any, tuple[bool, Any]]:
@@ -431,20 +501,24 @@ class MpiApi:
 
     # internal collective-context point-to-point helpers
     def _coll_send(self, comm: Communicator, dst: int, tag: int, payload: Any, nbytes: int) -> Gen:
-        req = yield from self.world.isend(
+        world = self.world
+        if world.network.send_overhead > 0.0:
+            yield world.send_overhead_advance
+        req = world.post_send(
             self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(dst), tag, payload, nbytes
         )
-        yield from self.world.wait(self.vp, req)
+        yield from world.wait(self.vp, req)
 
     def _coll_recv(self, comm: Communicator, src: int, tag: int) -> Gen:
         req = self.world.irecv(self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(src), tag)
         return (yield from self.world.wait(self.vp, req))
 
     def _coll_isend(self, comm: Communicator, dst: int, tag: int, payload: Any, nbytes: int) -> Gen:
-        return (
-            yield from self.world.isend(
-                self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(dst), tag, payload, nbytes
-            )
+        world = self.world
+        if world.network.send_overhead > 0.0:
+            yield world.send_overhead_advance
+        return world.post_send(
+            self.vp, comm, comm.context_id * 2 + 1, comm.world_rank(dst), tag, payload, nbytes
         )
 
     def _coll_irecv(self, comm: Communicator, src: int, tag: int) -> Request:
@@ -568,6 +642,18 @@ class MpiApi:
     # helpers
     # ------------------------------------------------------------------
     def _comm(self, comm: Communicator | None) -> Communicator:
+        if comm is None:
+            # Fast path: the world communicator always contains this rank,
+            # so only the freed check applies (validated once, then cached).
+            c = self._wc
+            if c is not None:
+                if c.freed:
+                    raise ConfigurationError(f"operation on freed communicator {c.name}")
+                return c
+            c = self.world.world_comm
+            if c is not None and not c.freed and c.contains(self.rank):
+                self._wc = c
+                return c
         c = comm if comm is not None else self.world.world_comm
         if c is None:
             raise ConfigurationError("MPI world not launched")
@@ -578,10 +664,15 @@ class MpiApi:
         return c
 
     def _state(self):
-        return self.world.states[self.rank]
+        rs = self._rs
+        if rs is None:
+            rs = self._rs = self.world.states[self.rank]
+        return rs
 
     def _check_active(self) -> None:
-        state = self._state()
+        state = self._rs
+        if state is None:
+            state = self._state()
         if not state.initialized:
             raise ConfigurationError(f"rank {self.rank}: MPI_Init has not been called")
         if state.finalized:

@@ -37,10 +37,14 @@ class Communicator:
         "_errhandlers",
         "_acked",
         "_coll_seq",
+        "_world_ranks",
     )
 
     def __init__(self, group: Group, context_id: int, name: str = ""):
         self.group = group
+        # Groups are immutable, so the rank translation table can be
+        # indexed directly in the per-message hot path (see world_rank).
+        self._world_ranks = group.ranks
         self.context_id = context_id
         self.name = name or f"comm#{context_id}"
         #: Set by ``MPI_Comm_revoke``; all subsequent operations fail with
@@ -65,7 +69,14 @@ class Communicator:
 
     def world_rank(self, comm_rank: int) -> int:
         """World rank of communicator rank ``comm_rank``."""
-        return self.group.world_rank(comm_rank)
+        if comm_rank >= 0:
+            try:
+                return self._world_ranks[comm_rank]
+            except IndexError:
+                pass
+        raise ConfigurationError(
+            f"group rank {comm_rank} outside group of {self.size}"
+        )
 
     def contains(self, world_rank: int) -> bool:
         """Is ``world_rank`` a member?"""

@@ -154,6 +154,10 @@ class Request:
             return f"recv src={src} tag={tag} ctx={self.ctx}"
         return f"send dst={self.dst} tag={self.tag} ctx={self.ctx} ({self.nbytes}B)"
 
+    # A Request used as a Block tag stringifies to its description, so the
+    # f-string is only built when a deadlock report or trace needs it.
+    __str__ = describe
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else ("waiting" if self.waiting else "pending")
         return f"<Request {self.describe()} {state} err={self.error}>"

@@ -36,6 +36,7 @@ file-system models — and implements the mechanics behind every MPI call:
 from __future__ import annotations
 
 import math
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
 import numpy as np
@@ -49,7 +50,7 @@ from repro.mpi.constants import ANY_SOURCE, ANY_TAG, ERR_PROC_FAILED, ERR_REVOKE
 from repro.mpi.errhandler import ERRORS_ARE_FATAL, ERRORS_RETURN, MpiError
 from repro.mpi.group import Group
 from repro.mpi.messages import EAGER, RTS, Msg, Request
-from repro.pdes.context import VirtualProcess
+from repro.pdes.context import LIVE_STATES, VirtualProcess
 from repro.pdes.engine import Engine
 from repro.pdes.requests import Advance, Block
 from repro.util.errors import ConfigurationError, SimulationError
@@ -182,6 +183,10 @@ class MpiWorld:
         # traffic statistics
         self.messages_sent = 0
         self.bytes_sent = 0
+        # matching-scan statistics (wildcard-path scans only; the indexed
+        # exact-match fast paths never scan).  Read by repro.util.profiling.
+        self.match_scan_calls = 0
+        self.match_scan_length = 0
         #: Optional full communication trace (DUMPI-style; see
         #: :mod:`repro.mpi.trace`).
         self.trace = None
@@ -189,6 +194,12 @@ class MpiWorld:
             from repro.mpi.trace import CommTrace
 
             self.trace = CommTrace()
+        # Shared Advance instances for the fixed per-message software
+        # overheads.  The engine only reads ``dt``/``busy`` from a yielded
+        # Advance and the overheads are fixed after construction, so one
+        # instance per world avoids an allocation on every send/receive.
+        self.send_overhead_advance = Advance(network.send_overhead)
+        self.recv_overhead_advance = Advance(network.recv_overhead)
 
     # ------------------------------------------------------------------
     # job launch
@@ -222,7 +233,10 @@ class MpiWorld:
         apis: list[MpiApi] = []
         for rank in range(nranks):
             api = MpiApi(self, rank)
-            vp = self.engine.spawn(self._vp_main(api, app, args))
+            # The app generator is spawned directly (no wrapper frame): every
+            # yield traverses the whole `yield from` chain, so one less frame
+            # is paid on every single event of every VP.
+            vp = self.engine.spawn(app(api, *args))
             if vp.rank != rank:
                 raise SimulationError("engine assigned unexpected rank")
             api.vp = vp
@@ -233,11 +247,6 @@ class MpiWorld:
         self.engine.exit_policy = self._exit_policy
         self.engine.failure_listeners.append(self._on_failure)
         return apis
-
-    @staticmethod
-    def _vp_main(api: "MpiApi", app, args: tuple) -> Generator[Any, Any, Any]:
-        result = yield from app(api, *args)
-        return result
 
     def _exit_policy(self, vp: VirtualProcess) -> str:
         """Paper §IV-B: "returning from main() or calling exit() without
@@ -261,42 +270,64 @@ class MpiWorld:
     ) -> Generator[Any, Any, Request]:
         """Post a send (world-rank ``dst``); returns the pending request.
 
-        Pays the per-message send software overhead, then either buffers an
-        eager message (request completes locally) or emits a rendezvous RTS
-        (request completes when the clear-to-send round-trip and payload
-        serialization finish).
+        Pays the per-message send software overhead, then posts via
+        :meth:`post_send`.
         """
-        state = self.states[vp.rank]
         if self.network.send_overhead > 0.0:
-            yield Advance(self.network.send_overhead)
-        req = Request(Request.SEND, vp, comm, ctx, vp.rank, dst, tag, nbytes, vp.clock)
+            yield self.send_overhead_advance
+        return self.post_send(vp, comm, ctx, dst, tag, payload, nbytes)
+
+    def post_send(
+        self,
+        vp: VirtualProcess,
+        comm: Communicator,
+        ctx: int,
+        dst: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+    ) -> Request:
+        """Post a send whose software overhead has already been paid (plain
+        call, no generator frame — the point-to-point hot path).
+
+        Either buffers an eager message (request completes locally) or
+        emits a rendezvous RTS (request completes when the clear-to-send
+        round-trip and payload serialization finish).
+        """
+        clock = vp.clock
+        req = Request(Request.SEND, vp, comm, ctx, vp.rank, dst, tag, nbytes, clock)
         if comm.revoked:
-            req.fail(vp.clock, ERR_REVOKED)
+            req.fail(clock, ERR_REVOKED)
             return req
         failed_at = vp.failed_peers.get(dst)
         if failed_at is not None:
             self._fail_from_list(req, dst)
             return req
+        network = self.network
         self._msg_seq += 1
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.trace is not None:
             self.trace.record_post(
-                self._msg_seq, vp.clock, vp.rank, dst, ctx, tag, nbytes,
-                "eager" if self.network.is_eager(nbytes) else "rendezvous",
+                self._msg_seq, clock, vp.rank, dst, ctx, tag, nbytes,
+                "eager" if network.is_eager(nbytes) else "rendezvous",
             )
         if isinstance(payload, np.ndarray):
             payload = payload.copy()  # eager/rendezvous buffering semantics
-        if self.network.is_eager(nbytes):
+        engine = self.engine
+        if nbytes <= network.eager_threshold:
             msg = Msg(ctx, vp.rank, dst, tag, nbytes, payload, self._msg_seq, EAGER)
-            arrival = vp.clock + self.network.transfer_time(nbytes, vp.rank, dst)
-            self.engine.schedule(arrival, self._arrive, msg)
-            req.complete(vp.clock)
+            arrival = clock + network.transfer_time(nbytes, vp.rank, dst)
+            req.complete(clock)
         else:
             msg = Msg(ctx, vp.rank, dst, tag, nbytes, payload, self._msg_seq, RTS, send_req=req)
-            arrival = vp.clock + self.network.wire_latency(vp.rank, dst)
-            state.rdv_sends.append(req)
-            self.engine.schedule(arrival, self._arrive, msg)
+            arrival = clock + network.wire_latency(vp.rank, dst)
+            self.states[vp.rank].rdv_sends.append(req)
+        # Inline of engine.schedule (per-message hot path).
+        if arrival < engine.now:
+            raise SimulationError(f"cannot schedule into the past ({arrival} < {engine.now})")
+        engine._seq += 1
+        heappush(engine._heap, (arrival, engine._seq, None, 0, self._arrive, (msg,)))
         return req
 
     def irecv(
@@ -321,18 +352,24 @@ class MpiWorld:
         # ("any similar receive requests waited on after receiving the
         # simulator-internal notification message fail based on the
         # per-process list of failed simulated MPI processes").
-        if src == ANY_SOURCE:
-            failed_members = {
-                r for r in vp.failed_peers if comm.contains(r)
-            } - comm.acked_failures(vp.rank)
-            if failed_members:
-                self._fail_from_list(req, min(failed_members))
+        if vp.failed_peers:
+            if src == ANY_SOURCE:
+                failed_members = {
+                    r for r in vp.failed_peers if comm.contains(r)
+                } - comm.acked_failures(vp.rank)
+                if failed_members:
+                    self._fail_from_list(req, min(failed_members))
+                    return req
+            elif src in vp.failed_peers:
+                self._fail_from_list(req, src)
                 return req
-        elif src in vp.failed_peers:
-            self._fail_from_list(req, src)
-            return req
         if src != ANY_SOURCE and tag != ANY_TAG:
-            state.posted_exact.setdefault((ctx, src, tag), []).append(req)
+            key = (ctx, src, tag)
+            posted = state.posted_exact.get(key)
+            if posted is None:
+                state.posted_exact[key] = [req]
+            else:
+                posted.append(req)
         else:
             state.posted_wild.append(req)
         return req
@@ -362,6 +399,8 @@ class MpiWorld:
                 del unexpected[key]
             return msg
         # Wildcard: scan per-key heads for the lowest sequence number.
+        self.match_scan_calls += 1
+        self.match_scan_length += len(unexpected)
         best_key: MatchKey | None = None
         best: Msg | None = None
         for key, msgs in unexpected.items():
@@ -384,9 +423,21 @@ class MpiWorld:
         the communicator's error handler; return the received message."""
         if not req.done:
             req.waiting = True
-            yield Block(req.describe())
+            yield Block(req)  # stringified lazily, only for reports
             req.waiting = False
-        return (yield from self._finalize_request(vp, req))
+        # Inline of _finalize_request — this is the hot path of every
+        # point-to-point completion, so it avoids a nested generator frame.
+        if req.completion_time > vp.clock:
+            # waiting for completion (in-flight data, detection timeout)
+            yield Advance(req.completion_time - vp.clock, busy=False)
+        if req.error == SUCCESS:
+            if req.kind == Request.RECV and self.network.recv_overhead > 0.0:
+                yield self.recv_overhead_advance
+            return req.result
+        yield from self.handle_error(
+            vp, req.comm, MpiError(req.error, req.describe(), req.failed_rank)
+        )
+        return req.result
 
     def test(
         self, vp: VirtualProcess, req: Request
@@ -443,7 +494,7 @@ class MpiWorld:
     def _arrive(self, msg: Msg) -> None:
         """Delivery event: the message reached the destination NIC."""
         state = self.states[msg.dst]
-        if not state.vp.alive:
+        if state.vp.state not in LIVE_STATES:
             # "all messages directed to this simulated MPI process are deleted"
             if self.trace is not None:
                 self.trace.record_delivery(msg.seq, self.engine.now, dropped=True)
@@ -478,6 +529,17 @@ class MpiWorld:
         """Pop the earliest-posted receive accepting ``msg``."""
         key = (msg.ctx, msg.src, msg.tag)
         exact = state.posted_exact.get(key)
+        if not state.posted_wild:
+            # Fast path (no wildcard receives posted): the indexed exact
+            # match is the only candidate.
+            if not exact:
+                return None
+            req = exact.pop(0)
+            if not exact:
+                del state.posted_exact[key]
+            return req
+        self.match_scan_calls += 1
+        self.match_scan_length += len(state.posted_wild)
         candidate: Request | None = exact[0] if exact else None
         wild_i = -1
         for i, req in enumerate(state.posted_wild):
@@ -532,21 +594,39 @@ class MpiWorld:
                 else:
                     del state.unexpected[key]
             released: list[Request] = []
-            for key, reqs in list(state.posted_exact.items()):
-                if key[1] == f:
-                    released.extend(reqs)
-                    del state.posted_exact[key]
-            for req in [r for r in state.posted_wild if r.src == ANY_SOURCE and r.comm.contains(f)]:
-                state.posted_wild.remove(req)
-                released.append(req)
-            for req in [r for r in state.posted_wild if r.src == f]:
-                state.posted_wild.remove(req)
-                released.append(req)
+            if state.posted_exact:
+                dead_exact = [key for key in state.posted_exact if key[1] == f]
+                for key in dead_exact:
+                    released.extend(state.posted_exact.pop(key))
+            if state.posted_wild:
+                # Single pass, preserving the release order (ANY_SOURCE
+                # receives on communicators containing f first, then
+                # specific-source receives from f) — the order determines
+                # engine event sequence numbers and hence tie-breaking.
+                kept: list[Request] = []
+                rel_any: list[Request] = []
+                rel_src: list[Request] = []
+                for req in state.posted_wild:
+                    if req.src == ANY_SOURCE and req.comm.contains(f):
+                        rel_any.append(req)
+                    elif req.src == f:
+                        rel_src.append(req)
+                    else:
+                        kept.append(req)
+                if rel_any or rel_src:
+                    state.posted_wild[:] = kept
+                    released.extend(rel_any)
+                    released.extend(rel_src)
             for req in released:
                 self._release_failed(req, f, t_fail)
-            for req in [r for r in state.rdv_sends if r.dst == f]:
-                state.rdv_sends.remove(req)
-                self._release_failed(req, f, t_fail)
+            if state.rdv_sends:
+                kept_sends: list[Request] = []
+                for req in state.rdv_sends:
+                    if req.dst == f:
+                        self._release_failed(req, f, t_fail)
+                    else:
+                        kept_sends.append(req)
+                state.rdv_sends[:] = kept_sends
         # Re-check open synchronization points that were waiting on it.
         for key in list(self._sync_points):
             sp = self._sync_points.get(key)

@@ -43,13 +43,15 @@ class Advance:
 class Block:
     """Park the yielding VP until it is woken.
 
-    ``tag`` is a human-readable description of what is being waited on;
-    it appears in deadlock reports and traces (e.g. ``"recv src=3 tag=7"``).
+    ``tag`` describes what is being waited on for deadlock reports and
+    traces (e.g. ``"recv src=3 tag=7"``).  It may be any object whose
+    ``str()`` yields that description — passing the pending request itself
+    defers the string formatting to the (rare) moment a report needs it.
     """
 
     __slots__ = ("tag",)
 
-    def __init__(self, tag: str = "blocked"):
+    def __init__(self, tag: object = "blocked"):
         self.tag = tag
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

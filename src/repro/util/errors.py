@@ -28,12 +28,16 @@ class DeadlockError(SimulationError):
 
     Mirrors xSim's deadlock detection inside its simulator-internal
     synchronization mechanism.  The message lists the blocked virtual
-    processes and what each one was waiting on.
+    processes with the wait tag *and* the VP state reported separately, so
+    a legitimately empty wait tag is shown as such rather than being
+    silently replaced by the state name.
     """
 
-    def __init__(self, blocked: list[tuple[int, str]]):
+    def __init__(self, blocked: list[tuple[int, str, str]]):
         self.blocked = list(blocked)
-        head = ", ".join(f"rank {r} waiting on {w}" for r, w in self.blocked[:8])
+        head = ", ".join(
+            f"rank {r} waiting on {tag!r} [{state}]" for r, tag, state in self.blocked[:8]
+        )
         more = "" if len(self.blocked) <= 8 else f", ... ({len(self.blocked)} total)"
         super().__init__(f"simulation deadlock: {head}{more}")
 

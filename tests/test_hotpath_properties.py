@@ -1,0 +1,143 @@
+"""Property-based tests for the engine's hot-path optimizations.
+
+The event loop carries two optimizations that must be *observationally
+invisible*: stale-event skipping (dead-VP events lazily deleted at
+dispatch) and advance coalescing (an Advance resume taken inline when no
+other event can fire strictly before it).  Both claim exact preservation
+of the simulation semantics — same exit time, same event count, same
+failure activation times, same per-VP end states — on *every* schedule,
+not just the ones the MPI layer happens to produce.  Hypothesis generates
+random multi-VP advance programs and failure injections and compares a
+coalescing engine against a non-coalescing one event for event.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdes.engine import Engine
+from repro.pdes.requests import Advance
+
+# One VP program: a sequence of (dt, busy) advances.  dt=0 is a legal
+# zero-cost control point; equal dts across VPs exercise the strict-'>'
+# tie-breaking in the coalescing condition.
+advance_strategy = st.tuples(
+    st.one_of(
+        st.just(0.0),
+        st.sampled_from([0.5, 1.0, 1.0, 2.0]),  # repeats force time ties
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False, allow_infinity=False),
+    ),
+    st.booleans(),
+)
+program_strategy = st.lists(advance_strategy, min_size=1, max_size=8)
+programs_strategy = st.lists(program_strategy, min_size=1, max_size=5)
+
+
+def _vp_main(program):
+    for dt, busy in program:
+        yield Advance(dt, busy=busy)
+
+
+def _run(programs, failures, coalesce):
+    engine = Engine(coalesce_advances=coalesce)
+    for program in programs:
+        engine.spawn(_vp_main(program))
+    for rank, time in failures:
+        engine.schedule_failure(rank % len(programs), time)
+    return engine, engine.run()
+
+
+@given(
+    programs=programs_strategy,
+    failures=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+        ),
+        max_size=3,
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_coalescing_preserves_simulation_semantics(programs, failures):
+    base_engine, base = _run(programs, failures, coalesce=False)
+    fast_engine, fast = _run(programs, failures, coalesce=True)
+
+    # The non-coalescing engine never takes the inline path.
+    assert base_engine.coalesced_advances == 0
+
+    # Exact observational equality — floats compare with ==, not approx:
+    # both paths compute vp.clock + dt in the same order.
+    assert fast.exit_time == base.exit_time
+    assert fast.event_count == base.event_count
+    assert fast.failures == base.failures  # activation (rank, time) pairs
+    assert fast.end_times == base.end_times
+    assert fast.busy_times == base.busy_times
+    assert fast.states == base.states
+    assert fast.aborted == base.aborted
+
+
+@given(programs=programs_strategy)
+@settings(max_examples=60, deadline=None)
+def test_failure_free_exit_time_is_max_program_length(programs):
+    # Without failures the optimizations must reduce to plain timing:
+    # each VP ends at the sum of its dts, the run at the maximum.
+    engine, result = _run(programs, failures=[], coalesce=True)
+    clock = 0.0
+    for rank, program in enumerate(programs):
+        clock = 0.0
+        for dt, _ in program:
+            clock += dt
+        assert result.end_times[rank] == clock
+    assert result.exit_time == max(result.end_times.values())
+    assert not result.failures
+    # dt=0 advances are zero-cost control points, every other advance is
+    # exactly one event; +1 start event per VP.
+    expected_events = sum(
+        1 + sum(1 for dt, _ in program if dt > 0.0) for program in programs
+    )
+    assert result.event_count == expected_events
+
+
+@given(
+    programs=programs_strategy,
+    failures=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_failures_activate_at_or_after_their_scheduled_time(programs, failures):
+    engine, result = _run(programs, failures, coalesce=True)
+    earliest = {}
+    for rank, time in failures:
+        rank %= len(programs)
+        earliest[rank] = min(earliest.get(rank, float("inf")), time)
+    for rank, activated_at in result.failures:
+        # A failure fires at the next control point at-or-after its
+        # scheduled time, never before it.
+        assert activated_at >= earliest[rank]
+        assert result.end_times[rank] == activated_at
+    # A rank whose program ends before its earliest failure time finishes
+    # cleanly; its queued failure event is stale-skipped, not executed.
+    failed_ranks = {rank for rank, _ in result.failures}
+    for rank in earliest:
+        if rank not in failed_ranks:
+            assert result.end_times[rank] <= earliest[rank]
+
+
+def test_stale_events_are_skipped_not_executed():
+    # Two failures armed for the same VP: the first kills it, the second's
+    # queued event finds a bumped epoch and is lazily dropped at dispatch.
+    # A long-lived second VP keeps the loop running past the stale event.
+    engine = Engine(coalesce_advances=True)
+    engine.spawn(_vp_main([(1.0, True)] * 10))
+    engine.spawn(_vp_main([(1.0, True)] * 10))
+    engine.schedule_failure(0, 2.5)
+    engine.schedule_failure(0, 5.0)
+    result = engine.run()
+    assert result.failures == [(0, 3.0)]
+    assert result.end_times[1] == 10.0
+    assert engine.stale_skipped >= 1
