@@ -1,0 +1,52 @@
+"""simcheck: determinism and invariant tooling for the PDES/MPI core.
+
+The toolkit's value proposition is *trustworthy* failure-injection results,
+which requires runs to be provably deterministic and internally consistent.
+This package provides three cooperating facilities:
+
+* :class:`~repro.check.trace.EventTrace` — a compact recorder of every
+  event the engine dispatches (virtual time, sequence number, VP, kind,
+  origin), with save/load and a first-divergence diff for replay checking.
+* :class:`~repro.check.sanitizer.Sanitizer` — an opt-in runtime invariant
+  checker (``XSIM_CHECK=1`` in the environment, or ``--check`` on the CLI)
+  enforced at engine dispatch and MPI-layer boundaries; violations raise
+  :class:`~repro.util.errors.InvariantViolation` carrying a structured
+  diagnostic dump.
+* :mod:`~repro.check.differential` — a harness of differential runs
+  (serial vs parallel campaigns, advance-coalescing on vs off, analytic vs
+  event-level collectives, trace record vs replay) asserting that paths
+  which must agree do agree.
+
+Checking is off by default and costs one attribute test per event when
+disabled; the sanitizer's per-event work is O(1) with full-state sweeps
+reserved for rare boundaries (failure propagation, sync completion, end of
+run).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.check.sanitizer import Sanitizer, verify_store, verify_store_cleaned
+from repro.check.trace import EventTrace, TraceDivergence
+from repro.util.errors import InvariantViolation
+
+__all__ = [
+    "EventTrace",
+    "InvariantViolation",
+    "Sanitizer",
+    "TraceDivergence",
+    "checking_enabled",
+    "verify_store",
+    "verify_store_cleaned",
+]
+
+
+def checking_enabled() -> bool:
+    """Is invariant checking requested via the environment?
+
+    ``XSIM_CHECK=1`` (or any value other than ``0``/empty) turns the
+    runtime sanitizer on for every simulation that does not explicitly
+    override the setting.
+    """
+    return os.environ.get("XSIM_CHECK", "").strip() not in ("", "0")

@@ -1,0 +1,353 @@
+"""Differential determinism harness (simcheck).
+
+The paper's central repeatability claim — "the experiments are repeatable
+as the simulator and the application are deterministic" — is only as good
+as the equivalences the implementation promises.  This harness runs the
+same workload down pairs of execution paths that must agree and asserts
+they do, bit-for-bit where the promise is bit-identity:
+
+* **rerun** — the same configuration twice: identical result digest.
+* **coalescing** — advance coalescing on vs. off: the inline resume is
+  documented as result- and count-identical to the heap path.
+* **trace replay** — record the full dispatch trace of a failure run,
+  rerun, and diff: zero divergence (first divergence reported otherwise).
+* **campaign parallelism** — Finject with independent streams, serial vs.
+  a 4-worker pool: identical campaign digest.
+* **executor fallback** — the pool path vs. the degraded in-process
+  fallback of :class:`~repro.core.harness.parallel.CampaignExecutor`:
+  identical campaign digest.
+* **collectives** — analytic vs. event-level (linear) collectives: each
+  mode is bit-identical to itself across reruns, and the modes agree
+  semantically (same completion, same failures) with exit times within a
+  small tolerance — the analytic model is a ~1%-accurate closed form of
+  the linear schedule, so cross-mode bit-identity is not promised.
+
+:func:`run_all` executes every check and (optionally) writes failure
+artifacts — traces, digests, divergence reports — into a directory for CI
+to upload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.trace import EventTrace
+from repro.util.errors import InvariantViolation
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one differential check."""
+
+    name: str
+    passed: bool
+    detail: str
+    #: Artifact file name -> contents, written out by :func:`run_all` when
+    #: an artifacts directory is given and the check failed.
+    artifacts: dict[str, str] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        mark = "ok  " if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# workload helpers
+# ----------------------------------------------------------------------
+def _heat_sim(
+    nranks: int,
+    iterations: int,
+    checkpoint_interval: int,
+    seed: int = 0,
+    failure: tuple[int, float] | None = None,
+    **xsim_kwargs,
+):
+    """One small heat3d run; returns ``(sim, result)``."""
+    from repro.apps.heat3d import HeatConfig, heat3d
+    from repro.core.checkpoint.store import CheckpointStore
+    from repro.core.harness.config import SystemConfig
+    from repro.core.simulator import XSim
+
+    system = SystemConfig.small_test_system(nranks=nranks)
+    workload = HeatConfig.paper_workload(
+        checkpoint_interval=checkpoint_interval, nranks=nranks, iterations=iterations
+    )
+    sim = XSim(system, seed=seed, **xsim_kwargs)
+    if failure is not None:
+        sim.inject_failure(*failure)
+    result = sim.run(heat3d, args=(workload, CheckpointStore()))
+    return sim, result
+
+
+def _heat_failure_point(nranks: int, iterations: int, interval: int) -> tuple[int, float]:
+    """A mid-run failure (rank, time) for the given workload: measured as
+    a fraction of the clean run's exit time, so the choice tracks the
+    timing model instead of hard-coding a virtual time."""
+    _, clean = _heat_sim(nranks, iterations, interval)
+    return (nranks // 3, 0.4 * clean.exit_time)
+
+
+# ----------------------------------------------------------------------
+# individual checks
+# ----------------------------------------------------------------------
+def check_rerun(nranks: int = 8, iterations: int = 40) -> CheckResult:
+    """The same configuration twice must digest identically."""
+    from repro.core.harness.experiment import result_digest
+
+    digests = [
+        result_digest(_heat_sim(nranks, iterations, 10, check=True)[1]) for _ in range(2)
+    ]
+    passed = digests[0] == digests[1]
+    return CheckResult(
+        "rerun",
+        passed,
+        f"digest {digests[0][:16]} == {digests[1][:16]}"
+        if passed
+        else f"digests differ: {digests[0]} vs {digests[1]}",
+    )
+
+
+def check_coalescing(nranks: int = 8, iterations: int = 40) -> CheckResult:
+    """Advance coalescing on vs. off: bit-identical results and counts."""
+    from repro.core.harness.experiment import result_digest
+
+    _, on = _heat_sim(nranks, iterations, 10, check=True, coalesce_advances=True)
+    _, off = _heat_sim(nranks, iterations, 10, check=True, coalesce_advances=False)
+    d_on, d_off = result_digest(on), result_digest(off)
+    if d_on != d_off:
+        return CheckResult(
+            "coalescing",
+            False,
+            f"coalesced digest {d_on} != heap-path digest {d_off}",
+            artifacts={"coalescing-digests.txt": f"on  {d_on}\noff {d_off}\n"},
+        )
+    return CheckResult(
+        "coalescing",
+        True,
+        f"digest {d_on[:16]} identical ({on.event_count} events either path)",
+    )
+
+
+def check_trace_replay(nranks: int = 64, iterations: int = 20) -> CheckResult:
+    """Record -> replay of a failure run must diff with zero divergence."""
+    import os
+    import tempfile
+
+    failure = _heat_failure_point(nranks, iterations, 10)
+    sim1, res1 = _heat_sim(
+        nranks, iterations, 10, failure=failure, check=True, record_events=True
+    )
+    sim2, res2 = _heat_sim(
+        nranks, iterations, 10, failure=failure, check=True, record_events=True
+    )
+    with tempfile.TemporaryDirectory() as tmp:  # exercise save/load round-trip
+        path = os.path.join(tmp, "trace.txt")
+        sim1.event_trace.save(path)
+        recorded = EventTrace.load(path)
+    divergence = recorded.diff(sim2.event_trace)
+    if divergence is not None:
+        return CheckResult(
+            "trace-replay",
+            False,
+            f"first divergence at event {divergence.index}",
+            artifacts={
+                "trace-divergence.txt": divergence.report(),
+                "trace-digests.txt": (
+                    f"recorded {sim1.event_trace.digest()}\n"
+                    f"replayed {sim2.event_trace.digest()}\n"
+                ),
+            },
+        )
+    if not res1.failures or res1.failures != res2.failures:
+        return CheckResult(
+            "trace-replay",
+            False,
+            f"injected failure did not reproduce: {res1.failures} vs {res2.failures}",
+        )
+    return CheckResult(
+        "trace-replay",
+        True,
+        f"{len(recorded)} events, {nranks} ranks, 1 injected failure, 0 divergences",
+    )
+
+
+def check_campaign_parallel(jobs: int = 4, victims: int = 16) -> CheckResult:
+    """Finject (independent streams): serial vs. ``jobs``-worker pool."""
+    from repro.core.faults.finject import FinjectCampaign
+    from repro.core.harness.experiment import campaign_digest
+
+    def run(n_jobs: int) -> str:
+        campaign = FinjectCampaign(
+            victims=victims, independent_streams=True, jobs=n_jobs
+        )
+        r = campaign.run()
+        return campaign_digest(
+            [list(r.injections_to_failure), r.censored, r.sdc_hits, r.benign_hits]
+        )
+
+    serial, pooled = run(1), run(jobs)
+    passed = serial == pooled
+    return CheckResult(
+        "campaign-parallel",
+        passed,
+        f"serial == -j {jobs} ({serial[:16]})"
+        if passed
+        else f"serial {serial} != -j {jobs} {pooled}",
+    )
+
+
+def check_executor_fallback(jobs: int = 4, victims: int = 12) -> CheckResult:
+    """Pool path vs. degraded in-process fallback: identical digests."""
+    from repro.core.faults.finject import VictimModel
+    from repro.core.harness.experiment import campaign_digest
+    from repro.core.harness.parallel import CampaignExecutor, RunSpec
+
+    specs = [
+        RunSpec(
+            "finject-victim",
+            key=("victim", i),
+            params={
+                "victim": VictimModel(),
+                "victim_id": i,
+                "max_injections": 100,
+                "seed": 7,
+            },
+        )
+        for i in range(victims)
+    ]
+    pool_exec = CampaignExecutor(max_workers=jobs)
+    pool_digest = campaign_digest(pool_exec.run(specs))
+    fb_exec = CampaignExecutor(max_workers=jobs, force_fallback=True)
+    fb_digest = campaign_digest(fb_exec.run(specs))
+    if pool_exec.last_mode != "pool" or fb_exec.last_mode != "fallback-serial":
+        return CheckResult(
+            "executor-fallback",
+            False,
+            f"unexpected modes: {pool_exec.last_mode}/{fb_exec.last_mode}",
+        )
+    passed = pool_digest == fb_digest
+    return CheckResult(
+        "executor-fallback",
+        passed,
+        f"pool == fallback ({pool_digest[:16]})"
+        if passed
+        else f"pool {pool_digest} != fallback {fb_digest}",
+    )
+
+
+def check_collectives(
+    nranks: int = 8, iterations: int = 30, tolerance: float = 0.05
+) -> CheckResult:
+    """Analytic vs. event-level collectives: within-mode bit-identity,
+    cross-mode semantic agreement (exit time within ``tolerance``)."""
+    from repro.apps.heat3d import HeatConfig, heat3d
+    from repro.core.checkpoint.store import CheckpointStore
+    from repro.core.harness.config import SystemConfig
+    from repro.core.harness.experiment import result_digest
+    from repro.core.simulator import XSim
+
+    workload = HeatConfig.paper_workload(
+        checkpoint_interval=10, nranks=nranks, iterations=iterations
+    )
+
+    def run(algo: str):
+        system = SystemConfig.small_test_system(
+            nranks=nranks, collective_algorithm=algo
+        )
+        sim = XSim(system, check=True)
+        return sim.run(heat3d, args=(workload, CheckpointStore()))
+
+    results = {algo: (run(algo), run(algo)) for algo in ("linear", "analytic")}
+    for algo, (a, b) in results.items():
+        if result_digest(a) != result_digest(b):
+            return CheckResult(
+                "collectives", False, f"{algo} collectives not deterministic"
+            )
+    lin, ana = results["linear"][0], results["analytic"][0]
+    if lin.completed != ana.completed or lin.failures != ana.failures:
+        return CheckResult(
+            "collectives",
+            False,
+            f"modes disagree semantically: completed {lin.completed}/{ana.completed}, "
+            f"failures {lin.failures}/{ana.failures}",
+        )
+    lo, hi = sorted((lin.exit_time, ana.exit_time))
+    rel = (hi - lo) / hi if hi > 0 else 0.0
+    if rel > tolerance:
+        return CheckResult(
+            "collectives",
+            False,
+            f"exit times diverge by {rel:.2%} (> {tolerance:.0%}): "
+            f"linear {lin.exit_time} vs analytic {ana.exit_time}",
+        )
+    return CheckResult(
+        "collectives",
+        True,
+        f"both modes deterministic; exit times agree within {rel:.2%}",
+    )
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run_all(jobs: int = 4, artifacts_dir: str | None = None) -> list[CheckResult]:
+    """Run every differential check; write failure artifacts if asked.
+
+    An :class:`~repro.util.errors.InvariantViolation` raised *inside* a
+    check (every check runs with the sanitizer enabled) is itself a
+    failure of that check, reported with its structured dump attached.
+    """
+    import json
+    import os
+
+    jobs = max(jobs, 2)  # pool-vs-serial checks need an actual pool
+    checks = [
+        check_rerun,
+        check_coalescing,
+        check_trace_replay,
+        lambda: check_campaign_parallel(jobs=jobs),
+        lambda: check_executor_fallback(jobs=jobs),
+        check_collectives,
+    ]
+    names = [
+        "rerun",
+        "coalescing",
+        "trace-replay",
+        "campaign-parallel",
+        "executor-fallback",
+        "collectives",
+    ]
+    results: list[CheckResult] = []
+    for name, fn in zip(names, checks):
+        try:
+            results.append(fn())
+        except InvariantViolation as violation:
+            results.append(
+                CheckResult(
+                    name,
+                    False,
+                    f"invariant violation: {violation}",
+                    artifacts={
+                        f"{name}-violation.json": json.dumps(
+                            {
+                                "invariant": violation.invariant,
+                                "detail": violation.detail,
+                                "dump": violation.dump,
+                            },
+                            indent=2,
+                            default=str,
+                        )
+                    },
+                )
+            )
+    if artifacts_dir is not None:
+        failed = [r for r in results if not r.passed]
+        if failed:
+            os.makedirs(artifacts_dir, exist_ok=True)
+            for r in failed:
+                for fname, contents in r.artifacts.items():
+                    with open(os.path.join(artifacts_dir, fname), "w") as fh:
+                        fh.write(contents)
+            with open(os.path.join(artifacts_dir, "summary.txt"), "w") as fh:
+                fh.write("\n".join(str(r) for r in results) + "\n")
+    return results

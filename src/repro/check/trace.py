@@ -1,0 +1,168 @@
+"""Compact event-trace recording and replay diffing.
+
+An :class:`EventTrace` records every event the engine dispatches as one
+tuple ``(time, seq, rank, kind, origin)``:
+
+* ``time`` — virtual time of the dispatch (exact; serialized as
+  ``float.hex`` so a saved trace round-trips bit-identically);
+* ``seq`` — the engine's global event sequence number (``-1`` for
+  coalesced advances, which never visit the heap);
+* ``rank`` — the guarded VP's rank, or the destination rank for message
+  deliveries, or ``-1`` for rankless events (e.g. sync-point checks);
+* ``kind`` — the dispatched callback's name (``arrive``, ``do_wake``,
+  ``resume_advance``, ...);
+* ``origin`` — the source rank for message deliveries, else ``-1``.
+
+Because the simulator is deterministic, re-executing a run with the same
+configuration must reproduce the exact trace; :meth:`EventTrace.diff`
+reports the first divergence when it does not.  Traces also provide a
+:meth:`digest` so campaigns can assert bit-identity without holding two
+full traces in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.pdes.context import VirtualProcess
+
+#: One recorded dispatch.
+TraceEntry = tuple[float, int, int, str, int]
+
+_HEADER = "# xsim-event-trace v1"
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """First point where two traces disagree."""
+
+    index: int
+    expected: TraceEntry | None
+    """Entry of the reference trace (None: the reference is shorter)."""
+    actual: TraceEntry | None
+    """Entry of the compared trace (None: the compared trace is shorter)."""
+    context: tuple[TraceEntry, ...]
+    """Up to the last 5 entries both traces agree on, for orientation."""
+
+    def report(self) -> str:
+        """Human-readable divergence description."""
+        lines = [f"traces diverge at event #{self.index}:"]
+        lines.append(f"  expected: {_render(self.expected)}")
+        lines.append(f"  actual:   {_render(self.actual)}")
+        if self.context:
+            lines.append("  last agreeing events:")
+            for entry in self.context:
+                lines.append(f"    {_render(entry)}")
+        return "\n".join(lines)
+
+
+def _render(entry: TraceEntry | None) -> str:
+    if entry is None:
+        return "<end of trace>"
+    time, seq, rank, kind, origin = entry
+    frm = "" if origin < 0 else f" from {origin}"
+    return f"t={time:.9f} seq={seq} rank={rank} {kind}{frm}"
+
+
+class EventTrace:
+    """Recorder of every dispatched engine event (see module docstring)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: list[TraceEntry] | None = None):
+        self.entries: list[TraceEntry] = entries if entries is not None else []
+
+    # ------------------------------------------------------------------
+    # recording (called from the engine's dispatch loop)
+    # ------------------------------------------------------------------
+    def record_dispatch(
+        self,
+        time: float,
+        seq: int,
+        gvp: "VirtualProcess | None",
+        fn: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        """Record one heap dispatch, deriving rank/origin from the event."""
+        rank = origin = -1
+        if gvp is not None:
+            rank = gvp.rank
+        elif args:
+            a0: Any = args[0]
+            dst = getattr(a0, "dst", None)
+            if dst is not None:  # message delivery
+                rank, origin = dst, a0.src
+            elif isinstance(a0, int):  # e.g. an injected per-rank delay
+                rank = a0
+        self.entries.append((time, seq, rank, fn.__name__.lstrip("_"), origin))
+
+    def record_coalesced(self, time: float, rank: int) -> None:
+        """Record an inline (coalesced) advance resume; no heap seq exists."""
+        self.entries.append((time, -1, rank, "coalesced_advance", -1))
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def diff(self, other: "EventTrace") -> TraceDivergence | None:
+        """First divergence treating ``self`` as the reference, or None."""
+        mine, theirs = self.entries, other.entries
+        n = min(len(mine), len(theirs))
+        for i in range(n):
+            if mine[i] != theirs[i]:
+                return TraceDivergence(
+                    index=i,
+                    expected=mine[i],
+                    actual=theirs[i],
+                    context=tuple(mine[max(0, i - 5):i]),
+                )
+        if len(mine) != len(theirs):
+            return TraceDivergence(
+                index=n,
+                expected=mine[n] if n < len(mine) else None,
+                actual=theirs[n] if n < len(theirs) else None,
+                context=tuple(mine[max(0, n - 5):n]),
+            )
+        return None
+
+    def digest(self) -> str:
+        """SHA-256 over the exact serialized form (bit-identity check)."""
+        h = hashlib.sha256()
+        for entry in self.entries:
+            h.update(_line(entry).encode("ascii"))
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the trace to ``path`` (text; floats as ``float.hex``)."""
+        with open(path, "w", encoding="ascii") as fh:
+            fh.write(f"{_HEADER} {len(self.entries)}\n")
+            for entry in self.entries:
+                fh.write(_line(entry))
+
+    @classmethod
+    def load(cls, path: str) -> "EventTrace":
+        """Read a trace written by :meth:`save`."""
+        entries: list[TraceEntry] = []
+        with open(path, "r", encoding="ascii") as fh:
+            header = fh.readline()
+            if not header.startswith(_HEADER):
+                raise ValueError(f"{path} is not an xsim event trace")
+            for line in fh:
+                t, seq, rank, kind, origin = line.split()
+                entries.append(
+                    (float.fromhex(t), int(seq), int(rank), kind, int(origin))
+                )
+        return cls(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _line(entry: TraceEntry) -> str:
+    time, seq, rank, kind, origin = entry
+    return f"{time.hex()} {seq} {rank} {kind} {origin}\n"

@@ -12,6 +12,12 @@ Subcommands::
     xsim-run table1  # Finject bit-flip campaign (paper Table I)
     xsim-run table2  --ranks 512  # checkpoint-interval x MTTF sweep
     xsim-run arch    --ranks 32768  # architecture self-description (Fig. 1)
+    xsim-run simcheck  # differential determinism harness (see repro.check)
+
+Debugging aids on ``app``: ``--check`` enables the runtime invariant
+sanitizer (equivalent to ``XSIM_CHECK=1``); ``--record-trace FILE`` saves
+the full event-dispatch trace; ``--replay FILE`` re-runs and diffs against
+a saved trace, reporting the first divergence.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import sys
 from typing import Sequence
 
 from repro.apps.cg import CgConfig, cg
+from repro.check.trace import EventTrace
 from repro.apps.heat3d import HeatConfig, heat3d
 from repro.apps.ring import RingConfig, ring
 from repro.apps.stencil2d import Stencil2dConfig, stencil2d
@@ -74,6 +81,16 @@ def _system_from(args: argparse.Namespace) -> SystemConfig:
 
 def _cmd_app(args: argparse.Namespace) -> int:
     system = _system_from(args)
+    # --check forces the sanitizer on; without it, None defers to XSIM_CHECK.
+    check = True if args.check else None
+    tracing = bool(args.record_trace or args.replay)
+    if tracing and args.mttf is not None:
+        print(
+            "--record-trace/--replay cover exactly one engine run; "
+            "combine them with --xsim-failures, not --mttf",
+            file=sys.stderr,
+        )
+        return 2
     schedule = FailureSchedule.from_environment()
     if args.xsim_failures:
         schedule.extend(FailureSchedule.parse(args.xsim_failures))
@@ -97,7 +114,7 @@ def _cmd_app(args: argparse.Namespace) -> int:
     else:  # pragma: no cover - argparse choices guard this
         raise SystemExit(f"unknown app {args.app}")
 
-    if args.mttf is not None or len(schedule) > 0:
+    if not tracing and (args.mttf is not None or len(schedule) > 0):
         driver = RestartDriver(
             system,
             app,
@@ -106,6 +123,7 @@ def _cmd_app(args: argparse.Namespace) -> int:
             schedule=schedule if schedule else None,
             seed=args.seed,
             log_stream=sys.stdout,
+            check=check,
         )
         run = driver.run()
         last = run.segments[-1].result
@@ -115,10 +133,30 @@ def _cmd_app(args: argparse.Namespace) -> int:
             f"MTTF_a={'-' if run.mttf_a is None else f'{run.mttf_a:,.1f}s'}"
         )
     else:
-        sim = XSim(system, seed=args.seed, log_stream=sys.stdout)
+        # Single engine run: the path --record-trace/--replay cover (a
+        # failure schedule is injected directly; no restart segments).
+        sim = XSim(
+            system,
+            seed=args.seed,
+            log_stream=sys.stdout,
+            check=check,
+            record_events=tracing,
+        )
+        if len(schedule) > 0:
+            sim.inject_schedule(schedule)
         result = sim.run(app, args=make_args(CheckpointStore()))
         print(result.timing_report())
         print(f"E1={result.exit_time:,.1f}s completed={result.completed}")
+        if args.record_trace:
+            sim.event_trace.save(args.record_trace)
+            print(f"recorded {len(sim.event_trace)} events to {args.record_trace}")
+        if args.replay:
+            reference = EventTrace.load(args.replay)
+            divergence = reference.diff(sim.event_trace)
+            if divergence is not None:
+                print(divergence.report())
+                return 1
+            print(f"replay matches {args.replay}: {len(reference)} events, 0 divergences")
     return 0
 
 
@@ -157,6 +195,21 @@ def _cmd_arch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simcheck(args: argparse.Namespace) -> int:
+    from repro.check.differential import run_all
+
+    results = run_all(jobs=args.jobs, artifacts_dir=args.artifacts)
+    for r in results:
+        print(r)
+    failed = [r for r in results if not r.passed]
+    if failed:
+        where = f"; artifacts in {args.artifacts}" if args.artifacts else ""
+        print(f"{len(failed)}/{len(results)} differential checks FAILED{where}")
+        return 1
+    print(f"all {len(results)} differential checks passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``xsim-run`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -175,6 +228,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--xsim-failures",
         default="",
         help='failure schedule as "rank@time,rank@time" (also: XSIM_FAILURES env var)',
+    )
+    p_app.add_argument(
+        "--check",
+        action="store_true",
+        help="enable the runtime invariant sanitizer (same as XSIM_CHECK=1)",
+    )
+    p_app.add_argument(
+        "--record-trace",
+        metavar="FILE",
+        default="",
+        help="save the event-dispatch trace of a single run to FILE",
+    )
+    p_app.add_argument(
+        "--replay",
+        metavar="FILE",
+        default="",
+        help="re-run and diff against a trace saved with --record-trace; "
+        "exit 1 at the first divergence",
     )
     p_app.set_defaults(fn=_cmd_app)
 
@@ -199,6 +270,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_arch = sub.add_parser("arch", help="architecture self-description (paper Figure 1)")
     _add_system_args(p_arch)
     p_arch.set_defaults(fn=_cmd_arch)
+
+    p_chk = sub.add_parser(
+        "simcheck", help="differential determinism harness (serial vs pool, "
+        "coalescing on/off, trace replay, collective modes)"
+    )
+    p_chk.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=4,
+        help="pool width for the parallel-vs-serial checks (>= 2; default 4)",
+    )
+    p_chk.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write divergence reports/traces here when a check fails",
+    )
+    p_chk.set_defaults(fn=_cmd_simcheck)
 
     return parser
 

@@ -113,15 +113,25 @@ class CheckpointStore:
         return sorted(r for cid, r in self._files if cid == ckpt_id)
 
     def is_valid(self, ckpt_id: int, nranks: int) -> bool:
-        """Complete file present for every rank?"""
-        for rank in range(nranks):
-            f = self._files.get((ckpt_id, rank))
-            if f is None or f.state is not FileState.COMPLETE:
+        """Complete file present for *exactly* ranks ``0..nranks-1``?
+
+        The rank set must match exactly: files from ranks ``>= nranks``
+        (a set written by a wider job, before e.g. an ``MPI_Comm_shrink``
+        restart) invalidate the set — restoring only its low-rank files
+        would silently drop the part of the domain the lost ranks held.
+        """
+        present = 0
+        for (cid, rank), f in self._files.items():
+            if cid != ckpt_id:
+                continue
+            if rank >= nranks or f.state is not FileState.COMPLETE:
                 return False
-        return True
+            present += 1
+        return present == nranks
 
     def latest_valid(self, nranks: int) -> int | None:
-        """Largest checkpoint id valid for an ``nranks``-wide restart."""
+        """Largest checkpoint id valid for an ``nranks``-wide restart
+        (exact rank-set match, see :meth:`is_valid`)."""
         for cid in reversed(self.checkpoint_ids()):
             if self.is_valid(cid, nranks):
                 return cid
@@ -161,7 +171,9 @@ class CheckpointStore:
     def cleanup_incomplete(self, nranks: int) -> list[int]:
         """Delete every checkpoint set that is not valid for ``nranks``
         ranks — the paper's pre-restart shell script.  Returns the ids
-        removed."""
+        removed.  Validity requires an exact rank-set match (see
+        :meth:`is_valid`), so leftover wide sets — including their
+        high-rank files — are deleted too, not just narrow/corrupt ones."""
         removed = []
         for cid in self.checkpoint_ids():
             if not self.is_valid(cid, nranks):

@@ -149,10 +149,11 @@ class FinjectCampaign:
     By default every victim draws from one shared RNG stream consumed in
     victim order — the calibrated draw whose statistics match the paper's
     Table I.  ``independent_streams=True`` instead gives each victim its
-    own sub-stream (``finject/<victim_id>``), making the per-victim draws
-    order-independent; that is required for (and implied by) parallel
-    execution with ``jobs > 1``, and produces the same result whether the
-    victims run serially or on a worker pool.
+    own ``SeedSequence``-spawned sub-stream (see
+    :meth:`~repro.util.rng.RngStreams.spawn_child`), making the
+    per-victim draws order-independent; that is required for (and implied
+    by) parallel execution with ``jobs > 1``, and produces the same
+    result whether the victims run serially or on a worker pool.
     """
 
     victims: int = 100

@@ -40,7 +40,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.util.errors import ConfigurationError
+from repro.util.errors import CampaignTaskError, ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -90,6 +90,28 @@ def run_spec(spec: RunSpec) -> Any:
     return fn(**spec.params)
 
 
+def _pool_run_spec(spec: RunSpec) -> tuple[str, Any]:
+    """Worker-side wrapper: tag task outcomes so a task's own exception is
+    never mistaken for pool breakage.
+
+    A raising task returns ``("err", exc)`` instead of raising out of the
+    worker — ``pool.map`` would re-raise it in the parent, where the
+    executor's fallback logic could misread e.g. a task ``TypeError`` as
+    an unpicklable-payload problem and silently rerun the whole campaign.
+    Exceptions that cannot cross the process boundary are substituted
+    with a :class:`~repro.util.errors.CampaignTaskError` carrying the
+    original type and message.
+    """
+    try:
+        return ("ok", run_spec(spec))
+    except Exception as exc:  # noqa: BLE001 - transported to the parent
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:  # unpicklable exception object
+            exc = CampaignTaskError(spec.kind, spec.key, type(exc).__name__, str(exc))
+        return ("err", exc)
+
+
 def default_jobs() -> int:
     """Worker count when none is given: the ``XSIM_JOBS`` environment
     variable, else 1 (serial in-process execution)."""
@@ -117,11 +139,15 @@ class CampaignExecutor:
     fallback produces the same results, only slower.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, *, force_fallback: bool = False):
         jobs = default_jobs() if max_workers is None else max_workers
         if jobs < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {jobs}")
         self.max_workers = jobs
+        #: Skip the pool and run the degraded in-process path directly —
+        #: a knob for the differential harness and tests, which assert the
+        #: fallback produces the same results as the pool.
+        self.force_fallback = force_fallback
         #: Filled by :meth:`run`: "serial", "pool", or "fallback-serial".
         self.last_mode: str | None = None
 
@@ -137,19 +163,31 @@ class CampaignExecutor:
         if self.max_workers <= 1 or len(specs) <= 1:
             self.last_mode = "serial"
             return [run_spec(s) for s in specs]
+        if self.force_fallback:
+            self.last_mode = "fallback-serial"
+            return [run_spec(s) for s in specs]
         try:
             with ProcessPoolExecutor(max_workers=min(self.max_workers, len(specs))) as pool:
-                results = list(pool.map(run_spec, specs))
-            self.last_mode = "pool"
-            return results
+                tagged = list(pool.map(_pool_run_spec, specs))
         except (pickle.PicklingError, AttributeError, TypeError, BrokenExecutor, OSError):
             # Pool unusable (unpicklable payloads — CPython reports those
             # as PicklingError, AttributeError, or TypeError depending on
             # the object — dead workers, fork limits): degrade to
             # in-process execution.  Tasks are pure, so results are
-            # identical.
+            # identical.  Task exceptions never land here: workers return
+            # them tagged (see _pool_run_spec), so only genuine transport/
+            # pool failures trigger the rerun.
             self.last_mode = "fallback-serial"
             return [run_spec(s) for s in specs]
+        self.last_mode = "pool"
+        results: list[Any] = []
+        for tag, payload in tagged:
+            if tag == "err":
+                # Re-raise the first failing task's exception (spec order),
+                # after the pool shut down cleanly and with no spec rerun.
+                raise payload
+            results.append(payload)
+        return results
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +197,24 @@ class CampaignExecutor:
 # not pull in the simulator stack (and must stay cycle-free — domain
 # modules may import this module to fan themselves out).
 # ----------------------------------------------------------------------
+@task("selftest")
+def _task_selftest(
+    *, value: Any = None, raise_message: str | None = None, unpicklable: bool = False
+) -> Any:
+    """Echo/raise task for the executor's own tests and the simcheck
+    differential harness: unlike test-module tasks, it is registered in a
+    module worker processes import, so it can exercise the *pool* error
+    transport (tagged results, unpicklable-exception substitution)."""
+    if raise_message is not None:
+        if unpicklable:
+            class LocalError(Exception):  # local class: cannot be pickled
+                pass
+
+            raise LocalError(raise_message)
+        raise RuntimeError(raise_message)
+    return value
+
+
 @task("table2-e1")
 def _task_table2_e1(*, nranks: int, interval: int, iterations: int, seed: int) -> float:
     """E1: simulated execution time of one clean (failure-free) run."""
@@ -203,7 +259,7 @@ def _task_finject_victim(
     from repro.core.faults.finject import run_victim
     from repro.util.rng import RngStreams
 
-    rng = RngStreams(seed).get(f"finject/{victim_id}")
+    rng = RngStreams(seed).spawn_child("finject", victim_id)
     return run_victim(victim, victim_id, max_injections, rng)
 
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import IO, Any, Callable
 
+from repro.check import checking_enabled
+from repro.check.sanitizer import verify_store_cleaned
 from repro.core.checkpoint.store import CheckpointStore
 from repro.core.faults.policies import InjectionPolicy, SingleUniformFailurePolicy
 from repro.core.faults.schedule import FailureSchedule
@@ -142,6 +144,7 @@ class RestartDriver:
         interceptor: Callable[[XSim, list[tuple[int, float]]], list[tuple[int, float]]]
         | None = None,
         log_stream: IO[str] | None = None,
+        check: bool | None = None,
     ):
         if mttf is not None and policy is not None:
             raise SimulationError("pass either mttf or policy, not both")
@@ -162,6 +165,10 @@ class RestartDriver:
         #: failures with migration pauses); returns the failures to inject.
         self.interceptor = interceptor
         self.log_stream = log_stream
+        #: Run every segment under the invariant sanitizer and audit the
+        #: checkpoint namespace after each pre-restart cleanup.  ``None``
+        #: defers to the ``XSIM_CHECK`` environment variable (per segment).
+        self.check = check
 
     def run(self) -> FailureRunResult:
         """Execute segments until the application completes (or the restart
@@ -176,6 +183,7 @@ class RestartDriver:
                 seed=self.seed,
                 start_time=start,
                 log_stream=self.log_stream,
+                check=self.check,
             )
             if self.schedule is not None and index == 0:
                 sim.inject_schedule(self.schedule)
@@ -212,6 +220,12 @@ class RestartDriver:
             # checkpoint files due to a failure during checkpointing) are
             # deleted using a shell script."
             store.cleanup_incomplete(self.system.nranks)
+            if self.check if self.check is not None else checking_enabled():
+                # Audit the surviving namespace independently of is_valid:
+                # every remaining set must hold exactly ranks 0..nranks-1,
+                # all COMPLETE — a regression to subset-match semantics
+                # (leftover wide/corrupt sets) is caught here.
+                verify_store_cleaned(store, self.system.nranks)
             start = result.exit_time
         raise SimulationError(
             f"application did not complete within {self.max_restarts} restarts"

@@ -20,6 +20,9 @@ from typing import IO, Any
 
 import numpy as np
 
+from repro.check import checking_enabled
+from repro.check.sanitizer import Sanitizer
+from repro.check.trace import EventTrace
 from repro.core.faults.schedule import FailureSchedule
 from repro.core.faults.softerror import SoftErrorInjector
 from repro.core.harness.config import SystemConfig
@@ -41,10 +44,17 @@ class XSim:
         start_time: float = 0.0,
         log_stream: IO[str] | None = None,
         record_trace: bool = False,
+        check: bool | None = None,
+        record_events: bool = False,
+        coalesce_advances: bool = True,
     ):
         self.system = system
         self.rng = RngStreams(seed)
-        self.engine = Engine(start_time=start_time, log=SimLog(stream=log_stream))
+        self.engine = Engine(
+            start_time=start_time,
+            log=SimLog(stream=log_stream),
+            coalesce_advances=coalesce_advances,
+        )
         self.memory = MemoryTracker()
         self.world = MpiWorld(
             self.engine,
@@ -56,6 +66,20 @@ class XSim:
             collective_algorithm=system.collective_algorithm,
             record_trace=record_trace,
         )
+        #: Runtime invariant sanitizer (simcheck).  ``check=None`` (the
+        #: default) consults the ``XSIM_CHECK`` environment variable, so
+        #: an entire test or CI run can be checked without code changes.
+        self.checker: Sanitizer | None = None
+        if check if check is not None else checking_enabled():
+            self.checker = Sanitizer(self.engine, self.world)
+            self.engine.check = self.checker
+            self.world.check = self.checker
+        #: Event-trace recorder (``record_events=True``): every dispatched
+        #: engine event, for replay diffing via ``EventTrace.diff``.
+        self.event_trace: EventTrace | None = None
+        if record_events:
+            self.event_trace = EventTrace()
+            self.engine.event_trace = self.event_trace
         self._soft_errors: SoftErrorInjector | None = None
         self._pending_failures: list[tuple[int, float]] = []
         self._ran = False

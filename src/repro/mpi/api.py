@@ -253,6 +253,8 @@ class MpiApi:
         """Complete one request; returns the received payload for receives."""
         self._check_active()
         if self._wait_done_locally(request):
+            if self.world.check is not None:
+                self.world.check.on_wait_complete(self.vp, request)
             msg = request.result
             return msg.payload if isinstance(msg, Msg) else None
         # Inline of MpiWorld.wait (saves one generator frame on every
@@ -266,6 +268,8 @@ class MpiApi:
             req.waiting = False
         if req.completion_time > vp.clock:
             yield Advance(req.completion_time - vp.clock, busy=False)
+        if world.check is not None:
+            world.check.on_wait_complete(vp, req)
         if req.error != SUCCESS:
             yield from world.handle_error(
                 vp, req.comm, MpiError(req.error, req.describe(), req.failed_rank)
@@ -283,6 +287,8 @@ class MpiApi:
         out = []
         for req in requests:
             if self._wait_done_locally(req):
+                if world.check is not None:
+                    world.check.on_wait_complete(vp, req)
                 msg = req.result
             else:
                 msg = yield from world.wait(vp, req)

@@ -20,7 +20,8 @@ file-system models — and implements the mechanics behind every MPI call:
   containing it and rendezvous sends to it — is *released and failed* at
   ``max(failure time, post time) + detection timeout`` per the network
   model's per-tier timeout.  Requests posted after the notification fail
-  from the failed-process list.
+  from the failed-process list immediately at post time — the detection
+  delay was already paid when the notification was delivered.
 * **Error delivery** (paper §IV-D) — a failed request consults the
   communicator's error handler: ``MPI_ERRORS_ARE_FATAL`` (the default)
   invokes the simulated ``MPI_Abort``; ``MPI_ERRORS_RETURN`` and user
@@ -187,6 +188,10 @@ class MpiWorld:
         # exact-match fast paths never scan).  Read by repro.util.profiling.
         self.match_scan_calls = 0
         self.match_scan_length = 0
+        #: Optional :class:`repro.check.sanitizer.Sanitizer` consulted at
+        #: the MPI-layer boundaries (post/match/buffer/failure/sync); off
+        #: by default at the cost of one attribute test per boundary.
+        self.check = None
         #: Optional full communication trace (DUMPI-style; see
         #: :mod:`repro.mpi.trace`).
         self.trace = None
@@ -343,6 +348,8 @@ class MpiWorld:
             return req
         msg = self._match_unexpected(state, req)
         if msg is not None:
+            if self.check is not None:
+                self.check.on_match_unexpected(state, req, msg)
             if msg.protocol == EAGER:
                 self._complete_recv(req, msg, vp.clock)
             else:
@@ -372,12 +379,23 @@ class MpiWorld:
                 posted.append(req)
         else:
             state.posted_wild.append(req)
+        if self.check is not None:
+            self.check.on_post(state, req)
         return req
 
     def _fail_from_list(self, req: Request, failed_rank: int) -> None:
-        """Fail a freshly posted request against a peer known (from the
-        per-process failed list) to be dead, after the detection timeout."""
-        detect = req.post_time + self.network.detection_timeout(req.vp.rank, failed_rank)
+        """Fail a freshly posted request against a peer already known (from
+        the per-process failed list) to be dead.
+
+        The simulator-internal failure notification has been delivered to
+        this rank before the post, so no detection timeout is paid again:
+        the request fails immediately at its post time (paper §IV-B —
+        requests posted after the notification "fail based on the
+        per-process list of failed simulated MPI processes").  Requests
+        that were *pre-posted* when the failure occurred instead pay the
+        modeled timeout in :meth:`_release_failed`.
+        """
+        detect = req.post_time
         req.fail(detect, ERR_PROC_FAILED, failed_rank=failed_rank)
         self.engine.log.log(
             detect,
@@ -430,6 +448,8 @@ class MpiWorld:
         if req.completion_time > vp.clock:
             # waiting for completion (in-flight data, detection timeout)
             yield Advance(req.completion_time - vp.clock, busy=False)
+        if self.check is not None:
+            self.check.on_wait_complete(vp, req)
         if req.error == SUCCESS:
             if req.kind == Request.RECV and self.network.recv_overhead > 0.0:
                 yield self.recv_overhead_advance
@@ -454,6 +474,8 @@ class MpiWorld:
         if req.completion_time > vp.clock:
             # waiting for completion (in-flight data, detection timeout)
             yield Advance(req.completion_time - vp.clock, busy=False)
+        if self.check is not None:
+            self.check.on_wait_complete(vp, req)
         if req.error == SUCCESS and req.kind == Request.RECV and self.network.recv_overhead > 0.0:
             yield Advance(self.network.recv_overhead)
         if req.error != SUCCESS:
@@ -508,6 +530,8 @@ class MpiWorld:
         msg.arrival = self.engine.now
         req = self._match_posted(state, msg)
         if req is not None:
+            if self.check is not None:
+                self.check.on_match_posted(state, msg, req)
             if msg.protocol == EAGER:
                 self._complete_recv(req, msg, msg.arrival)
             else:
@@ -524,6 +548,8 @@ class MpiWorld:
             msgs.insert(i, msg)
         else:
             msgs.append(msg)
+        if self.check is not None:
+            self.check.on_buffer(state, msg)
 
     def _match_posted(self, state: RankState, msg: Msg) -> Request | None:
         """Pop the earliest-posted receive accepting ``msg``."""
@@ -632,6 +658,8 @@ class MpiWorld:
             sp = self._sync_points.get(key)
             if sp is not None and sp.comm.contains(f):
                 self._check_sync(sp)
+        if self.check is not None:
+            self.check.on_failure(f, t_fail)
 
     def _release_failed(self, req: Request, failed_rank: int, t_fail: float) -> None:
         """Release-and-fail a request after the failure-detection timeout.
@@ -767,6 +795,8 @@ class MpiWorld:
             values={r: sp.values[r] for r in alive},
             time=t_done,
         )
+        if self.check is not None:
+            self.check.on_sync_complete(sp, result)
         del self._sync_points[sp.key]
         for r in alive:
             self.engine.wake(self.states[r].vp, t_done, value=result)

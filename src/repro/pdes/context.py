@@ -90,5 +90,19 @@ class VirtualProcess:
     def alive(self) -> bool:
         return self.state in LIVE_STATES
 
+    def snapshot(self) -> dict[str, Any]:
+        """Compact state dump for diagnostics (simcheck violation reports)."""
+        return {
+            "rank": self.rank,
+            "state": self.state.value,
+            "clock": self.clock,
+            "busy_time": self.busy_time,
+            "end_time": self.end_time,
+            "epoch": self.epoch,
+            "wait_tag": str(self.wait_tag),
+            "time_of_failure": self.time_of_failure,
+            "failed_peers": dict(self.failed_peers),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<VP rank={self.rank} t={self.clock:.6f} {self.state.value}>"

@@ -129,6 +129,13 @@ class Engine:
         #: Set to a list by :class:`repro.util.profiling.EngineProfiler` to
         #: collect ``(label, virtual_time, event_count)`` phase marks.
         self._phase_marks: list[tuple[str, float, int]] | None = None
+        #: Optional :class:`repro.check.trace.EventTrace` recording every
+        #: dispatched event (attach before :meth:`run`).
+        self.event_trace = None
+        #: Optional :class:`repro.check.sanitizer.Sanitizer` consulted at
+        #: every dispatch (attach before :meth:`run`).  ``None`` (the
+        #: default) costs one attribute test per event.
+        self.check = None
         #: Called with ``(vp, time)`` after a VP is killed by failure
         #: injection; the MPI layer uses this to delete queued messages,
         #: broadcast the simulator-internal notification, and release
@@ -226,12 +233,18 @@ class Engine:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
+        trace = self.event_trace
+        check = self.check
         try:
             while heap and self._live > 0:
-                time, _, gvp, gepoch, fn, args = pop(heap)
+                time, seq, gvp, gepoch, fn, args = pop(heap)
                 if gvp is not None and gvp.epoch != gepoch:
                     self.stale_skipped += 1  # lazily deleted dead-VP event
                     continue
+                if trace is not None:
+                    trace.record_dispatch(time, seq, gvp, fn, args)
+                if check is not None:
+                    check.on_dispatch(time, seq, gvp)
                 self.now = time
                 self.event_count += 1
                 fn(*args)
@@ -243,6 +256,8 @@ class Engine:
                 (vp.rank, str(vp.wait_tag), vp.state.value) for vp in self.vps if vp.alive
             ]
             raise DeadlockError(blocked)
+        if check is not None:
+            check.on_run_end()
         return self._result()
 
     def _result(self) -> SimulationResult:
@@ -332,6 +347,10 @@ class Engine:
                     # so take the control point inline: same clock update,
                     # failure/abort checks, and event accounting as
                     # _resume_advance, minus the heap round-trip.
+                    if self.event_trace is not None:
+                        self.event_trace.record_coalesced(new_clock, vp.rank)
+                    if self.check is not None:
+                        self.check.on_dispatch(new_clock, -1, vp)
                     self.now = new_clock
                     self.event_count += 1
                     self.coalesced_advances += 1

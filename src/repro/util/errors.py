@@ -44,3 +44,40 @@ class DeadlockError(SimulationError):
 
 class CheckpointError(XsimError):
     """A checkpoint store operation failed (e.g. loading a corrupted set)."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant check (simcheck, ``XSIM_CHECK=1``) failed.
+
+    Carries the invariant name and a structured diagnostic ``dump`` (SimLog
+    tail, VP states, heap snapshot — see
+    :meth:`repro.check.sanitizer.Sanitizer.dump`) so violations can be
+    written out as artifacts by CI and inspected after the fact.
+    """
+
+    def __init__(self, invariant: str, detail: str, dump: dict | None = None):
+        self.invariant = invariant
+        self.detail = detail
+        self.dump = dump if dump is not None else {}
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+
+
+class CampaignTaskError(XsimError):
+    """A campaign task raised inside a worker process.
+
+    Substituted for the original exception only when that exception itself
+    cannot cross the process boundary (fails to pickle); otherwise the
+    original is re-raised in the parent.  Keeping a dedicated type ensures
+    a task's own ``TypeError``/``AttributeError`` is never mistaken for
+    pool breakage by the executor's fallback logic.
+    """
+
+    def __init__(self, kind: str, key: tuple, exc_type: str, detail: str):
+        self.kind = kind
+        self.key = key
+        self.exc_type = exc_type
+        self.detail = detail
+        super().__init__(f"task {kind!r} {key!r} raised {exc_type}: {detail}")
+
+    def __reduce__(self):
+        return (CampaignTaskError, (self.kind, self.key, self.exc_type, self.detail))

@@ -49,6 +49,32 @@ class TestCheckpointStore:
         s.begin_write(6, 0, None, 10)  # partial file only
         assert not s.is_valid(6, 1)
 
+    def test_validity_requires_exact_rank_set(self):
+        """A set written by a wider job (files from ranks >= nranks) is
+        not valid for a narrower restart: restoring only its low-rank
+        files would silently drop part of the domain."""
+        s = CheckpointStore()
+        for r in range(4):  # written by a 4-rank job
+            s.begin_write(7, r, None, 10)
+            s.commit_write(7, r)
+        assert s.is_valid(7, 4)
+        assert not s.is_valid(7, 2)  # ranks 2,3 are leftovers
+        assert s.latest_valid(2) is None
+
+    def test_cleanup_deletes_leftover_wide_sets(self):
+        s = CheckpointStore()
+        for r in range(4):  # leftover from a wider job
+            s.begin_write(10, r, None, 1)
+            s.commit_write(10, r)
+        for r in range(2):  # valid for the current 2-rank job
+            s.begin_write(20, r, None, 1)
+            s.commit_write(20, r)
+        removed = s.cleanup_incomplete(nranks=2)
+        assert removed == [10]
+        # the high-rank files went with the set, not just ranks 0..1
+        assert s.ranks_present(10) == []
+        assert s.latest_valid(2) == 20
+
     def test_latest_valid_picks_largest(self):
         s = CheckpointStore()
         for cid in (100, 200, 300):

@@ -105,8 +105,17 @@ class TestFailureModes:
 
     def test_abort_leaves_checkpoint_damage(self):
         """"...always resulting in an incomplete or corrupted checkpoint,
-        or ... partially deleted old checkpoints.""" """"""
-        obs = observe_failure_mode(self._system(), self._workload(), rank=5, time=50.0)
+        or ... partially deleted old checkpoints." — provoked by a failure
+        landing in the checkpoint write window (slow file system).  A
+        compute-phase failure no longer qualifies: posts made after the
+        failure notification fail immediately, so the job aborts before
+        any checkpoint I/O begins and the store stays untouched."""
+        from repro.models.filesystem import FileSystemModel
+
+        system = self._system().scaled(
+            filesystem=FileSystemModel.create("1GB/s", "1kB/s", "1ms")
+        )
+        obs = observe_failure_mode(system, self._workload(), rank=5, time=150.0)
         assert obs.aborted
         assert (
             obs.corrupted_checkpoint

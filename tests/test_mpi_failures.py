@@ -100,8 +100,10 @@ class TestDetectionAndAbort:
         run = run_app(app, nranks=2, failures=[(1, 1.0)])
         res = run.result
         assert res.aborted
-        # abort happens after the detection timeout charged to the send
-        assert res.abort_time == pytest.approx(10.0 + TIMEOUT)
+        # the failure record already exists when the send is posted, so it
+        # fails immediately at post time — the detection delay was paid
+        # when the notification was delivered, not charged again per post
+        assert res.abort_time == pytest.approx(10.0)
 
     def test_recv_posted_after_failure_fails_from_list(self):
         @finishing
@@ -112,7 +114,37 @@ class TestDetectionAndAbort:
 
         run = run_app(app, nranks=2, failures=[(1, 1.0)])
         assert run.result.aborted
-        assert run.result.abort_time == pytest.approx(11.0)
+        # immediate failure from the failed-process list (see above)
+        assert run.result.abort_time == pytest.approx(10.0)
+
+    def test_detection_timing_pre_posted_vs_post_notification(self):
+        """Regression pin for both detection timings side by side: a
+        request posted *before* the failure pays the detection timeout
+        from the failure (released at ``max(t_fail, post) + timeout``); a
+        request posted *after* the failure record exists fails at its own
+        post time, with no second timeout."""
+        pre = {}
+
+        @finishing
+        def pre_posted(mpi):
+            if mpi.rank == 0:
+                yield from mpi.recv(1, tag=0)  # posted at t=0, rank 1 dies at 5
+                pre["unreachable"] = True
+
+        run = run_app(pre_posted, nranks=2, failures=[(1, 5.0)])
+        assert run.result.failures == [(1, 5.0)]
+        assert run.result.abort_time == pytest.approx(5.0 + TIMEOUT)
+        assert "unreachable" not in pre
+
+        @finishing
+        def post_notified(mpi):
+            if mpi.rank == 0:
+                yield from mpi.compute(5.0 + 2 * TIMEOUT)  # notified at 5 + timeout
+                yield from mpi.recv(1, tag=0)
+
+        run = run_app(post_notified, nranks=2, failures=[(1, 5.0)])
+        assert run.result.failures == [(1, 5.0)]
+        assert run.result.abort_time == pytest.approx(5.0 + 2 * TIMEOUT)
 
     def test_any_source_recv_released_on_failure(self):
         """Paper: the synchronization mechanism releases (and fails)

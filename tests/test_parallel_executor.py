@@ -18,7 +18,7 @@ from repro.core.harness.parallel import (
     run_spec,
     task,
 )
-from repro.util.errors import ConfigurationError
+from repro.util.errors import CampaignTaskError, ConfigurationError
 
 
 @task("test-echo")
@@ -90,6 +90,78 @@ class TestExecutorBasics:
     def test_duplicate_task_registration_rejected(self):
         with pytest.raises(ConfigurationError, match="duplicate"):
             task("test-echo")(lambda: None)
+
+
+class TestDegradedPaths:
+    """Pool failure modes: error transport, ordering, fallback parity."""
+
+    def test_pool_results_in_spec_order(self):
+        specs = [RunSpec("selftest", key=(i,), params={"value": i * 11}) for i in range(8)]
+        ex = CampaignExecutor(max_workers=3)
+        assert ex.run(specs) == [0, 11, 22, 33, 44, 55, 66, 77]
+        assert ex.last_mode == "pool"
+
+    def test_task_errors_propagate_from_pool(self):
+        # A raising task must surface its own exception from the pool path
+        # — not trigger the fallback-serial rerun — and must not wedge the
+        # executor for later campaigns.
+        specs = [RunSpec("selftest", key=(i,), params={"value": i}) for i in range(4)]
+        specs.insert(2, RunSpec("selftest", key=("boom",), params={"raise_message": "pool boom"}))
+        ex = CampaignExecutor(max_workers=2)
+        with pytest.raises(RuntimeError, match="pool boom"):
+            ex.run(specs)
+        assert ex.last_mode == "pool"
+        ok = [RunSpec("selftest", key=(i,), params={"value": i}) for i in range(4)]
+        assert ex.run(ok) == [0, 1, 2, 3]
+        assert ex.last_mode == "pool"
+
+    def test_unpicklable_task_exception_substituted(self):
+        # An exception that cannot cross the process boundary is replaced
+        # by a CampaignTaskError carrying the original type and message.
+        specs = [
+            RunSpec(
+                "selftest",
+                key=("bad", 0),
+                params={"raise_message": "cannot travel", "unpicklable": True},
+            ),
+            RunSpec("selftest", key=(1,), params={"value": 1}),
+        ]
+        ex = CampaignExecutor(max_workers=2)
+        with pytest.raises(CampaignTaskError, match="cannot travel") as excinfo:
+            ex.run(specs)
+        assert ex.last_mode == "pool"
+        assert excinfo.value.exc_type == "LocalError"
+        assert excinfo.value.key == ("bad", 0)
+
+    def test_campaign_task_error_pickles(self):
+        import pickle
+
+        err = CampaignTaskError("selftest", ("k", 3), "ValueError", "detail")
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == str(err)
+        assert (clone.kind, clone.key, clone.exc_type) == ("selftest", ("k", 3), "ValueError")
+
+    def test_force_fallback_matches_pool(self):
+        specs = [
+            RunSpec(
+                "finject-victim",
+                key=("victim", i),
+                params={
+                    "victim": FinjectCampaign().victim,
+                    "victim_id": i,
+                    "max_injections": 50,
+                    "seed": 11,
+                },
+            )
+            for i in range(8)
+        ]
+        pool = CampaignExecutor(max_workers=4)
+        pool_results = pool.run(specs)
+        fallback = CampaignExecutor(max_workers=4, force_fallback=True)
+        fallback_results = fallback.run(specs)
+        assert pool.last_mode == "pool"
+        assert fallback.last_mode == "fallback-serial"
+        assert pool_results == fallback_results
 
 
 class TestCampaignDeterminism:
