@@ -21,6 +21,8 @@ they do, bit-for-bit where the promise is bit-identity:
   semantically (same completion, same failures) with exit times within a
   small tolerance — the analytic model is a ~1%-accurate closed form of
   the linear schedule, so cross-mode bit-identity is not promised.
+* **sharded parity** — the conservative-parallel engine vs. serial on a
+  failure run: identical per-rank traces and result digests.
 
 :func:`run_all` executes every check and (optionally) writes failure
 artifacts — traces, digests, divergence reports — into a directory for CI
@@ -60,15 +62,25 @@ def _heat_sim(
     checkpoint_interval: int,
     seed: int = 0,
     failure: tuple[int, float] | None = None,
+    paper_timing: bool = False,
     **xsim_kwargs,
 ):
-    """One small heat3d run; returns ``(sim, result)``."""
+    """One small heat3d run; returns ``(sim, result)``.
+
+    ``paper_timing`` selects the paper's timing parameters (nonzero
+    per-message software overheads) instead of the fast zeroed test
+    system — required by checks whose promise depends on the model
+    serializing same-instant activity across ranks (sharded parity).
+    """
     from repro.apps.heat3d import HeatConfig, heat3d
     from repro.core.checkpoint.store import CheckpointStore
     from repro.core.harness.config import SystemConfig
     from repro.core.simulator import XSim
 
-    system = SystemConfig.small_test_system(nranks=nranks)
+    if paper_timing:
+        system = SystemConfig.paper_system(nranks=nranks)
+    else:
+        system = SystemConfig.small_test_system(nranks=nranks)
     workload = HeatConfig.paper_workload(
         checkpoint_interval=checkpoint_interval, nranks=nranks, iterations=iterations
     )
@@ -287,11 +299,106 @@ def check_collectives(
     )
 
 
+def check_sharded_parity(
+    nranks: int = 64, iterations: int = 20, shards: int = 4
+) -> CheckResult:
+    """Serial vs sharded engine on a failure run: identical per-rank trace.
+
+    The sharded conservative-parallel engine (:mod:`repro.pdes.sharded`)
+    promises bit-identical *per-rank* event sequences (global interleaving
+    and seq numbers legitimately differ across shards — see
+    :meth:`~repro.check.trace.EventTrace.rank_projection`).  Checks the
+    in-process transport's trace projection against serial, then the
+    forked-worker transport's result digest, both with a mid-run injected
+    failure so the resilience envelope path (failure broadcast, detection,
+    abort) is exercised.
+
+    Runs under the paper's timing model: its nonzero per-message software
+    overheads serialize same-instant activity at a rank, which is part of
+    the parity contract — with a zero-overhead model, every rank resumes
+    at the *same* virtual instant and the serial engine's ordering among
+    those simultaneous events is emergent global heap-insertion history
+    that no shard-local protocol can reproduce (see
+    ``docs/INTERNALS.md``, "Sharded engine & conservative windows").
+    """
+    from repro.core.harness.experiment import result_digest
+
+    _, clean = _heat_sim(nranks, iterations, 10, paper_timing=True)
+    failure = (nranks // 3, 0.4 * clean.exit_time)
+    serial_sim, serial = _heat_sim(
+        nranks,
+        iterations,
+        10,
+        failure=failure,
+        check=True,
+        record_events=True,
+        paper_timing=True,
+    )
+    sharded_sim, sharded = _heat_sim(
+        nranks,
+        iterations,
+        10,
+        failure=failure,
+        record_events=True,
+        shards=shards,
+        shard_transport="inline",
+        paper_timing=True,
+    )
+    divergence = serial_sim.event_trace.diff_ranks(sharded_sim.event_trace)
+    if divergence is not None:
+        return CheckResult(
+            "sharded-parity",
+            False,
+            "per-rank trace diverges from serial (inline transport)",
+            artifacts={
+                "sharded-divergence.txt": divergence,
+                "sharded-digests.txt": (
+                    f"serial  {result_digest(serial)}\n"
+                    f"sharded {result_digest(sharded)}\n"
+                ),
+            },
+        )
+    d_serial, d_sharded = result_digest(serial), result_digest(sharded)
+    if d_serial != d_sharded:
+        return CheckResult(
+            "sharded-parity",
+            False,
+            f"inline-shard digest {d_sharded} != serial {d_serial}",
+        )
+    _, forked = _heat_sim(
+        nranks,
+        iterations,
+        10,
+        failure=failure,
+        shards=shards,
+        shard_transport="fork",
+        paper_timing=True,
+    )
+    d_forked = result_digest(forked)
+    if d_forked != d_serial:
+        return CheckResult(
+            "sharded-parity",
+            False,
+            f"fork-shard digest {d_forked} != serial {d_serial}",
+        )
+    return CheckResult(
+        "sharded-parity",
+        True,
+        f"{shards} shards == serial at {nranks} ranks with injected failure "
+        f"({serial.event_count} events; inline trace + fork digest)",
+    )
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
-def run_all(jobs: int = 4, artifacts_dir: str | None = None) -> list[CheckResult]:
+def run_all(
+    jobs: int = 4, artifacts_dir: str | None = None, only: str | None = None
+) -> list[CheckResult]:
     """Run every differential check; write failure artifacts if asked.
+
+    ``only`` restricts the run to a single named check (e.g. a dedicated
+    CI job running just ``"sharded-parity"``).
 
     An :class:`~repro.util.errors.InvariantViolation` raised *inside* a
     check (every check runs with the sanitizer enabled) is itself a
@@ -308,6 +415,7 @@ def run_all(jobs: int = 4, artifacts_dir: str | None = None) -> list[CheckResult
         lambda: check_campaign_parallel(jobs=jobs),
         lambda: check_executor_fallback(jobs=jobs),
         check_collectives,
+        check_sharded_parity,
     ]
     names = [
         "rerun",
@@ -316,7 +424,13 @@ def run_all(jobs: int = 4, artifacts_dir: str | None = None) -> list[CheckResult
         "campaign-parallel",
         "executor-fallback",
         "collectives",
+        "sharded-parity",
     ]
+    if only is not None:
+        if only not in names:
+            raise ValueError(f"unknown check {only!r}; one of {', '.join(names)}")
+        checks = [fn for n, fn in zip(names, checks) if n == only]
+        names = [only]
     results: list[CheckResult] = []
     for name, fn in zip(names, checks):
         try:

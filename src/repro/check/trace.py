@@ -135,6 +135,75 @@ class EventTrace:
         return h.hexdigest()
 
     # ------------------------------------------------------------------
+    # per-rank projection (serial vs sharded parity oracle)
+    # ------------------------------------------------------------------
+    def rank_projection(self) -> dict[int, list[tuple[float, str, int]]]:
+        """Canonical per-rank event sequence, for serial-vs-sharded diffs.
+
+        A sharded run (:mod:`repro.pdes.sharded`) dispatches the same
+        per-rank events at the same virtual times as the serial engine, but
+        the *global* interleaving differs (shards run concurrently), the
+        global ``seq`` numbers differ (each shard counts its own), and an
+        advance that the serial run coalesced inline may cross a window
+        barrier and go through the heap (or vice versa).  The projection
+        removes exactly those representational differences and nothing
+        else:
+
+        * events are grouped by rank, keeping ``(time, kind, origin)``;
+        * ``coalesced_advance`` is renamed ``resume_advance`` (the same
+          logical control point, heap round-trip or not);
+        * within each run of *consecutive equal-time* entries of one rank,
+          entries are sorted by ``(kind, origin)`` — same-time dispatch
+          order on one rank follows global sequence numbers, which the
+          shards do not share.
+
+        Per-rank times are monotone non-decreasing, so consecutive
+        grouping is total.
+        """
+        by_rank: dict[int, list[tuple[float, str, int]]] = {}
+        for time, _seq, rank, kind, origin in self.entries:
+            if kind == "coalesced_advance":
+                kind = "resume_advance"
+            by_rank.setdefault(rank, []).append((time, kind, origin))
+        for events in by_rank.values():
+            i, n = 0, len(events)
+            while i < n:
+                j = i + 1
+                while j < n and events[j][0] == events[i][0]:
+                    j += 1
+                if j - i > 1:
+                    events[i:j] = sorted(events[i:j], key=lambda e: (e[1], e[2]))
+                i = j
+        return by_rank
+
+    def diff_ranks(self, other: "EventTrace") -> str | None:
+        """First per-rank divergence of the canonical projections, or None.
+
+        Treats ``self`` as the reference (typically the serial run) and
+        reports the earliest-diverging rank as a human-readable string.
+        """
+        mine, theirs = self.rank_projection(), other.rank_projection()
+        for rank in sorted(set(mine) | set(theirs)):
+            a = mine.get(rank, [])
+            b = theirs.get(rank, [])
+            n = min(len(a), len(b))
+            for i in range(n):
+                if a[i] != b[i]:
+                    return (
+                        f"rank {rank} diverges at event #{i}: "
+                        f"expected {_render_projected(a[i])}, "
+                        f"actual {_render_projected(b[i])}"
+                    )
+            if len(a) != len(b):
+                extra = a[n] if n < len(a) else b[n]
+                side = "reference" if n < len(a) else "compared"
+                return (
+                    f"rank {rank}: {side} trace has {max(len(a), len(b)) - n} "
+                    f"extra event(s) from #{n} ({_render_projected(extra)})"
+                )
+        return None
+
+    # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
@@ -161,6 +230,12 @@ class EventTrace:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+def _render_projected(entry: tuple[float, str, int]) -> str:
+    time, kind, origin = entry
+    frm = "" if origin < 0 else f" from {origin}"
+    return f"t={time:.9f} {kind}{frm}"
 
 
 def _line(entry: TraceEntry) -> str:

@@ -12,7 +12,13 @@ Subcommands::
     xsim-run table1  # Finject bit-flip campaign (paper Table I)
     xsim-run table2  --ranks 512  # checkpoint-interval x MTTF sweep
     xsim-run arch    --ranks 32768  # architecture self-description (Fig. 1)
+    xsim-run bench   # PDES throughput + sharded speedup -> BENCH_pdes.json
     xsim-run simcheck  # differential determinism harness (see repro.check)
+
+``app`` accepts ``--shards N`` (or ``XSIM_SHARDS``) to run the one
+simulation on the sharded conservative-parallel engine
+(:mod:`repro.pdes.sharded`); results and traces are bit-identical to the
+serial engine.
 
 Debugging aids on ``app``: ``--check`` enables the runtime invariant
 sanitizer (equivalent to ``XSIM_CHECK=1``); ``--record-trace FILE`` saves
@@ -23,6 +29,7 @@ a saved trace, reporting the first divergence.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -51,6 +58,49 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
         help="worker processes for independent runs (default: XSIM_JOBS or 1); "
         "results are identical to a serial run",
     )
+
+
+def _add_shards_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=int(os.environ.get("XSIM_SHARDS", "1") or 1),
+        help="partition the simulated ranks across N conservative-parallel "
+        "engine shards (default: XSIM_SHARDS or 1); the event trace is "
+        "bit-identical to a serial run",
+    )
+    p.add_argument(
+        "--shard-transport",
+        choices=["fork", "inline"],
+        default=None,
+        help="shard worker transport: fork (default; one process per shard) "
+        "or inline (all shards in-process — same schedule, for debugging "
+        "and single-core hosts)",
+    )
+
+
+def capped_shards(shards: int, jobs: int = 1, transport: str | None = None) -> int:
+    """Cap ``jobs * shards`` at the host's CPU count (fork transport only).
+
+    Every forked shard worker is a full process; running ``jobs`` pool
+    workers that each fork ``shards`` engine workers silently oversubscribes
+    the host and makes *everything* slower.  The inline transport stays in
+    one process and is never capped.
+    """
+    if shards <= 1 or transport == "inline":
+        return shards
+    ncpu = os.cpu_count() or 1
+    jobs = max(1, jobs)
+    if jobs * shards > ncpu:
+        capped = max(1, ncpu // jobs)
+        print(
+            f"warning: --jobs {jobs} x --shards {shards} would oversubscribe "
+            f"{ncpu} CPUs; capping shards to {capped} "
+            "(use --shard-transport inline to shard without extra processes)",
+            file=sys.stderr,
+        )
+        return capped
+    return shards
 
 
 def _add_system_args(p: argparse.ArgumentParser) -> None:
@@ -94,6 +144,7 @@ def _cmd_app(args: argparse.Namespace) -> int:
     schedule = FailureSchedule.from_environment()
     if args.xsim_failures:
         schedule.extend(FailureSchedule.parse(args.xsim_failures))
+    shards = capped_shards(args.shards, transport=args.shard_transport)
 
     if args.app == "heat3d":
         workload = HeatConfig.paper_workload(
@@ -124,6 +175,8 @@ def _cmd_app(args: argparse.Namespace) -> int:
             seed=args.seed,
             log_stream=sys.stdout,
             check=check,
+            shards=shards,
+            shard_transport=args.shard_transport,
         )
         run = driver.run()
         last = run.segments[-1].result
@@ -141,6 +194,8 @@ def _cmd_app(args: argparse.Namespace) -> int:
             log_stream=sys.stdout,
             check=check,
             record_events=tracing,
+            shards=shards,
+            shard_transport=args.shard_transport,
         )
         if len(schedule) > 0:
             sim.inject_schedule(schedule)
@@ -195,10 +250,55 @@ def _cmd_arch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.harness import bench
+
+    from pathlib import Path
+
+    out = Path(args.out) if args.out else bench.BENCH_PATH
+    update: dict = {}
+    if not args.skip_scaling:
+        print(f"scaling sweep at {', '.join(map(str, bench.SCALES))} ranks ...")
+        results = bench.run_scaling()
+        update.update(bench.scaling_record(results))
+        for n, r in results.items():
+            print(f"  {n:>6} ranks: {r['events']:>9,} events in {r['host_s']:.3f}s "
+                  f"({r['events'] / r['host_s']:,.0f} ev/s)")
+        print(f"  512-rank throughput vs frozen seed baseline: "
+              f"{update['speedup_vs_seed']:.3f}x (host-state dependent; "
+              f"authoritative paired figure {bench.PAIRED_AB_512['speedup']}x)")
+    if not args.skip_sharded:
+        # No capped_shards here: the record carries host_cpus, the wall
+        # figure is explicitly host-qualified, and the projection comes
+        # from the single-process inline transport.
+        shards = args.shards
+        ncpu = os.cpu_count() or 1
+        if ncpu < shards:
+            print(f"note: host has {ncpu} CPUs < {shards} shards; "
+                  "speedup_wall will reflect timesharing — read "
+                  "projected_speedup (critical-path based) instead")
+        print(f"serial vs {shards}-shard run at {args.ranks} ranks "
+              f"({args.collectives} collectives) ...")
+        rec = bench.measure_sharded(
+            nranks=args.ranks, shards=shards, collective_algorithm=args.collectives
+        )
+        update["sharded"] = rec
+        for t, r in rec["transports"].items():
+            print(f"  {t:<7}: wall {r['wall_s']:.3f}s ({r['speedup_wall']:.2f}x), "
+                  f"critical path {r['critical_path_s']:.3f}s, "
+                  f"{r['windows']:,} windows, imbalance {r['imbalance']:.2f}")
+        print(f"  serial {rec['serial_s']:.3f}s -> wall speedup {rec['speedup_wall']:.2f}x "
+              f"(host has {rec['host_cpus']} CPUs), projected on >= {shards} cores: "
+              f"{rec['projected_speedup']:.2f}x")
+    bench.merge_bench(update, out)
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_simcheck(args: argparse.Namespace) -> int:
     from repro.check.differential import run_all
 
-    results = run_all(jobs=args.jobs, artifacts_dir=args.artifacts)
+    results = run_all(jobs=args.jobs, artifacts_dir=args.artifacts, only=args.only)
     for r in results:
         print(r)
     failed = [r for r in results if not r.passed]
@@ -220,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_app = sub.add_parser("app", help="run a simulated application")
     _add_system_args(p_app)
+    _add_shards_args(p_app)
     p_app.add_argument("--app", default="heat3d", choices=["heat3d", "cg", "stencil2d", "ring"])
     p_app.add_argument("--iterations", type=int, default=1000)
     p_app.add_argument("--interval", type=int, default=1000, help="checkpoint interval")
@@ -271,6 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_args(p_arch)
     p_arch.set_defaults(fn=_cmd_arch)
 
+    p_bench = sub.add_parser(
+        "bench", help="measure PDES throughput and sharded speedup, "
+        "updating BENCH_pdes.json"
+    )
+    p_bench.add_argument("--ranks", type=int, default=4096,
+                         help="rank count of the serial-vs-sharded comparison")
+    p_bench.add_argument("--shards", type=int,
+                         default=int(os.environ.get("XSIM_SHARDS", "4") or 4),
+                         help="shard count of the comparison (default 4)")
+    p_bench.add_argument("--collectives", default="tree", choices=["linear", "tree"],
+                         help="collective algorithm of the benchmark workload "
+                         "(linear serializes at the barrier root and caps any "
+                         "parallel engine; tree is the scalable default)")
+    p_bench.add_argument("--skip-scaling", action="store_true",
+                         help="skip the serial throughput sweep")
+    p_bench.add_argument("--skip-sharded", action="store_true",
+                         help="skip the serial-vs-sharded comparison")
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="output path (default: BENCH_pdes.json at the repo root)")
+    p_bench.set_defaults(fn=_cmd_bench)
+
     p_chk = sub.add_parser(
         "simcheck", help="differential determinism harness (serial vs pool, "
         "coalescing on/off, trace replay, collective modes)"
@@ -287,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write divergence reports/traces here when a check fails",
+    )
+    p_chk.add_argument(
+        "--only",
+        metavar="NAME",
+        default=None,
+        help="run a single named check (e.g. sharded-parity)",
     )
     p_chk.set_defaults(fn=_cmd_simcheck)
 

@@ -145,6 +145,8 @@ class RestartDriver:
         | None = None,
         log_stream: IO[str] | None = None,
         check: bool | None = None,
+        shards: int = 1,
+        shard_transport: str | None = None,
     ):
         if mttf is not None and policy is not None:
             raise SimulationError("pass either mttf or policy, not both")
@@ -169,6 +171,10 @@ class RestartDriver:
         #: checkpoint namespace after each pre-restart cleanup.  ``None``
         #: defers to the ``XSIM_CHECK`` environment variable (per segment).
         self.check = check
+        #: Worker-process count for each segment's simulation (see
+        #: :mod:`repro.pdes.sharded`); results are bit-identical to serial.
+        self.shards = shards
+        self.shard_transport = shard_transport
 
     def run(self) -> FailureRunResult:
         """Execute segments until the application completes (or the restart
@@ -184,6 +190,8 @@ class RestartDriver:
                 start_time=start,
                 log_stream=self.log_stream,
                 check=self.check,
+                shards=self.shards,
+                shard_transport=self.shard_transport,
             )
             if self.schedule is not None and index == 0:
                 sim.inject_schedule(self.schedule)

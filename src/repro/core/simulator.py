@@ -47,16 +47,31 @@ class XSim:
         check: bool | None = None,
         record_events: bool = False,
         coalesce_advances: bool = True,
+        shards: int = 1,
+        shard_transport: str | None = None,
+        shard_lookahead: float | None = None,
     ):
         self.system = system
+        self.seed = seed
         self.rng = RngStreams(seed)
-        self.engine = Engine(
+        #: Worker-process count for the sharded conservative-parallel
+        #: engine (``repro.pdes.sharded``); 1 = serial.
+        self.shards = shards
+        self.shard_transport = shard_transport
+        self.shard_lookahead = shard_lookahead
+        if shards > 1:
+            from repro.pdes.sharded import ShardedMpiWorld, WindowedEngine
+
+            engine_cls, world_cls = WindowedEngine, ShardedMpiWorld
+        else:
+            engine_cls, world_cls = Engine, MpiWorld
+        self.engine = engine_cls(
             start_time=start_time,
             log=SimLog(stream=log_stream),
             coalesce_advances=coalesce_advances,
         )
         self.memory = MemoryTracker()
-        self.world = MpiWorld(
+        self.world = world_cls(
             self.engine,
             system.make_network(),
             processor=system.make_processor(),
@@ -82,7 +97,12 @@ class XSim:
             self.engine.event_trace = self.event_trace
         self._soft_errors: SoftErrorInjector | None = None
         self._pending_failures: list[tuple[int, float]] = []
+        #: Snapshot of the failures armed before :meth:`run`; the sharded
+        #: coordinator derives its lockstep horizon from it.
+        self._armed_failures: list[tuple[int, float]] = []
         self._ran = False
+        #: Filled by a sharded run (``repro.pdes.sharded.ShardStats``).
+        self.shard_stats = None
 
     # ------------------------------------------------------------------
     # injection surface
@@ -133,10 +153,16 @@ class XSim:
         if self._ran:
             raise SimulationError("XSim instances are single-shot; create a new one")
         self._ran = True
-        self.world.launch(app, nranks if nranks is not None else self.system.nranks, args)
+        nranks = nranks if nranks is not None else self.system.nranks
+        self.world.launch(app, nranks, args)
+        self._armed_failures = list(self._pending_failures)
         for rank, time in self._pending_failures:
             self.engine.schedule_failure(rank, time)
         self._pending_failures.clear()
+        if self.shards > 1:
+            from repro.pdes.sharded import run_sharded
+
+            return run_sharded(self, app, args, nranks)
         return self.engine.run()
 
     # ------------------------------------------------------------------

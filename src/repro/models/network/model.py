@@ -24,9 +24,10 @@ programming model is assumed.
 
 from __future__ import annotations
 
+import copy
 import enum
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import lru_cache, partial
 
 from repro.models.network.topology import Topology
 from repro.util.errors import ConfigurationError
@@ -138,6 +139,16 @@ class NetworkModel:
         self.congestion_factor = congestion_factor
         self._install_caches()
 
+    #: Cost methods shadowed by per-instance LRU caches, with cache sizes.
+    _CACHED_METHODS = (
+        ("tier", 1 << 17),
+        ("hops", 1 << 17),
+        ("wire_latency", 1 << 17),
+        ("transfer_time", 1 << 16),
+        ("serialization_time", 1 << 16),
+        ("detection_timeout", 1 << 16),
+    )
+
     def _install_caches(self) -> None:
         """Shadow the pure cost methods with per-instance LRU caches.
 
@@ -147,25 +158,34 @@ class NetworkModel:
         the tier dispatch dominate the simulated MPI layer's per-message
         cost otherwise.  Mutating cost parameters afterwards (tests only)
         requires calling :meth:`invalidate_caches`.
+
+        Each cache binds the *class* function to a cycle-free snapshot of
+        the model's state, never to ``self``: a ``lru_cache`` around the
+        bound method ``self.method`` stored back onto ``self`` would
+        strongly reference the instance from its own attribute, forming a
+        cycle that keeps the model — and up to 2^17 cached cost tuples —
+        alive until a *cyclic* gc pass.  The engine disables gc during
+        runs and campaigns build one model per task, so those cycles
+        previously accumulated into an unbounded memory ramp.  The
+        snapshot (a shallow copy sharing the immutable parameter objects)
+        holds no reference back to the instance, so a dropped model frees
+        by reference count alone.
         """
-        self.tier = lru_cache(maxsize=1 << 17)(self.tier)  # type: ignore[method-assign]
-        self.hops = lru_cache(maxsize=1 << 17)(self.hops)  # type: ignore[method-assign]
-        self.wire_latency = lru_cache(maxsize=1 << 17)(self.wire_latency)  # type: ignore[method-assign]
-        self.transfer_time = lru_cache(maxsize=1 << 16)(self.transfer_time)  # type: ignore[method-assign]
-        self.serialization_time = lru_cache(maxsize=1 << 16)(self.serialization_time)  # type: ignore[method-assign]
-        self.detection_timeout = lru_cache(maxsize=1 << 16)(self.detection_timeout)  # type: ignore[method-assign]
+        state = copy.copy(self)
+        for name, _size in self._CACHED_METHODS:
+            # Drop wrappers a previous install left on the copied __dict__.
+            state.__dict__.pop(name, None)
+        cls = type(self)
+        for name, size in self._CACHED_METHODS:
+            func = getattr(cls, name)
+            setattr(self, name, lru_cache(maxsize=size)(partial(func, state)))
 
     def invalidate_caches(self) -> None:
-        """Drop all memoized cost results (after mutating cost parameters)."""
-        for name in (
-            "tier",
-            "hops",
-            "wire_latency",
-            "transfer_time",
-            "serialization_time",
-            "detection_timeout",
-        ):
-            getattr(self, name).cache_clear()
+        """Drop all memoized cost results (after mutating cost parameters).
+
+        Rebuilds the caches against a fresh state snapshot, so parameter
+        mutations made on the instance take effect."""
+        self._install_caches()
 
     # ------------------------------------------------------------------
     # placement

@@ -592,17 +592,25 @@ class MpiApi:
     # resilience / ULFM
     # ------------------------------------------------------------------
     def failed_ranks(self, comm: Communicator | None = None) -> list[int]:
-        """Communicator ranks this process knows to have failed."""
+        """Communicator ranks this process knows to have failed (i.e.
+        whose failure notification has reached this rank — see
+        ``MpiWorld._failure_visible``)."""
         comm = self._comm(comm)
         return sorted(
-            comm.rank_of(w) for w in self.vp.failed_peers if comm.contains(w)
+            comm.rank_of(w)
+            for w, t in self.vp.failed_peers.items()
+            if comm.contains(w) and self.world._failure_visible(self.vp, w, t)
         )
 
     def comm_failure_ack(self, comm: Communicator | None = None) -> Gen:
         """``MPI_Comm_failure_ack``: acknowledge currently known failures,
         re-enabling ``MPI_ANY_SOURCE`` receives on ``comm``."""
         comm = self._comm(comm)
-        known = frozenset(w for w in self.vp.failed_peers if comm.contains(w))
+        known = frozenset(
+            w
+            for w, t in self.vp.failed_peers.items()
+            if comm.contains(w) and self.world._failure_visible(self.vp, w, t)
+        )
         comm.ack_failures(self.rank, known)
         yield Advance(0.0)
 

@@ -39,12 +39,21 @@ class _FatalHandler:
     def __repr__(self) -> str:
         return "MPI_ERRORS_ARE_FATAL"
 
+    def __reduce__(self):
+        # Pickle to the module-global name so the sharded engine's fork
+        # transport (and checkpoint stores) round-trip the sentinel to the
+        # *same* object — handler dispatch compares with ``is``.
+        return "ERRORS_ARE_FATAL"
+
 
 class _ReturnHandler:
     """Sentinel for ``MPI_ERRORS_RETURN``."""
 
     def __repr__(self) -> str:
         return "MPI_ERRORS_RETURN"
+
+    def __reduce__(self):
+        return "ERRORS_RETURN"
 
 
 #: Default: any MPI error triggers a simulated ``MPI_Abort``.

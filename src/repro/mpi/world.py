@@ -305,7 +305,7 @@ class MpiWorld:
             req.fail(clock, ERR_REVOKED)
             return req
         failed_at = vp.failed_peers.get(dst)
-        if failed_at is not None:
+        if failed_at is not None and self._failure_visible(vp, dst, failed_at):
             self._fail_from_list(req, dst)
             return req
         network = self.network
@@ -327,7 +327,14 @@ class MpiWorld:
         else:
             msg = Msg(ctx, vp.rank, dst, tag, nbytes, payload, self._msg_seq, RTS, send_req=req)
             arrival = clock + network.wire_latency(vp.rank, dst)
-            self.states[vp.rank].rdv_sends.append(req)
+            if failed_at is not None:
+                # Posted before the failure notification became visible
+                # (see :meth:`_failure_visible`): the request behaves as if
+                # pre-posted — it pays the modeled detection timeout
+                # instead of failing at the post.
+                self._release_failed(req, dst, failed_at)
+            else:
+                self.states[vp.rank].rdv_sends.append(req)
         # Inline of engine.schedule (per-message hot path).
         if arrival < engine.now:
             raise SimulationError(f"cannot schedule into the past ({arrival} < {engine.now})")
@@ -358,18 +365,32 @@ class MpiWorld:
         # No buffered match: fail from the per-process failed list
         # ("any similar receive requests waited on after receiving the
         # simulator-internal notification message fail based on the
-        # per-process list of failed simulated MPI processes").
+        # per-process list of failed simulated MPI processes").  A peer
+        # whose failure notification is still in flight (see
+        # :meth:`_failure_visible`) is *not* on the visible list yet; such
+        # a receive is posted normally and then released with the modeled
+        # detection timeout, exactly as if it had been pre-posted.
+        in_flight: int | None = None
         if vp.failed_peers:
             if src == ANY_SOURCE:
                 failed_members = {
-                    r for r in vp.failed_peers if comm.contains(r)
+                    r for r, t in vp.failed_peers.items()
+                    if comm.contains(r) and self._failure_visible(vp, r, t)
                 } - comm.acked_failures(vp.rank)
                 if failed_members:
                     self._fail_from_list(req, min(failed_members))
                     return req
+                pending_members = [
+                    r for r, t in vp.failed_peers.items()
+                    if comm.contains(r) and not self._failure_visible(vp, r, t)
+                ]
+                if pending_members:
+                    in_flight = min(pending_members)
             elif src in vp.failed_peers:
-                self._fail_from_list(req, src)
-                return req
+                if self._failure_visible(vp, src, vp.failed_peers[src]):
+                    self._fail_from_list(req, src)
+                    return req
+                in_flight = src
         if src != ANY_SOURCE and tag != ANY_TAG:
             key = (ctx, src, tag)
             posted = state.posted_exact.get(key)
@@ -381,19 +402,38 @@ class MpiWorld:
             state.posted_wild.append(req)
         if self.check is not None:
             self.check.on_post(state, req)
+        if in_flight is not None:
+            state.remove_posted(req)
+            self._release_failed(req, in_flight, vp.failed_peers[in_flight])
         return req
+
+    def _failure_visible(self, vp: VirtualProcess, peer: int, failed_at: float) -> bool:
+        """Whether ``vp`` has received the simulator-internal notification
+        of ``peer``'s failure at ``failed_at``.
+
+        The notification propagates like any other simulator-internal
+        message — one wire latency from the failed rank (the same modeled
+        delay :meth:`revoke` uses).  Making visibility a pure function of
+        *time* (rather than of the engine's dispatch order among
+        same-instant events) is what lets the sharded engine reproduce the
+        serial engine's behavior exactly: whether the death or a
+        same-instant post is dispatched first is a heap artifact, but both
+        engines agree on the clocks.
+        """
+        return vp.clock >= failed_at + self.network.wire_latency(peer, vp.rank)
 
     def _fail_from_list(self, req: Request, failed_rank: int) -> None:
         """Fail a freshly posted request against a peer already known (from
         the per-process failed list) to be dead.
 
         The simulator-internal failure notification has been delivered to
-        this rank before the post, so no detection timeout is paid again:
-        the request fails immediately at its post time (paper §IV-B —
-        requests posted after the notification "fail based on the
-        per-process list of failed simulated MPI processes").  Requests
-        that were *pre-posted* when the failure occurred instead pay the
-        modeled timeout in :meth:`_release_failed`.
+        this rank before the post (:meth:`_failure_visible`), so no
+        detection timeout is paid again: the request fails immediately at
+        its post time (paper §IV-B — requests posted after the
+        notification "fail based on the per-process list of failed
+        simulated MPI processes").  Requests *pre-posted* when the failure
+        occurred — or posted while the notification was still in flight —
+        instead pay the modeled timeout in :meth:`_release_failed`.
         """
         detect = req.post_time
         req.fail(detect, ERR_PROC_FAILED, failed_rank=failed_rank)

@@ -37,7 +37,7 @@ from __future__ import annotations
 import gc
 import math
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator
 
 from repro.pdes.context import VirtualProcess, VpState
@@ -126,6 +126,15 @@ class Engine:
         self.stale_skipped = 0
         #: Advance resumes taken inline without a heap round-trip.
         self.coalesced_advances = 0
+        #: Upper bound (exclusive) on inline-coalesced resume times.  The
+        #: serial run leaves it at infinity; the sharded engine caps it at
+        #: the current safe-window end so a VP cannot silently advance past
+        #: the window barrier (see :mod:`repro.pdes.sharded`).
+        self._window_end = math.inf
+        #: Abort time of a requested-but-not-yet-applied MPI_Abort kill
+        #: sweep; applied once dispatch leaves the abort instant (see
+        #: :meth:`request_abort`).
+        self._pending_abort: float | None = None
         #: Set to a list by :class:`repro.util.profiling.EngineProfiler` to
         #: collect ``(label, virtual_time, event_count)`` phase marks.
         self._phase_marks: list[tuple[str, float, int]] | None = None
@@ -236,8 +245,16 @@ class Engine:
         trace = self.event_trace
         check = self.check
         try:
-            while heap and self._live > 0:
+            # Run to quiescence: the queue is drained completely rather than
+            # stopping at the last VP termination.  Post-termination events
+            # are harmless (guarded events are stale-skipped, arrivals to
+            # dead VPs are dropped) and draining gives the serial run the
+            # same event accounting as a sharded run, where no worker can
+            # observe the global live-VP count.
+            while heap:
                 time, seq, gvp, gepoch, fn, args = pop(heap)
+                if self._pending_abort is not None and time > self._pending_abort:
+                    self._apply_abort_sweep()
                 if gvp is not None and gvp.epoch != gepoch:
                     self.stale_skipped += 1  # lazily deleted dead-VP event
                     continue
@@ -251,6 +268,8 @@ class Engine:
         finally:
             if gc_was_enabled:
                 gc.enable()
+        if self._pending_abort is not None:  # abort at the last instant
+            self._apply_abort_sweep()
         if self._live > 0:
             blocked = [
                 (vp.rank, str(vp.wait_tag), vp.state.value) for vp in self.vps if vp.alive
@@ -259,6 +278,139 @@ class Engine:
         if check is not None:
             check.on_run_end()
         return self._result()
+
+    # ------------------------------------------------------------------
+    # windowed dispatch interface (used by repro.pdes.sharded)
+    # ------------------------------------------------------------------
+    # A shard worker does not call run(); it drives the engine through
+    # bounded dispatch windows under the coordinator's safe-window
+    # protocol: begin_windowed_run() once, then any interleaving of
+    # next_event_time() / run_window(end) / run_exact(t), and finally
+    # finish_windowed_run().  The dispatch body is identical to run()'s
+    # (trace, sanitizer, event accounting), only the loop bound differs.
+
+    def begin_windowed_run(self) -> None:
+        """Enter windowed dispatch mode (one-shot, like :meth:`run`)."""
+        if self._ran:
+            raise SimulationError("Engine.run() may only be called once")
+        self._ran = True
+        self._gc_was_enabled = gc.isenabled()
+        if self._gc_was_enabled:
+            gc.disable()
+
+    def next_event_time(self) -> float:
+        """Earliest non-stale queued event time; ``inf`` when drained.
+
+        Stale (dead-VP) heads are pruned here so the reported time is a
+        true lower bound on the shard's next dispatch.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0][2] is not None and heap[0][2].epoch != heap[0][3]:
+                heappop(heap)
+                self.stale_skipped += 1
+                continue
+            return heap[0][0]
+        return math.inf
+
+    def _dispatch_bounded(self, bound: float, inclusive: bool) -> None:
+        heap = self._heap
+        pop = heappop
+        trace = self.event_trace
+        check = self.check
+        try:
+            # Non-inclusive windows re-read ``_window_end`` every iteration:
+            # a sharded world *tightens* it mid-dispatch when an event emits
+            # a cross-shard envelope (another shard may react to the message
+            # and send something back as early as its receive time plus the
+            # lookahead — events beyond that are no longer safe).
+            while heap and (
+                heap[0][0] <= bound if inclusive else heap[0][0] < self._window_end
+            ):
+                time, seq, gvp, gepoch, fn, args = pop(heap)
+                if self._pending_abort is not None and time > self._pending_abort:
+                    self._apply_abort_sweep()
+                if gvp is not None and gvp.epoch != gepoch:
+                    self.stale_skipped += 1
+                    continue
+                if trace is not None:
+                    trace.record_dispatch(time, seq, gvp, fn, args)
+                if check is not None:
+                    check.on_dispatch(time, seq, gvp)
+                self.now = time
+                self.event_count += 1
+                fn(*args)
+            # A bound at-or-past the abort instant proves no same-instant
+            # event remains (queued or arriving from another shard), so the
+            # deferred sweep applies before control returns to the worker.
+            effective = bound if inclusive else self._window_end
+            if self._pending_abort is not None and (
+                effective >= self._pending_abort if inclusive else effective > self._pending_abort
+            ):
+                self._apply_abort_sweep()
+        finally:
+            self._window_end = math.inf
+
+    def run_window(self, end: float) -> None:
+        """Dispatch every queued event with time strictly before ``end``.
+
+        ``end`` must be a safe-window bound: no event at a time < ``end``
+        may still be produced by another shard.  Inline advance coalescing
+        is capped at ``end`` so a VP cannot run past the barrier.
+        """
+        self._window_end = end
+        self._dispatch_bounded(end, inclusive=False)
+
+    def run_exact(self, time: float) -> None:
+        """Dispatch every queued event at exactly ``time`` (lockstep mode).
+
+        Events pushed *at* ``time`` during dispatch (e.g. a message match
+        waking its receiver with zero completion delay) drain in the same
+        call; resumes later than ``time`` stay queued.
+        """
+        self._window_end = time
+        self._dispatch_bounded(time, inclusive=True)
+
+    def finish_windowed_run(self) -> None:
+        """Leave windowed dispatch mode; re-enables garbage collection."""
+        if getattr(self, "_gc_was_enabled", False):
+            gc.enable()
+
+    def deactivate_remote(self, owned: frozenset[int]) -> None:
+        """Shard-worker setup: neutralize every VP whose rank is not owned.
+
+        A non-owned VP becomes a passive placeholder: its epoch bump
+        invalidates all queued guarded events (start, failure-due, wakes),
+        its coroutine is closed, and its state is pinned to BLOCKED so the
+        message-delivery and matching paths still see it as *alive* — the
+        owning shard decides its fate and broadcasts it as a directive.
+        The heap is rebuilt dropping the now-stale guarded entries and any
+        unguarded injected-delay events addressed to non-owned ranks (an
+        unguarded event would otherwise fire — and be counted — in every
+        shard).
+        """
+        for vp in self.vps:
+            if vp.rank in owned:
+                continue
+            vp.epoch += 1
+            vp.state = VpState.BLOCKED
+            vp.wait_tag = "remote-shard"
+            self._live -= 1
+            gen = vp.gen
+            if gen is not None:
+                gen.close()
+                vp.gen = None
+        delay_due = self._delay_due
+        self._heap = [
+            e
+            for e in self._heap
+            if (
+                e[2].epoch == e[3]
+                if e[2] is not None
+                else not (e[4] == delay_due and e[5][0] not in owned)
+            )
+        ]
+        heapify(self._heap)
 
     def _result(self) -> SimulationResult:
         timing = TimingStats()
@@ -303,6 +455,7 @@ class Engine:
         send = gen.send
         heap = self._heap
         coalesce = self.coalesce_advances
+        window_end = self._window_end
         while True:
             try:
                 if exc is not None:
@@ -341,7 +494,7 @@ class Engine:
                 if item.busy:
                     vp.busy_time += dt
                 new_clock = vp.clock + dt
-                if coalesce and (not heap or heap[0][0] > new_clock):
+                if coalesce and new_clock < window_end and (not heap or heap[0][0] > new_clock):
                     # No other event can fire strictly before this VP's
                     # resume (strict > keeps equal-time FIFO order intact),
                     # so take the control point inline: same clock update,
@@ -355,6 +508,8 @@ class Engine:
                     self.event_count += 1
                     self.coalesced_advances += 1
                     vp.clock = new_clock
+                    if self._pending_abort is not None and new_clock > self._pending_abort:
+                        self._apply_abort_sweep()  # leaving the abort instant
                     if new_clock >= vp.time_of_failure:
                         self._kill_failure(vp, new_clock)
                         return
@@ -562,6 +717,18 @@ class Engine:
         blocked VPs at (their clock capped to) the abort time, while
         computing VPs abort once their clock passes it, so the simulation
         exit time may exceed ``time``.
+
+        The broadcast takes effect at the *end of the current simulation
+        instant*: every event already due at exactly ``time`` still
+        dispatches normally, then the kill sweep runs before the clock
+        advances past ``time``.  This makes the outcome a function of the
+        event *times* alone rather than of heap insertion order among
+        same-instant events — the property the sharded engine
+        (:mod:`repro.pdes.sharded`) relies on to reproduce aborts
+        bit-identically, since shards do not share a global sequence
+        counter.  (Armed failures sit at the other edge of an instant:
+        their events are scheduled before the run and therefore dispatch
+        before any same-time event.)
         """
         if self.aborting:
             return
@@ -569,6 +736,12 @@ class Engine:
         self.abort_time = time
         self.abort_rank = initiator
         self.log.log(time, "abort", "MPI_Abort invoked", rank=initiator)
+        self._pending_abort = time
+
+    def _apply_abort_sweep(self) -> None:
+        """The deferred ``MPI_Abort`` broadcast (see :meth:`request_abort`)."""
+        time = self._pending_abort
+        self._pending_abort = None
         for vp in self.vps:
             if not vp.alive:
                 continue

@@ -1,0 +1,1190 @@
+"""Sharded conservative-parallel PDES execution.
+
+The real xSim is itself a parallel discrete event simulator: it scales by
+distributing virtual processes over MPI and synchronizing conservatively.
+This module gives :class:`~repro.core.simulator.XSim` the same property on
+one multicore host.  Ranks are partitioned into *contiguous* shards, each
+owned by one worker process that runs a full replica of the simulation with
+the non-owned VPs deactivated.  Workers advance in *safe windows* — bounded
+dispatch intervals whose width is the minimum cross-shard message latency
+(the lookahead), so no in-flight remote message can ever land inside the
+window that produced it.
+
+Protocol
+--------
+A coordinator (the parent process) drives every worker through one of two
+modes:
+
+* **NORMAL** windows, used while the simulation is failure-free.  Let
+  ``m_k`` be shard *k*'s next local event time, adjusted for envelopes
+  queued toward it, and ``m = min_k m_k``.  Every worker dispatches all
+  events in ``[m, min(m + L, h_min))`` where ``L`` is the lookahead and
+  ``h_min`` the earliest armed failure time.  A message posted at time
+  ``t >= m`` arrives at ``t + wire_latency >= m + L``, i.e. at or after the
+  window end, so exchanging envelopes only at window barriers is safe.
+* **LOCKSTEP**, entered permanently once ``m`` reaches ``h_min``.  Shards
+  with the minimum timestamp run exactly that timestamp one shard at a
+  time; failure kills and aborts they produce are relayed to every other
+  shard as *directives* before any other shard executes the same
+  timestamp.  This reproduces the serial engine's behavior around
+  failures — detection wakes, failed-peer lists, ``MPI_Abort`` shutdown —
+  because those effects are applied in the same virtual-time order.
+
+Envelopes
+---------
+Cross-shard traffic uses two picklable tuple forms:
+
+* ``("a", arrival, ctx, src, dst, tag, nbytes, payload, seq, protocol,
+  req_id)`` — a message delivery, pushed onto the destination shard's heap
+  exactly like a local ``_arrive`` event.  ``seq`` is a
+  ``(post_time, src, per-source counter)`` tuple: unlike the serial global
+  integer sequence it can be generated shard-locally, while preserving
+  per-source ordering (non-overtaking) and deterministic buffer order.
+* ``("r", src, req_id, t_send_done)`` — rendezvous completion flowing back
+  to the sender's shard: the receiver matched the RTS and computed the
+  clear-to-send + serialization finish time.
+
+Failure injections, abort broadcasts, and the detection timeouts they
+trigger ride the same coordinator path (as directives): resilience is
+simulator-internal state that every shard must observe in the same
+virtual-time order as the envelopes, or failed-lists and ``MPI_ANY_SOURCE``
+release semantics would diverge from the serial oracle.
+
+Parity contract
+---------------
+A sharded run must be observably identical to the serial run:
+``result_digest`` equal, and the per-rank event trace projection
+(:meth:`repro.check.trace.EventTrace.rank_projection`) equal.  Anything the
+protocol cannot mirror raises :class:`~repro.util.errors.ShardedParityError`
+instead of diverging: unscheduled failures inside a NORMAL window (e.g.
+``fail_now`` or exit-without-finalize), simulator-internal sync points
+spanning shards (ULFM shrink/agree, analytic collectives), communicator
+handles crossing shards, and cross-shard revocation.
+
+Transports
+----------
+``fork`` (default where available): workers are forked from the launched
+parent simulation, so construction cost is paid once and copy-on-write
+shares the launch state; envelopes travel over ``multiprocessing`` pipes.
+``inline``: every shard is an independently constructed replica driven in
+one process — no parallelism, but bit-exact and debuggable, and the
+mechanism the property tests use.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import warnings
+from dataclasses import dataclass, field
+from heapq import heappush
+from time import perf_counter
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.checkpoint.store import CheckpointStore
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import ERR_REVOKED
+from repro.mpi.messages import EAGER, RTS, Msg, Request
+from repro.models.network.model import NetworkModel, NetworkTier
+from repro.mpi.world import MpiWorld
+from repro.pdes.context import VirtualProcess, VpState
+from repro.pdes.engine import Engine, SimulationResult
+from repro.util.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ShardedParityError,
+    SimulationError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.simulator import XSim
+
+__all__ = [
+    "ShardStats",
+    "ShardedMpiWorld",
+    "WindowedEngine",
+    "derive_lookahead",
+    "partition_ranks",
+    "run_sharded",
+]
+
+
+# ----------------------------------------------------------------------
+# partitioning and lookahead
+# ----------------------------------------------------------------------
+def partition_ranks(nranks: int, nshards: int) -> list[range]:
+    """Split ``range(nranks)`` into at most ``nshards`` contiguous,
+    balanced shards (sizes differ by at most one).
+
+    Contiguity is load-bearing: the lookahead derivation below relies on
+    every cross-shard rank pair straddling a shard boundary, so the
+    boundary pair's network tier bounds the pair's tier from below.
+    """
+    if nshards < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {nshards}")
+    if nranks < 1:
+        raise ConfigurationError(f"cannot shard a job of {nranks} ranks")
+    nshards = min(nshards, nranks)
+    base, extra = divmod(nranks, nshards)
+    parts: list[range] = []
+    start = 0
+    for k in range(nshards):
+        size = base + (1 if k < extra else 0)
+        parts.append(range(start, start + size))
+        start += size
+    return parts
+
+
+def derive_lookahead(network: NetworkModel, parts: list[range]) -> float:
+    """The provably safe conservative lookahead for a contiguous partition.
+
+    For a boundary between ranks ``b-1`` and ``b``: any cross-shard pair
+    ``(i, j)`` with ``i < b <= j`` that shares a node (or chip) forces
+    ``b-1`` and ``b`` to share it too (block rank placement + contiguity).
+    Contrapositively, the boundary pair's tier bounds how *close* any pair
+    crossing that boundary can be, so the minimum wire latency over the
+    admissible tiers is a lower bound on every cross-shard latency:
+
+    * boundary on different nodes  -> every crossing pair is inter-node:
+      latency >= system tier latency (>= one hop);
+    * boundary on one node, different chips -> crossing pairs are at
+      closest on-node;
+    * boundary on one chip -> no constraint, take the minimum tier.
+    """
+    sys_lat = network.system.latency
+    node_lat = network.on_node.latency
+    chip_lat = network.on_chip.latency
+    lookahead = math.inf
+    for part in parts[1:]:
+        b = part[0]
+        tier = network.tier(b - 1, b)
+        if tier is NetworkTier.SYSTEM:
+            bound = sys_lat
+        elif tier is NetworkTier.ON_NODE:
+            bound = min(node_lat, sys_lat)
+        else:
+            bound = min(chip_lat, node_lat, sys_lat)
+        lookahead = min(lookahead, bound)
+    if math.isinf(lookahead):
+        raise ConfigurationError("lookahead is only defined for >= 2 shards")
+    if lookahead <= 0.0:
+        raise ConfigurationError(
+            "sharded execution requires a positive minimum cross-shard wire "
+            f"latency; this network derives a lookahead of {lookahead!r}"
+        )
+    return lookahead
+
+
+class _RemoteSendRef:
+    """Stand-in for a rendezvous send request living in another shard.
+
+    Stored in ``Msg.send_req`` of a cross-shard RTS; ``_rendezvous``
+    recognizes it and answers with an ``("r", ...)`` envelope instead of
+    completing the sender's request directly.
+    """
+
+    __slots__ = ("req_id",)
+
+    def __init__(self, req_id: int):
+        self.req_id = req_id
+
+
+# ----------------------------------------------------------------------
+# run statistics (consumed by EngineProfiler / bench)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardStats:
+    """Coordination statistics of one sharded run."""
+
+    nshards: int
+    lookahead: float
+    transport: str
+    #: NORMAL safe windows executed (one barrier each).
+    windows: int = 0
+    #: LOCKSTEP rounds (per-timestamp exact steps + directive deliveries).
+    lockstep_rounds: int = 0
+    #: Wall time the coordinator spent beyond the slowest worker per round —
+    #: the protocol/IPC overhead the windows add on top of useful work.
+    barrier_seconds: float = 0.0
+    #: Sum over rounds of the *slowest participating worker's* wall time —
+    #: the inherent serial fraction of the run.  With ``nshards`` real cores
+    #: the whole run cannot finish faster than this plus barrier overhead,
+    #: so ``worker_busy_seconds / critical_path_seconds`` is the measured
+    #: parallelism of the partition independent of how many host cores the
+    #: benchmark machine happens to have.
+    critical_path_seconds: float = 0.0
+    #: Sum of every worker's wall time across all rounds (the total useful
+    #: work; on a single-core host this approximates the serial run time).
+    worker_busy_seconds: float = 0.0
+    #: Events dispatched per shard (filled at merge).
+    shard_events: list[int] = field(default_factory=list)
+    #: Messages that crossed a shard boundary, summed over shards.
+    cross_shard_messages: int = 0
+
+    @property
+    def imbalance(self) -> float:
+        """Events-per-shard imbalance, ``max/mean`` (1.0 = perfect)."""
+        if not self.shard_events or sum(self.shard_events) == 0:
+            return 0.0
+        mean = sum(self.shard_events) / len(self.shard_events)
+        return max(self.shard_events) / mean
+
+    @property
+    def parallelism(self) -> float:
+        """Measured parallelism: total worker work / critical path.
+
+        This is the wall-clock speedup the partition would achieve with one
+        real core per shard and zero coordination cost; it is meaningful
+        even when the benchmark host timeshares all workers on fewer cores
+        (each round's per-worker wall times are still measured).
+        """
+        if self.critical_path_seconds <= 0.0:
+            return 1.0
+        return self.worker_busy_seconds / self.critical_path_seconds
+
+
+@dataclass
+class ShardReport:
+    """Everything one worker ships back after quiescence."""
+
+    shard_id: int
+    #: rank -> (state value, clock, end_time, busy_time, exit_value, wait_tag)
+    ranks: dict[int, tuple]
+    failures: list[tuple[int, float]]
+    aborted: bool
+    abort_time: float | None
+    abort_rank: int | None
+    event_count: int
+    stale_skipped: int
+    coalesced_advances: int
+    match_scan_calls: int
+    match_scan_length: int
+    messages_sent: int
+    bytes_sent: int
+    cross_shard_msgs: int
+    log_entries: list
+    trace_entries: list | None
+    #: (owned checkpoint files, writes delta, deletes delta) — fork only.
+    store_delta: tuple | None
+
+
+# ----------------------------------------------------------------------
+# worker-side engine / world
+# ----------------------------------------------------------------------
+class WindowedEngine(Engine):
+    """Engine variant driven through bounded windows by a shard worker.
+
+    Unconfigured instances (``shard_id is None``) behave exactly like the
+    serial :class:`Engine`; the coordinator-side template never dispatches
+    events, and replicas act serial until :meth:`configure_shard`.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.shard_id: int | None = None
+        self.owned: frozenset[int] = frozenset()
+        #: True once the coordinator switched this run to per-timestamp
+        #: lockstep (the only mode in which failures/aborts may occur).
+        self.lockstep = False
+
+    def configure_shard(self, shard_id: int, owned: frozenset[int]) -> None:
+        self.shard_id = shard_id
+        self.owned = frozenset(owned)
+        self.deactivate_remote(self.owned)
+
+    # -- resilience surface overrides ---------------------------------
+    def request_abort(self, time: float, initiator: int) -> None:
+        if self.shard_id is None:
+            super().request_abort(time, initiator)
+            return
+        if not self.lockstep:
+            raise ShardedParityError(
+                f"MPI_Abort from rank {initiator} at {time} inside a "
+                "conservative window; aborts can only follow armed failures "
+                "under --shards > 1"
+            )
+        if self.aborting:
+            return
+        self.aborting = True
+        self.abort_time = time
+        self.abort_rank = initiator
+        # Logged only in the initiating shard so the merged log carries the
+        # line exactly once, like the serial run.
+        self.log.log(time, "abort", "MPI_Abort invoked", rank=initiator)
+        self._pending_abort = time
+
+    def apply_remote_abort(self, time: float, initiator: int) -> None:
+        """Abort broadcast relayed from another shard (directive path).
+
+        Arms the same deferred end-of-instant sweep a local
+        ``request_abort`` does.  The directive arrives before this shard
+        executes the abort instant, and the sweep only applies once its
+        dispatch leaves that instant — so every shard's ranks observe the
+        broadcast at the same point in virtual time as the serial run,
+        regardless of which shard initiated it.
+        """
+        if self.aborting:
+            return
+        self.aborting = True
+        self.abort_time = time
+        self.abort_rank = initiator
+        self._pending_abort = time
+
+    def _apply_abort_sweep(self) -> None:
+        # Serial sweep iterates every VP; here remote placeholders are
+        # skipped — their owning shard applies the same broadcast.
+        time = self._pending_abort
+        self._pending_abort = None
+        for rank in sorted(self.owned):
+            vp = self.vps[rank]
+            if not vp.alive:
+                continue
+            vp.time_of_abort = min(vp.time_of_abort, time)
+            if vp.state is VpState.BLOCKED or vp.state is VpState.READY:
+                self._kill_abort(vp, max(vp.clock, time))
+
+    def fail_now(self, rank: int, reason: str = "application-triggered failure") -> None:
+        if self.shard_id is not None:
+            if rank not in self.owned:
+                raise ShardedParityError(
+                    f"fail_now({rank}) targets a rank owned by another shard"
+                )
+            if not self.lockstep:
+                raise ShardedParityError(
+                    f"fail_now({rank}) inside a conservative window; only "
+                    "failures armed before the run are supported with "
+                    "--shards > 1"
+                )
+        super().fail_now(rank, reason)
+
+
+class ShardedMpiWorld(MpiWorld):
+    """MPI layer that diverts cross-shard traffic into envelopes.
+
+    Unconfigured instances behave exactly like :class:`MpiWorld`.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.shard_id: int | None = None
+        self.owned: frozenset[int] = frozenset()
+        #: Conservative lookahead (min cross-boundary wire latency); bounds
+        #: how soon another shard can react to an emitted envelope.
+        self.lookahead = 0.0
+        #: Envelopes produced since the last barrier (drained per round).
+        self.outbox: list[tuple] = []
+        #: Per-source message counters backing the tuple sequence numbers.
+        self._src_counters: dict[int, int] = {}
+        #: Outstanding cross-shard rendezvous sends by local request id.
+        self._rdv_out: dict[int, Request] = {}
+        self._rdv_id = 0
+        self.cross_shard_msgs = 0
+
+    def configure_shard(
+        self, shard_id: int, owned: frozenset[int], lookahead: float = 0.0
+    ) -> None:
+        self.shard_id = shard_id
+        self.owned = frozenset(owned)
+        self.lookahead = lookahead
+
+    def _tighten_window(self, t_effective: float) -> None:
+        """Cap the running window after revealing ``t_effective`` to a peer.
+
+        Once an envelope leaves this shard, its destination can react at
+        the envelope's effective time (arrival for a delivery, completion
+        time for a rendezvous ack) and send something back that reaches us
+        ``lookahead`` later — so events at or beyond that are only safe to
+        dispatch in a *later* window, after the coordinator has routed the
+        reply.  Tightening only ever lowers the bound; lockstep exact steps
+        are unaffected (their inclusive bound is the step time itself).
+        """
+        engine = self.engine
+        cap = t_effective + self.lookahead
+        if cap < engine._window_end:
+            engine._window_end = cap
+
+    # -- sending -------------------------------------------------------
+    def post_send(
+        self,
+        vp: VirtualProcess,
+        comm: Communicator,
+        ctx: int,
+        dst: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+    ) -> Request:
+        if self.shard_id is None:
+            return super().post_send(vp, comm, ctx, dst, tag, payload, nbytes)
+        clock = vp.clock
+        req = Request(Request.SEND, vp, comm, ctx, vp.rank, dst, tag, nbytes, clock)
+        if comm.revoked:
+            req.fail(clock, ERR_REVOKED)
+            return req
+        failed_at = vp.failed_peers.get(dst)
+        if failed_at is not None and self._failure_visible(vp, dst, failed_at):
+            self._fail_from_list(req, dst)
+            return req
+        network = self.network
+        self._msg_seq += 1
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()  # eager/rendezvous buffering semantics
+        # Shard-local sequence: (post time, source, per-source counter)
+        # orders identically to the serial global counter wherever ordering
+        # is observable (per-source non-overtaking; buffer insertion).
+        counter = self._src_counters.get(vp.rank, 0) + 1
+        self._src_counters[vp.rank] = counter
+        seq = (clock, vp.rank, counter)
+        engine = self.engine
+        eager = nbytes <= network.eager_threshold
+        if eager:
+            arrival = clock + network.transfer_time(nbytes, vp.rank, dst)
+            req.complete(clock)
+        else:
+            arrival = clock + network.wire_latency(vp.rank, dst)
+            if failed_at is not None:
+                # Posted before the notification became visible: behaves
+                # as pre-posted, paying the detection timeout (mirrors the
+                # serial :meth:`MpiWorld.post_send`).
+                self._release_failed(req, dst, failed_at)
+            else:
+                self.states[vp.rank].rdv_sends.append(req)
+        if dst in self.owned:
+            msg = Msg(
+                ctx, vp.rank, dst, tag, nbytes, payload, seq,
+                EAGER if eager else RTS, send_req=None if eager else req,
+            )
+            if arrival < engine.now:
+                raise SimulationError(
+                    f"cannot schedule into the past ({arrival} < {engine.now})"
+                )
+            engine._seq += 1
+            heappush(engine._heap, (arrival, engine._seq, None, 0, self._arrive, (msg,)))
+        else:
+            if isinstance(payload, Communicator):
+                raise ShardedParityError(
+                    "a communicator handle cannot cross shard boundaries "
+                    "(MPI_Comm_dup/split build shared per-rank tables); run "
+                    "communicator-creating applications with --shards 1"
+                )
+            self.cross_shard_msgs += 1
+            req_id = None
+            if not eager:
+                self._rdv_id += 1
+                req_id = self._rdv_id
+                self._rdv_out[req_id] = req
+            self.outbox.append(
+                (
+                    "a", arrival, ctx, vp.rank, dst, tag, nbytes, payload, seq,
+                    EAGER if eager else RTS, req_id,
+                )
+            )
+            self._tighten_window(arrival)
+        return req
+
+    # -- rendezvous across the boundary --------------------------------
+    def _rendezvous(self, req: Request, rts: Msg, t_match: float) -> None:
+        ref = rts.send_req
+        if self.shard_id is not None and isinstance(ref, _RemoteSendRef):
+            src, dst = rts.src, rts.dst
+            t_cts = t_match + self.network.wire_latency(dst, src)
+            t_send_done = t_cts + self.network.serialization_time(rts.nbytes, src, dst)
+            t_recv_done = t_cts + self.network.transfer_time(rts.nbytes, src, dst)
+            # The sender's completion travels back as an envelope; it is
+            # window-safe because t_send_done >= t_match + lookahead.
+            self.outbox.append(("r", src, ref.req_id, t_send_done))
+            self._tighten_window(t_send_done)
+            req.complete(t_recv_done, result=rts)
+            if req.waiting:
+                self.engine.wake(req.vp, t_recv_done)
+            return
+        super()._rendezvous(req, rts, t_match)
+
+    # -- envelope application (barrier side) ----------------------------
+    def apply_arrival(self, env: tuple) -> None:
+        """Queue a cross-shard message delivery on the local heap."""
+        _, arrival, ctx, src, dst, tag, nbytes, payload, seq, protocol, req_id = env
+        send_ref = _RemoteSendRef(req_id) if protocol == RTS else None
+        msg = Msg(ctx, src, dst, tag, nbytes, payload, seq, protocol, send_req=send_ref)
+        engine = self.engine
+        if arrival < engine.now:
+            raise ShardedParityError(
+                f"causality violation: envelope arriving at {arrival} behind "
+                f"shard clock {engine.now}"
+            )
+        engine._seq += 1
+        heappush(engine._heap, (arrival, engine._seq, None, 0, self._arrive, (msg,)))
+
+    def apply_rdv_done(self, req_id: int, t_send_done: float) -> None:
+        """Complete a cross-shard rendezvous send (receiver matched it)."""
+        req = self._rdv_out.pop(req_id, None)
+        if req is None or req.done:
+            return  # released by a failure notification in the meantime
+        state = self.states[req.src]
+        if req in state.rdv_sends:
+            state.rdv_sends.remove(req)
+        req.complete(t_send_done)
+        if req.waiting:
+            self.engine.wake(req.vp, t_send_done)
+
+    def apply_remote_failure(self, rank: int, t_kill: float) -> None:
+        """Failure of a rank owned by another shard (directive path).
+
+        Flips the local placeholder to FAILED (no log line, no entry in
+        ``engine.failures`` — the owner reports both) and runs the same
+        ``_on_failure`` notification the serial engine triggers: clears the
+        dead rank's queues, extends every local failed-peers list, prunes
+        in-flight rendezvous, and schedules detection-timeout releases.
+        """
+        if rank in self.owned:
+            raise SimulationError(f"remote-failure directive for owned rank {rank}")
+        vp = self.engine.vps[rank]
+        if not vp.alive:
+            return
+        vp.epoch += 1
+        vp.state = VpState.FAILED
+        vp.clock = max(vp.clock, t_kill)
+        vp.end_time = vp.clock
+        vp.time_of_failure = min(vp.time_of_failure, t_kill)
+        self._on_failure(vp, t_kill)
+
+    # -- unsupported-across-shards guards -------------------------------
+    def sync_arrive(self, vp, comm, kind, seq, value=None, cost_fn=None):
+        if self.shard_id is not None and any(r not in self.owned for r in comm.group):
+            raise ShardedParityError(
+                f"simulator-internal sync point ({kind}) on {comm.name} spans "
+                "shard boundaries; MPI_Comm_shrink/MPI_Comm_agree and "
+                "analytic collectives require --shards 1"
+            )
+        return super().sync_arrive(vp, comm, kind, seq, value=value, cost_fn=cost_fn)
+
+    def revoke(self, comm: Communicator, t: float, initiator: int) -> None:
+        if self.shard_id is not None and any(r not in self.owned for r in comm.group):
+            raise ShardedParityError(
+                f"revocation of {comm.name} spans shard boundaries; ULFM "
+                "revoke/shrink workloads require --shards 1"
+            )
+        super().revoke(comm, t, initiator)
+
+
+# ----------------------------------------------------------------------
+# worker
+# ----------------------------------------------------------------------
+class ShardWorker:
+    """Drives one shard's engine under the coordinator protocol."""
+
+    def __init__(self, sim: "XSim", shard_id: int, owned: range, lookahead: float = 0.0):
+        self.sim = sim
+        self.engine: WindowedEngine = sim.engine  # type: ignore[assignment]
+        self.world: ShardedMpiWorld = sim.world  # type: ignore[assignment]
+        self.shard_id = shard_id
+        self.lookahead = lookahead
+        self.owned = frozenset(owned)
+        self.owned_sorted = sorted(owned)
+        self._fail_base = 0
+        self._abort_reported = False
+        self._store: CheckpointStore | None = None
+        self._store_base = (0, 0)
+
+    def setup(self, store: CheckpointStore | None = None) -> float:
+        engine = self.engine
+        # Workers record log entries only; the coordinator echoes the
+        # merged, time-ordered stream once.
+        engine.log.stream = None
+        self.world.configure_shard(self.shard_id, self.owned, self.lookahead)
+        engine.configure_shard(self.shard_id, self.owned)
+        engine.begin_windowed_run()
+        if store is not None:
+            self._store = store
+            self._store_base = (store.writes, store.deletes)
+        return engine.next_event_time()
+
+    def apply(self, envelopes: list[tuple], directives: tuple | list) -> None:
+        # Deterministic application order: rendezvous completions first
+        # (their matches happened before any same-round failure), then
+        # directives (failures/aborts precede later arrivals in serial
+        # dispatch order), then deliveries sorted by (arrival, seq).
+        rdv = sorted((e for e in envelopes if e[0] == "r"), key=lambda e: (e[3], e[2]))
+        arrivals = sorted((e for e in envelopes if e[0] == "a"), key=lambda e: (e[1], e[8]))
+        for env in rdv:
+            self.world.apply_rdv_done(env[2], env[3])
+        for directive in directives:
+            self._apply_directive(directive)
+        for env in arrivals:
+            self.world.apply_arrival(env)
+
+    def _apply_directive(self, directive: tuple) -> None:
+        kind = directive[0]
+        if kind == "lockstep":
+            self.engine.lockstep = True
+        elif kind == "fail":
+            self.world.apply_remote_failure(directive[1], directive[2])
+        elif kind == "abort":
+            self._abort_reported = True
+            self.engine.apply_remote_abort(directive[1], directive[2])
+        else:
+            raise SimulationError(f"unknown shard directive {directive!r}")
+
+    def run_window(self, end: float) -> tuple:
+        t0 = perf_counter()
+        self.engine.run_window(end)
+        return self._reply(t0)
+
+    def run_exact(self, time: float) -> tuple:
+        t0 = perf_counter()
+        self.engine.run_exact(time)
+        return self._reply(t0)
+
+    def _reply(self, t0: float) -> tuple:
+        engine = self.engine
+        out, self.world.outbox = self.world.outbox, []
+        fails = list(engine.failures[self._fail_base :])
+        self._fail_base = len(engine.failures)
+        abort = None
+        if engine.aborting and not self._abort_reported:
+            self._abort_reported = True
+            abort = (engine.abort_time, engine.abort_rank)
+        return (engine.next_event_time(), out, fails, abort, perf_counter() - t0)
+
+    def finish(self) -> ShardReport:
+        engine = self.engine
+        if engine._pending_abort is not None:
+            # No event past the abort instant ever ran in this shard; the
+            # deferred sweep still owes the blocked-rank kills.
+            engine._apply_abort_sweep()
+        engine.finish_windowed_run()
+        ranks: dict[int, tuple] = {}
+        for rank in self.owned_sorted:
+            vp = engine.vps[rank]
+            ranks[rank] = (
+                vp.state.value,
+                vp.clock,
+                vp.end_time,
+                vp.busy_time,
+                vp.exit_value,
+                str(vp.wait_tag),
+            )
+        store_delta = None
+        if self._store is not None:
+            files = {
+                key: f for key, f in self._store._files.items() if key[1] in self.owned
+            }
+            store_delta = (
+                files,
+                self._store.writes - self._store_base[0],
+                self._store.deletes - self._store_base[1],
+            )
+        world = self.world
+        trace = engine.event_trace
+        return ShardReport(
+            shard_id=self.shard_id,
+            ranks=ranks,
+            failures=list(engine.failures),
+            aborted=engine.aborting,
+            abort_time=engine.abort_time,
+            abort_rank=engine.abort_rank,
+            event_count=engine.event_count,
+            stale_skipped=engine.stale_skipped,
+            coalesced_advances=engine.coalesced_advances,
+            match_scan_calls=world.match_scan_calls,
+            match_scan_length=world.match_scan_length,
+            messages_sent=world.messages_sent,
+            bytes_sent=world.bytes_sent,
+            cross_shard_msgs=world.cross_shard_msgs,
+            log_entries=list(engine.log.entries),
+            trace_entries=list(trace.entries) if trace is not None else None,
+            store_delta=store_delta,
+        )
+
+
+def _handle_op(worker: ShardWorker, msg: tuple) -> Any:
+    op = msg[0]
+    if op == "window":
+        worker.apply(msg[2], ())
+        return worker.run_window(msg[1])
+    if op == "exact":
+        return worker.run_exact(msg[1])
+    if op == "apply":
+        worker.apply(msg[1], msg[2])
+        return worker.engine.next_event_time()
+    if op == "finish":
+        return worker.finish()
+    raise SimulationError(f"unknown shard op {op!r}")
+
+
+def _forked_worker_main(conn, worker: ShardWorker, store: CheckpointStore | None) -> None:
+    """Child-process loop of the fork transport."""
+    status = 0
+    try:
+        try:
+            conn.send(("ok", worker.setup(store=store)))
+            while True:
+                msg = conn.recv()
+                if msg[0] == "close":
+                    break
+                conn.send(("ok", _handle_op(worker, msg)))
+        except EOFError:
+            pass
+        except BaseException as err:
+            status = 1
+            try:
+                conn.send(("error", f"{type(err).__name__}: {err}"))
+            except Exception:
+                pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        # Skip the parent's interpreter teardown (atexit hooks, pytest
+        # machinery) inherited by the fork.
+        os._exit(status)
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+class _InlineConn:
+    """Worker driven directly in the coordinator process."""
+
+    def __init__(self, worker: ShardWorker, store: CheckpointStore | None):
+        self.worker = worker
+        self.initial_min = worker.setup(store=store)
+        self._pending: tuple | None = None
+
+    def send(self, msg: tuple) -> None:
+        self._pending = msg
+
+    def recv_payload(self) -> Any:
+        msg, self._pending = self._pending, None
+        if msg is None:
+            raise SimulationError("inline shard recv without a pending op")
+        return _handle_op(self.worker, msg)
+
+
+class _ForkConn:
+    """Pipe to a forked worker process."""
+
+    def __init__(self, conn, proc, shard_id: int):
+        self.conn = conn
+        self.proc = proc
+        self.shard_id = shard_id
+        self.initial_min = math.inf
+
+    def send(self, msg: tuple) -> None:
+        self.conn.send(msg)
+
+    def recv_payload(self) -> Any:
+        try:
+            reply = self.conn.recv()
+        except EOFError:
+            raise SimulationError(
+                f"shard {self.shard_id} worker exited unexpectedly"
+            ) from None
+        if reply[0] == "error":
+            raise SimulationError(f"shard {self.shard_id} worker failed: {reply[1]}")
+        return reply[1]
+
+
+def _build_replica(sim: "XSim", app, args: tuple, nranks: int) -> "XSim":
+    """Construct and launch an identical simulation for one inline shard.
+
+    Determinism of construction + launch means the replica's event heap,
+    sequence numbers, and armed failures match the parent's exactly.
+    """
+    from repro.core.simulator import XSim
+
+    replica = XSim(
+        sim.system,
+        seed=sim.seed,
+        start_time=sim.engine.start_time,
+        log_stream=None,
+        record_trace=False,
+        check=sim.checker is not None,
+        record_events=sim.event_trace is not None,
+        coalesce_advances=sim.engine.coalesce_advances,
+        shards=sim.shards,
+        shard_transport="inline",
+    )
+    replica.world.launch(app, nranks, args)
+    for rank, time in sim._armed_failures:
+        replica.engine.schedule_failure(rank, time)
+    return replica
+
+
+def _make_transport(
+    transport: str,
+    sim: "XSim",
+    app,
+    args: tuple,
+    nranks: int,
+    parts: list[range],
+    store: CheckpointStore | None,
+    lookahead: float,
+):
+    """Returns ``(conns, cleanup)``; every conn has ``initial_min`` set."""
+    if transport == "inline":
+        conns: list = []
+        for k, part in enumerate(parts):
+            shard_sim = sim if k == 0 else _build_replica(sim, app, args, nranks)
+            # Inline replicas share the parent's CheckpointStore object via
+            # the app args, so file state needs no merging (store=None).
+            conns.append(_InlineConn(ShardWorker(shard_sim, k, part, lookahead), None))
+        return conns, lambda: None
+
+    ctx = mp.get_context("fork")
+    conns = []
+    procs = []
+    for k, part in enumerate(parts):
+        parent_conn, child_conn = ctx.Pipe()
+        worker = ShardWorker(sim, k, part, lookahead)
+        proc = ctx.Process(
+            target=_forked_worker_main, args=(child_conn, worker, store), daemon=True
+        )
+        proc.start()  # forks the fully launched, not-yet-run simulation
+        child_conn.close()
+        conns.append(_ForkConn(parent_conn, proc, k))
+        procs.append(proc)
+    # The parent engine is consumed by the forked workers; mark it run so a
+    # stray Engine.run() cannot double-execute the launch state.  (Set only
+    # after forking — children must still pass begin_windowed_run's guard.)
+    sim.engine._ran = True
+    for conn in conns:
+        conn.initial_min = conn.recv_payload()
+
+    def cleanup() -> None:
+        for conn in conns:
+            try:
+                conn.send(("close",))
+            except Exception:
+                pass
+            try:
+                conn.conn.close()
+            except Exception:
+                pass
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+
+    return conns, cleanup
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+class _Coordinator:
+    """Runs the safe-window / lockstep protocol over a set of workers."""
+
+    def __init__(
+        self,
+        conns: list,
+        owner: list[int],
+        lookahead: float,
+        h_min: float,
+        armed: list[tuple[int, float]],
+        stats: ShardStats,
+    ):
+        self.conns = conns
+        self.n = len(conns)
+        self.owner = owner
+        self.lookahead = lookahead
+        self.h_min = h_min
+        self.armed = armed
+        self.stats = stats
+        self.mins = [c.initial_min for c in conns]
+        self.pending: list[list[tuple]] = [[] for _ in conns]
+        self.directives: list[list[tuple]] = [[] for _ in conns]
+
+    @staticmethod
+    def _env_time(env: tuple) -> float:
+        return env[1] if env[0] == "a" else env[3]
+
+    def _route(self, out: list[tuple]) -> None:
+        for env in out:
+            dest_rank = env[4] if env[0] == "a" else env[1]
+            self.pending[self.owner[dest_rank]].append(env)
+
+    def drive(self) -> list[ShardReport]:
+        lockstep = False
+        while True:
+            eff = [
+                min(
+                    self.mins[k],
+                    min((self._env_time(e) for e in self.pending[k]), default=math.inf),
+                )
+                for k in range(self.n)
+            ]
+            m = min(eff)
+            if m == math.inf and not any(self.directives):
+                break
+            if not lockstep and m < self.h_min:
+                self._window_round(eff)
+                continue
+            if not lockstep:
+                lockstep = True
+                for k in range(self.n):
+                    self.directives[k].append(("lockstep",))
+            if any(self.pending) or any(self.directives):
+                self._apply_round()
+                continue
+            self._exact_step(m, eff)
+        for conn in self.conns:
+            conn.send(("finish",))
+        return [conn.recv_payload() for conn in self.conns]
+
+    def _window_round(self, eff: list[float]) -> None:
+        # Per-shard conservative bound: shard k can safely dispatch every
+        # event strictly before  min over the OTHER shards of their next
+        # possible dispatch time, plus the lookahead — any message another
+        # shard might still send arrives no earlier than that.  (Bounding
+        # everyone by the single global minimum instead would serialize
+        # phases where one shard is the only active one, e.g. the root of a
+        # linear barrier: each of its sends would need its own round.)
+        # Shards with nothing to do before their bound skip the round
+        # entirely; their pending envelopes stay queued here and keep
+        # counting toward ``eff`` until they participate.
+        lo1 = lo2 = math.inf  # two smallest eff values
+        arg1 = -1
+        for k, e in enumerate(eff):
+            if e < lo1:
+                lo1, lo2, arg1 = e, lo1, k
+            elif e < lo2:
+                lo2 = e
+        targets = []
+        for k in range(self.n):
+            others = lo2 if k == arg1 else lo1
+            end = min(others + self.lookahead, self.h_min)
+            if eff[k] < end:
+                targets.append((k, end))
+        t0 = perf_counter()
+        for k, end in targets:
+            self.conns[k].send(("window", end, self.pending[k]))
+            self.pending[k] = []
+        walls = []
+        for k, _end in targets:
+            m_next, out, fails, abort, wall = self.conns[k].recv_payload()
+            if fails or abort:
+                raise ShardedParityError(
+                    f"shard {k} produced an unscheduled failure/abort inside a "
+                    f"conservative window (failures={fails}, abort={abort}); "
+                    "only failures armed before the run are supported with "
+                    "--shards > 1"
+                )
+            self.mins[k] = m_next
+            walls.append(wall)
+            self._route(out)
+        self.stats.windows += 1
+        self.stats.critical_path_seconds += max(walls)
+        self.stats.worker_busy_seconds += sum(walls)
+        self.stats.barrier_seconds += max(0.0, (perf_counter() - t0) - max(walls))
+
+    def _apply_round(self) -> None:
+        for k, conn in enumerate(self.conns):
+            conn.send(("apply", self.pending[k], self.directives[k]))
+            self.pending[k] = []
+            self.directives[k] = []
+        for k, conn in enumerate(self.conns):
+            self.mins[k] = conn.recv_payload()
+        self.stats.lockstep_rounds += 1
+
+    def _t1_priority(self, k: int, t1: float) -> int:
+        # The serial engine dispatches an armed failure before same-time
+        # post-launch events (its event was scheduled earlier, so its
+        # sequence number is lower).  Running the failing rank's shard
+        # first — relaying the kill before other shards execute the same
+        # timestamp — mirrors that order.
+        for index, (rank, time) in enumerate(self.armed):
+            if time == t1 and self.owner[rank] == k:
+                return index
+        return len(self.armed)
+
+    def _exact_step(self, t1: float, eff: list[float]) -> None:
+        candidates = [k for k in range(self.n) if eff[k] == t1]
+        candidates.sort(key=lambda k: (self._t1_priority(k, t1), k))
+        k = candidates[0]
+        conn = self.conns[k]
+        conn.send(("exact", t1))
+        m_next, out, fails, abort, wall = conn.recv_payload()
+        self.stats.critical_path_seconds += wall  # exact steps are serial
+        self.stats.worker_busy_seconds += wall
+        self.mins[k] = m_next
+        self._route(out)
+        for rank, t_kill in fails:
+            for j in range(self.n):
+                if j != k:
+                    self.directives[j].append(("fail", rank, t_kill))
+        if abort is not None:
+            for j in range(self.n):
+                if j != k:
+                    self.directives[j].append(("abort", abort[0], abort[1]))
+        self.stats.lockstep_rounds += 1
+
+
+# ----------------------------------------------------------------------
+# entry point + merge
+# ----------------------------------------------------------------------
+def run_sharded(sim: "XSim", app, args: tuple, nranks: int) -> SimulationResult:
+    """Execute an already-launched simulation across shards; returns a
+    result observably identical to ``sim.engine.run()``."""
+    engine = sim.engine
+    world = sim.world
+    nshards = min(sim.shards, nranks)
+    if nshards < 2:
+        return engine.run()
+    if world.collective_algorithm == "analytic":
+        raise ConfigurationError(
+            "analytic collectives complete through global simulator-internal "
+            "sync points and cannot be sharded; use 'linear'/'tree' "
+            "collectives or --shards 1"
+        )
+    if world.trace is not None:
+        raise ConfigurationError(
+            "record_trace (CommTrace) is not supported with --shards > 1; "
+            "use record_events (EventTrace) for sharded replay diffing"
+        )
+    if sim._soft_errors is not None:
+        raise ConfigurationError(
+            "soft-error injection is not supported with --shards > 1"
+        )
+    parts = partition_ranks(nranks, nshards)
+    owner = [0] * nranks
+    for k, part in enumerate(parts):
+        for rank in part:
+            owner[rank] = k
+    lookahead = derive_lookahead(world.network, parts)
+    if sim.shard_lookahead is not None:
+        if not 0.0 < sim.shard_lookahead <= lookahead:
+            raise ConfigurationError(
+                f"lookahead override {sim.shard_lookahead!r} outside "
+                f"(0, {lookahead!r}] (the derived safe bound)"
+            )
+        lookahead = sim.shard_lookahead
+    armed = list(sim._armed_failures)
+    h_min = min((t for _, t in armed), default=math.inf)
+    store = next((a for a in args if isinstance(a, CheckpointStore)), None)
+    orig_stream = engine.log.stream
+
+    transport = sim.shard_transport
+    if transport is None:
+        transport = "fork" if "fork" in mp.get_all_start_methods() else "inline"
+    elif transport not in ("fork", "inline"):
+        raise ConfigurationError(f"unknown shard transport {transport!r}")
+    if transport == "fork" and "fork" not in mp.get_all_start_methods():
+        warnings.warn(
+            "fork start method unavailable; sharded run falling back to the "
+            "inline (single-process) transport",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        transport = "inline"
+
+    stats = ShardStats(nshards=nshards, lookahead=lookahead, transport=transport)
+    conns, cleanup = _make_transport(
+        transport, sim, app, args, nranks, parts, store, lookahead
+    )
+    try:
+        coordinator = _Coordinator(conns, owner, lookahead, h_min, armed, stats)
+        reports = coordinator.drive()
+    finally:
+        cleanup()
+
+    _merge_reports(sim, reports, parts, store, transport, orig_stream, stats)
+    blocked = [
+        (vp.rank, str(vp.wait_tag), vp.state.value) for vp in engine.vps if vp.alive
+    ]
+    if blocked:
+        raise DeadlockError(blocked)
+    engine.shard_stats = stats
+    sim.shard_stats = stats
+    return engine._result()
+
+
+def _merge_reports(
+    sim: "XSim",
+    reports: list[ShardReport],
+    parts: list[range],
+    store: CheckpointStore | None,
+    transport: str,
+    orig_stream,
+    stats: ShardStats,
+) -> None:
+    """Fold the shard reports back into the parent engine/world so the
+    standard ``Engine._result()`` (and any profiler attached to the parent)
+    observes exactly what a serial run would have left behind."""
+    engine = sim.engine
+    world = sim.world
+    for report in reports:
+        for rank, (state_value, clock, end, busy, exit_value, tag) in report.ranks.items():
+            vp = engine.vps[rank]
+            vp.state = VpState(state_value)
+            vp.clock = clock
+            vp.end_time = end
+            vp.busy_time = busy
+            vp.exit_value = exit_value
+            vp.wait_tag = tag
+    # Each failure is recorded only by its owner, so concatenation has no
+    # duplicates; (time, rank) order matches serial chronological order.
+    engine.failures = sorted(
+        (f for report in reports for f in report.failures), key=lambda f: (f[1], f[0])
+    )
+    aborts = {
+        (report.abort_time, report.abort_rank) for report in reports if report.aborted
+    }
+    if len(aborts) > 1:
+        raise ShardedParityError(f"shards disagree on the abort outcome: {sorted(aborts)}")
+    if aborts:
+        engine.aborting = True
+        engine.abort_time, engine.abort_rank = aborts.pop()
+    engine.event_count = sum(r.event_count for r in reports)
+    engine.stale_skipped = sum(r.stale_skipped for r in reports)
+    engine.coalesced_advances = sum(r.coalesced_advances for r in reports)
+    world.match_scan_calls = sum(r.match_scan_calls for r in reports)
+    world.match_scan_length = sum(r.match_scan_length for r in reports)
+    world.messages_sent = sum(r.messages_sent for r in reports)
+    world.bytes_sent = sum(r.bytes_sent for r in reports)
+    stats.shard_events = [r.event_count for r in reports]
+    stats.cross_shard_messages = sum(r.cross_shard_msgs for r in reports)
+    if engine.vps:
+        engine.now = max(
+            vp.end_time if vp.end_time is not None else vp.clock for vp in engine.vps
+        )
+    # Merged log: stable time sort of the per-shard streams (shard order
+    # breaks exact ties, matching the serial rank-order dispatch at equal
+    # timestamps); echoed once to the original stream.
+    merged_log = sorted(
+        (entry for report in reports for entry in report.log_entries),
+        key=lambda entry: entry.time,
+    )
+    engine.log.stream = orig_stream
+    engine.log.entries = merged_log
+    if orig_stream is not None:
+        for entry in merged_log:
+            print(entry.render(), file=orig_stream)
+    if sim.event_trace is not None:
+        merged_trace = sorted(
+            (
+                entry
+                for report in reports
+                for entry in (report.trace_entries or ())
+            ),
+            key=lambda entry: entry[0],
+        )
+        sim.event_trace.entries = merged_trace
+    if store is not None and transport == "fork":
+        # Owned-rank checkpoint files replace the parent's pre-fork view;
+        # counters advance by the per-shard deltas.
+        for report, part in zip(reports, parts):
+            owned = set(part)
+            for key in [k for k in store._files if k[1] in owned]:
+                del store._files[key]
+            files, writes_delta, deletes_delta = report.store_delta
+            store._files.update(files)
+            store.writes += writes_delta
+            store.deletes += deletes_delta

@@ -42,6 +42,18 @@ class DeadlockError(SimulationError):
         super().__init__(f"simulation deadlock: {head}{more}")
 
 
+class ShardedParityError(SimulationError):
+    """A sharded run reached a state it cannot reproduce bit-identically.
+
+    Raised by :mod:`repro.pdes.sharded` when a simulation does something the
+    conservative-window protocol cannot mirror against the serial engine —
+    e.g. an unscheduled failure inside a safe window, a simulator-internal
+    sync point spanning shard boundaries, or a communicator handle crossing
+    shards.  The run must fall back to ``--shards 1``; silently diverging
+    from the serial oracle is never an option.
+    """
+
+
 class CheckpointError(XsimError):
     """A checkpoint store operation failed (e.g. loading a corrupted set)."""
 

@@ -58,6 +58,25 @@ class ProfileReport:
     match_scan_length: int
     """Total queue length walked across all wildcard matching scans."""
     phases: tuple[PhaseStats, ...]
+    # -- sharded-run fields (all zero for a serial run) ----------------
+    shards: int = 0
+    """Worker count of the sharded engine (0: the run was serial)."""
+    shard_windows: int = 0
+    """Conservative safe windows executed (one coordinator round each)."""
+    shard_lockstep_rounds: int = 0
+    """Per-timestamp lockstep rounds (failure/abort instants)."""
+    shard_barrier_seconds: float = 0.0
+    """Coordinator wall time beyond the slowest worker per round — the
+    window/barrier protocol overhead on top of useful work."""
+    shard_critical_path_seconds: float = 0.0
+    """Sum over rounds of the slowest participating worker's wall time
+    (lower bound on multi-core wall clock for this partition)."""
+    shard_worker_busy_seconds: float = 0.0
+    """Total worker wall time across rounds (the parallelizable work)."""
+    shard_imbalance: float = 0.0
+    """Events-per-shard imbalance, max/mean (1.0 = perfectly balanced)."""
+    shard_cross_messages: int = 0
+    """Messages that crossed a shard boundary."""
 
     @property
     def mean_match_scan(self) -> float:
@@ -77,6 +96,14 @@ class ProfileReport:
             "match_scan_calls": self.match_scan_calls,
             "match_scan_length": self.match_scan_length,
             "mean_match_scan": self.mean_match_scan,
+            "shards": self.shards,
+            "shard_windows": self.shard_windows,
+            "shard_lockstep_rounds": self.shard_lockstep_rounds,
+            "shard_barrier_seconds": self.shard_barrier_seconds,
+            "shard_critical_path_seconds": self.shard_critical_path_seconds,
+            "shard_worker_busy_seconds": self.shard_worker_busy_seconds,
+            "shard_imbalance": self.shard_imbalance,
+            "shard_cross_messages": self.shard_cross_messages,
             "phases": [
                 {
                     "label": p.label,
@@ -97,6 +124,19 @@ class ProfileReport:
             f"coalesced adv.  {self.coalesced_advances:>12,}",
             f"matching scans  {self.match_scan_calls:>12,} (mean length {self.mean_match_scan:.1f})",
         ]
+        if self.shards:
+            lines.extend(
+                [
+                    f"shards          {self.shards:>12,}",
+                    f"safe windows    {self.shard_windows:>12,}"
+                    f" (+{self.shard_lockstep_rounds:,} lockstep rounds)",
+                    f"barrier overhead{self.shard_barrier_seconds:>12.3f} s",
+                    f"critical path   {self.shard_critical_path_seconds:>12.3f} s"
+                    f" (of {self.shard_worker_busy_seconds:.3f} s worker time)",
+                    f"shard imbalance {self.shard_imbalance:>12.2f} (max/mean events)",
+                    f"cross-shard msgs{self.shard_cross_messages:>12,}",
+                ]
+            )
         for p in self.phases:
             lines.append(
                 f"  phase {p.label:<16} {p.virtual_seconds:>12.3f} vs  {p.events:>10,} events"
@@ -144,6 +184,9 @@ class EngineProfiler:
         marks = self._marks + [("<end>", engine.now, engine.event_count)]
         for (label, t0, e0), (_, t1, e1) in zip(marks, marks[1:]):
             phases.append(PhaseStats(label=label, virtual_seconds=t1 - t0, events=e1 - e0))
+        # A sharded run (repro.pdes.sharded) leaves its coordination
+        # statistics on the engine at merge time; serial runs have none.
+        stats = getattr(engine, "shard_stats", None)
         return ProfileReport(
             wall_seconds=wall,
             event_count=engine.event_count,
@@ -153,4 +196,16 @@ class EngineProfiler:
             match_scan_calls=self.world.match_scan_calls if self.world is not None else 0,
             match_scan_length=self.world.match_scan_length if self.world is not None else 0,
             phases=tuple(phases),
+            shards=stats.nshards if stats is not None else 0,
+            shard_windows=stats.windows if stats is not None else 0,
+            shard_lockstep_rounds=stats.lockstep_rounds if stats is not None else 0,
+            shard_barrier_seconds=stats.barrier_seconds if stats is not None else 0.0,
+            shard_critical_path_seconds=(
+                stats.critical_path_seconds if stats is not None else 0.0
+            ),
+            shard_worker_busy_seconds=(
+                stats.worker_busy_seconds if stats is not None else 0.0
+            ),
+            shard_imbalance=stats.imbalance if stats is not None else 0.0,
+            shard_cross_messages=stats.cross_shard_messages if stats is not None else 0,
         )

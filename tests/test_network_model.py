@@ -119,3 +119,75 @@ class TestTierParams:
             TierParams(latency=1.0, bandwidth=0.0, detection_timeout=1.0)
         with pytest.raises(ConfigurationError):
             TierParams(latency=1.0, bandwidth=1.0, detection_timeout=-0.1)
+
+
+class TestPerInstanceCaches:
+    """The memoized cost methods must not keep the model alive.
+
+    ``lru_cache`` around a *bound* method stored back onto the instance
+    forms an instance -> cache -> bound-method -> instance cycle that only
+    a cyclic gc pass can break; the engine disables gc during runs, so a
+    campaign constructing one model per task used to ramp memory without
+    bound.  The caches now reach the instance through a weak reference.
+    """
+
+    def test_model_collected_without_cyclic_gc(self):
+        import gc
+        import weakref
+
+        gc.disable()
+        try:
+            net = NetworkModel(TorusTopology((4, 4)), ranks_per_node=2)
+            # Populate every cache so held entries would pin the cycle.
+            net.tier(0, 9)
+            net.hops(0, 9)
+            net.wire_latency(0, 9)
+            net.transfer_time(4096, 0, 9)
+            net.serialization_time(4096, 0, 9)
+            net.detection_timeout(0, 9)
+            ref = weakref.ref(net)
+            del net
+            assert ref() is None, "NetworkModel kept alive by its own caches"
+        finally:
+            gc.enable()
+
+    def test_campaign_scale_no_leak(self):
+        import gc
+        import weakref
+
+        gc.disable()
+        try:
+            refs = []
+            for _ in range(50):
+                net = NetworkModel(TorusTopology((8, 8)), ranks_per_node=1)
+                for dst in range(1, 32):
+                    net.transfer_time(1024, 0, dst)
+                refs.append(weakref.ref(net))
+                del net
+            assert sum(1 for r in refs if r() is not None) == 0
+        finally:
+            gc.enable()
+
+    def test_cached_results_match_uncached(self):
+        net = paper_net()
+        raw = type(net)
+        assert net.tier(0, 1) is raw.tier(net, 0, 1)
+        assert net.hops(0, 500) == raw.hops(net, 0, 500)
+        assert net.transfer_time(8192, 0, 500) == pytest.approx(
+            raw.transfer_time(net, 8192, 0, 500)
+        )
+
+    def test_invalidate_caches_picks_up_mutation(self):
+        net = paper_net()
+        before = net.transfer_time(1 << 20, 0, 1)
+        net.congestion_factor = 2.0
+        assert net.transfer_time(1 << 20, 0, 1) == pytest.approx(before)  # stale
+        net.invalidate_caches()
+        assert net.transfer_time(1 << 20, 0, 1) > before
+
+    def test_cache_info_available(self):
+        net = paper_net()
+        net.tier(0, 1)
+        net.tier(0, 1)
+        info = net.tier.cache_info()
+        assert info.hits >= 1 and info.misses >= 1

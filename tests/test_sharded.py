@@ -1,0 +1,234 @@
+"""The sharded conservative-parallel engine: parity, guards, plumbing.
+
+The engine's contract (``repro.pdes.sharded``) is *observational
+equivalence with the serial engine* under the paper's timing model: for
+any shard count and any lookahead within the derived safe bound, a
+sharded run produces the same per-rank event sequences, the same result
+digest, and the same resilience behavior (failure broadcast, detection,
+abort) as ``shards=1``.  ``xsim-run simcheck`` verifies one 64-rank
+configuration; this module sweeps the parameter space with Hypothesis
+and exercises the integration seams (restart driver, tree collectives,
+fork-transport pickling, CLI capping).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.heat3d import HeatConfig, heat3d
+from repro.core.checkpoint.store import CheckpointStore
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig
+from repro.core.harness.experiment import result_digest
+from repro.core.restart import RestartDriver
+from repro.core.simulator import XSim
+from repro.mpi.errhandler import ERRORS_ARE_FATAL, ERRORS_RETURN
+from repro.pdes.sharded import derive_lookahead, partition_ranks
+from repro.util.errors import ConfigurationError
+
+NRANKS = 16
+ITERATIONS = 12
+INTERVAL = 5
+
+
+def build_sim(nranks=NRANKS, collective="linear", **xsim_kwargs):
+    system = SystemConfig.paper_system(nranks=nranks, collective_algorithm=collective)
+    workload = HeatConfig.paper_workload(
+        checkpoint_interval=INTERVAL, nranks=nranks, iterations=ITERATIONS
+    )
+    return XSim(system, **xsim_kwargs), workload
+
+
+def run_heat(
+    nranks=NRANKS,
+    failure=None,
+    collective="linear",
+    la_frac=None,
+    **xsim_kwargs,
+):
+    """One paper-timing heat3d run; returns ``(sim, result)``.
+
+    ``la_frac`` scales the shard lookahead to a fraction of the derived
+    safe bound (requires ``shards`` in ``xsim_kwargs``).
+    """
+    sim, workload = build_sim(nranks=nranks, collective=collective, **xsim_kwargs)
+    if la_frac is not None:
+        parts = partition_ranks(nranks, xsim_kwargs["shards"])
+        sim.shard_lookahead = la_frac * derive_lookahead(sim.world.network, parts)
+    if failure is not None:
+        sim.inject_failure(*failure)
+    result = sim.run(heat3d, args=(workload, CheckpointStore()))
+    return sim, result
+
+
+@pytest.fixture(scope="module")
+def failure_point():
+    """A mid-run (rank, time) failure measured off the clean exit time."""
+    _, clean = run_heat()
+    return (NRANKS // 3, 0.4 * clean.exit_time)
+
+
+@pytest.fixture(scope="module")
+def serial_digests(failure_point):
+    """Serial reference digests, computed once: {with_failure: digest}."""
+    return {
+        False: result_digest(run_heat()[1]),
+        True: result_digest(run_heat(failure=failure_point)[1]),
+    }
+
+
+class TestPartition:
+    def test_covers_all_ranks_contiguously(self):
+        for nshards in (1, 2, 3, 4, 7):
+            parts = partition_ranks(64, nshards)
+            assert len(parts) == nshards
+            flat = [r for part in parts for r in part]
+            assert flat == list(range(64))
+
+    def test_balanced_within_one(self):
+        for nranks, nshards in ((64, 4), (65, 4), (10, 3)):
+            sizes = [len(p) for p in partition_ranks(nranks, nshards)]
+            assert sum(sizes) == nranks
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_lookahead_bounded_by_cross_shard_latency(self):
+        sim, _ = build_sim()
+        parts = partition_ranks(NRANKS, 4)
+        la = derive_lookahead(sim.world.network, parts)
+        assert la > 0.0
+        # No cross-shard pair may be reachable faster than the lookahead.
+        net = sim.world.network
+        for k, part in enumerate(parts):
+            for other in parts[k + 1 :]:
+                for src in part:
+                    for dst in other:
+                        assert net.wire_latency(src, dst) >= la
+
+
+class TestParityProperty:
+    """Any shard count x any safe lookahead x clean/failure == serial."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        shards=st.integers(min_value=2, max_value=5),
+        la_frac=st.floats(min_value=0.05, max_value=1.0),
+        with_failure=st.booleans(),
+    )
+    def test_digest_matches_serial(
+        self, serial_digests, failure_point, shards, la_frac, with_failure
+    ):
+        _, res = run_heat(
+            failure=failure_point if with_failure else None,
+            shards=shards,
+            shard_transport="inline",
+            la_frac=la_frac,
+        )
+        assert result_digest(res) == serial_digests[with_failure]
+
+    def test_rank_traces_match_serial_with_failure(self, failure_point):
+        serial_sim, serial = run_heat(failure=failure_point, record_events=True)
+        sharded_sim, sharded = run_heat(
+            failure=failure_point,
+            shards=4,
+            shard_transport="inline",
+            record_events=True,
+        )
+        assert serial_sim.event_trace.diff_ranks(sharded_sim.event_trace) is None
+        assert sharded.event_count == serial.event_count
+
+    def test_fork_transport_matches_serial(self, serial_digests, failure_point):
+        _, res = run_heat(failure=failure_point, shards=3, shard_transport="fork")
+        assert result_digest(res) == serial_digests[True]
+
+    def test_tree_collectives_parity(self):
+        """The bench scenario (tree collectives) holds parity too."""
+        _, serial = run_heat(collective="tree")
+        _, sharded = run_heat(
+            collective="tree", shards=4, shard_transport="inline"
+        )
+        assert result_digest(sharded) == result_digest(serial)
+        assert sharded.event_count == serial.event_count
+
+
+class TestRestartCycleParity:
+    """Failure -> abort -> restart-from-checkpoint, serial vs sharded."""
+
+    def test_driver_segments_match_serial(self, failure_point):
+        def driver(**kw):
+            system = SystemConfig.paper_system(nranks=NRANKS)
+            workload = HeatConfig.paper_workload(
+                checkpoint_interval=INTERVAL, nranks=NRANKS, iterations=ITERATIONS
+            )
+            return RestartDriver(
+                system,
+                heat3d,
+                make_args=lambda store: (workload, store),
+                schedule=FailureSchedule.of(failure_point),
+                **kw,
+            )
+
+        serial = driver().run()
+        sharded = driver(shards=4, shard_transport="inline").run()
+        assert serial.restarts == 1  # the failure really forced a cycle
+        assert sharded.completed == serial.completed
+        assert sharded.restarts == serial.restarts
+        assert sharded.f == serial.f
+        assert sharded.e2 == serial.e2
+        assert [result_digest(s.result) for s in sharded.segments] == [
+            result_digest(s.result) for s in serial.segments
+        ]
+
+
+class TestGuards:
+    def test_analytic_collectives_rejected(self):
+        with pytest.raises(ConfigurationError, match="analytic"):
+            run_heat(collective="analytic", shards=2, shard_transport="inline")
+
+    def test_comm_trace_rejected(self):
+        with pytest.raises(ConfigurationError, match="record_trace"):
+            run_heat(shards=2, shard_transport="inline", record_trace=True)
+
+    def test_soft_errors_rejected(self):
+        sim, workload = build_sim(shards=2, shard_transport="inline")
+        sim.soft_errors  # instantiating the injector is the opt-in
+        with pytest.raises(ConfigurationError, match="soft-error"):
+            sim.run(heat3d, args=(workload, CheckpointStore()))
+
+    @pytest.mark.parametrize("bad_frac", [0.0, -1.0, 1.5])
+    def test_lookahead_override_bounds(self, bad_frac):
+        with pytest.raises(ConfigurationError, match="lookahead override"):
+            run_heat(shards=2, shard_transport="inline", la_frac=bad_frac)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            run_heat(shards=2, shard_transport="smoke-signals")
+
+
+class TestForkPickling:
+    def test_errhandler_sentinels_keep_identity(self):
+        for sentinel in (ERRORS_ARE_FATAL, ERRORS_RETURN):
+            assert pickle.loads(pickle.dumps(sentinel)) is sentinel
+
+
+class TestCappedShards:
+    def test_inline_never_capped(self, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(cli.os, "cpu_count", lambda: 2)
+        assert cli.capped_shards(8, jobs=4, transport="inline") == 8
+
+    def test_fork_capped_to_cpu_budget(self, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setattr(cli.os, "cpu_count", lambda: 4)
+        assert cli.capped_shards(8, jobs=2, transport="fork") == 2
+        assert "oversubscribe" in capsys.readouterr().err
+
+    def test_fit_is_untouched(self, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setattr(cli.os, "cpu_count", lambda: 8)
+        assert cli.capped_shards(4, jobs=2, transport="fork") == 4
+        assert capsys.readouterr().err == ""

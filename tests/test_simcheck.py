@@ -284,6 +284,7 @@ class TestDifferentialHarness:
             "campaign-parallel",
             "executor-fallback",
             "collectives",
+            "sharded-parity",
         ]
         failed = [r for r in results if not r.passed]
         assert not failed, "\n".join(str(r) for r in failed)
