@@ -23,6 +23,8 @@ they do, bit-for-bit where the promise is bit-identity:
   the linear schedule, so cross-mode bit-identity is not promised.
 * **sharded parity** — the conservative-parallel engine vs. serial on a
   failure run: identical per-rank traces and result digests.
+* **obs parity** — the :mod:`repro.obs` timeline export of a failure run,
+  serial vs. sharded: byte-identical Chrome-JSON and JSONL files.
 
 :func:`run_all` executes every check and (optionally) writes failure
 artifacts — traces, digests, divergence reports — into a directory for CI
@@ -389,6 +391,74 @@ def check_sharded_parity(
     )
 
 
+def check_obs_parity(
+    nranks: int = 16, iterations: int = 10, shards: int = 2
+) -> CheckResult:
+    """Serial vs sharded observability export: byte-identical files.
+
+    The :mod:`repro.obs` exporters promise that the *exported bytes* of a
+    sim-domain timeline — Chrome trace-event JSON and JSONL alike — are a
+    pure function of the run, independent of the shard count or the order
+    worker reports arrive in (canonical sort + canonical JSON encoding).
+    Runs a failure workload so the resilience track (inject, notify,
+    detect, abort) is part of the compared payload, under the paper
+    timing model for the same reason as ``check_sharded_parity``.
+    """
+    from repro.obs import to_chrome, to_jsonl
+
+    _, clean = _heat_sim(nranks, iterations, 5, paper_timing=True)
+    failure = (nranks // 3, 0.4 * clean.exit_time)
+    serial_sim, serial = _heat_sim(
+        nranks, iterations, 5, failure=failure, paper_timing=True, observe=True
+    )
+    sharded_sim, sharded = _heat_sim(
+        nranks,
+        iterations,
+        5,
+        failure=failure,
+        paper_timing=True,
+        observe=True,
+        shards=shards,
+        shard_transport="inline",
+    )
+    chrome_s, chrome_p = to_chrome(serial_sim.observer), to_chrome(sharded_sim.observer)
+    jsonl_s, jsonl_p = to_jsonl(serial_sim.observer), to_jsonl(sharded_sim.observer)
+    if chrome_s != chrome_p or jsonl_s != jsonl_p:
+        which = "chrome" if chrome_s != chrome_p else "jsonl"
+        return CheckResult(
+            "obs-parity",
+            False,
+            f"{which} export differs between serial and {shards}-shard runs",
+            artifacts={
+                "obs-serial.json": chrome_s,
+                "obs-sharded.json": chrome_p,
+                "obs-serial.jsonl": jsonl_s,
+                "obs-sharded.jsonl": jsonl_p,
+            },
+        )
+    if serial.exit_time != sharded.exit_time:
+        return CheckResult(
+            "obs-parity",
+            False,
+            f"exit times differ under observation: "
+            f"serial {serial.exit_time} vs sharded {sharded.exit_time}",
+        )
+    n = len(serial_sim.observer.sim_events())
+    if not any(
+        e.track == "resilience" and e.name == "inject"
+        for e in serial_sim.observer.events
+    ):
+        return CheckResult(
+            "obs-parity", False, "no inject instant recorded on a failure run"
+        )
+    return CheckResult(
+        "obs-parity",
+        True,
+        f"{shards}-shard export byte-identical to serial "
+        f"({n} sim events, chrome + jsonl)",
+    )
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -416,6 +486,7 @@ def run_all(
         lambda: check_executor_fallback(jobs=jobs),
         check_collectives,
         check_sharded_parity,
+        check_obs_parity,
     ]
     names = [
         "rerun",
@@ -425,6 +496,7 @@ def run_all(
         "executor-fallback",
         "collectives",
         "sharded-parity",
+        "obs-parity",
     ]
     if only is not None:
         if only not in names:

@@ -140,6 +140,20 @@ class Sanitizer:
                 )
             for rank in self._failed:
                 self._check_failed_rank_cleared(self.world.states[rank])
+            trace = self.world.trace
+            if (
+                trace is not None
+                and trace.from_start
+                and trace.orphan_deliveries
+            ):
+                # A trace attached before launch sees every post, so a
+                # delivery with an unknown seq is a sequencing bug the
+                # mid-run-attach tolerance would otherwise mask.
+                self._violate(
+                    "comm-trace-orphans",
+                    f"{trace.orphan_deliveries} deliveries with unknown seq "
+                    "despite tracing from launch",
+                )
         for vp in engine.vps:
             self._check_failed_list(vp, require_complete=False)
 

@@ -134,6 +134,11 @@ def _cmd_app(args: argparse.Namespace) -> int:
     # --check forces the sanitizer on; without it, None defers to XSIM_CHECK.
     check = True if args.check else None
     tracing = bool(args.record_trace or args.replay)
+    observer = None
+    if args.trace_out:
+        from repro.obs import Observer
+
+        observer = Observer(detail=args.trace_detail)
     if tracing and args.mttf is not None:
         print(
             "--record-trace/--replay cover exactly one engine run; "
@@ -177,6 +182,7 @@ def _cmd_app(args: argparse.Namespace) -> int:
             check=check,
             shards=shards,
             shard_transport=args.shard_transport,
+            observe=observer,
         )
         run = driver.run()
         last = run.segments[-1].result
@@ -196,6 +202,7 @@ def _cmd_app(args: argparse.Namespace) -> int:
             record_events=tracing,
             shards=shards,
             shard_transport=args.shard_transport,
+            observe=observer,
         )
         if len(schedule) > 0:
             sim.inject_schedule(schedule)
@@ -212,6 +219,20 @@ def _cmd_app(args: argparse.Namespace) -> int:
                 print(divergence.report())
                 return 1
             print(f"replay matches {args.replay}: {len(reference)} events, 0 divergences")
+    if observer is not None:
+        from repro.obs import write_export
+
+        count = write_export(observer, args.trace_out, include_host=args.trace_host)
+        print(f"exported {count} events to {args.trace_out}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import TimelineReport, load_events
+
+    events = load_events(args.trace)
+    report = TimelineReport(events)
+    print(report.render(max_rows=args.rows), end="")
     return 0
 
 
@@ -348,7 +369,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run and diff against a trace saved with --record-trace; "
         "exit 1 at the first divergence",
     )
+    p_app.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default="",
+        help="export the run's observability timeline (collectives, "
+        "resilience instants, restart segments) to FILE: .json = Chrome "
+        "trace-event JSON (open in Perfetto), .jsonl, .csv; byte-identical "
+        "for serial and sharded runs",
+    )
+    p_app.add_argument(
+        "--trace-detail",
+        action="store_true",
+        help="also record per-request blocking-wait spans in --trace-out "
+        "(high volume on large runs)",
+    )
+    p_app.add_argument(
+        "--trace-host",
+        action="store_true",
+        help="include host-domain (wall clock) events in --trace-out; these "
+        "are nondeterministic, so exports are no longer byte-comparable",
+    )
     p_app.set_defaults(fn=_cmd_app)
+
+    p_tl = sub.add_parser(
+        "timeline", help="summarize an exported observability trace "
+        "(per-rank detection latencies, resilience sequence)"
+    )
+    p_tl.add_argument("trace", help="file written by xsim-run app --trace-out")
+    p_tl.add_argument(
+        "--rows",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the first N rows of the joined timeline",
+    )
+    p_tl.set_defaults(fn=_cmd_timeline)
 
     p_t1 = sub.add_parser("table1", help="Finject bit-flip campaign (paper Table I)")
     p_t1.add_argument("--victims", type=int, default=100)
@@ -414,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="NAME",
         default=None,
-        help="run a single named check (e.g. sharded-parity)",
+        help="run a single named check (e.g. sharded-parity, obs-parity)",
     )
     p_chk.set_defaults(fn=_cmd_simcheck)
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from time import perf_counter
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -139,7 +140,13 @@ class CampaignExecutor:
     fallback produces the same results, only slower.
     """
 
-    def __init__(self, max_workers: int | None = None, *, force_fallback: bool = False):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        force_fallback: bool = False,
+        observe=None,
+    ):
         jobs = default_jobs() if max_workers is None else max_workers
         if jobs < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {jobs}")
@@ -150,6 +157,23 @@ class CampaignExecutor:
         self.force_fallback = force_fallback
         #: Filled by :meth:`run`: "serial", "pool", or "fallback-serial".
         self.last_mode: str | None = None
+        #: Optional :class:`~repro.obs.Observer` receiving one host-domain
+        #: ``task`` span per spec on the ``campaign`` track (wall-clock
+        #: task lifecycle; parent-side — pool spans include queueing).
+        self.observe = observe
+
+    def _run_serial(self, specs: "list[RunSpec]") -> list[Any]:
+        if self.observe is None:
+            return [run_spec(s) for s in specs]
+        out = []
+        for s in specs:
+            t0 = perf_counter()
+            out.append(run_spec(s))
+            self.observe.host_span(
+                t0, perf_counter(), "task", track="campaign",
+                args={"kind": s.kind, "key": s.key, "mode": self.last_mode},
+            )
+        return out
 
     def run(self, specs: list[RunSpec] | tuple[RunSpec, ...]) -> list[Any]:
         """Execute every spec; returns their results in spec order."""
@@ -162,10 +186,11 @@ class CampaignExecutor:
                 )
         if self.max_workers <= 1 or len(specs) <= 1:
             self.last_mode = "serial"
-            return [run_spec(s) for s in specs]
+            return self._run_serial(specs)
         if self.force_fallback:
             self.last_mode = "fallback-serial"
-            return [run_spec(s) for s in specs]
+            return self._run_serial(specs)
+        t0 = perf_counter()
         try:
             with ProcessPoolExecutor(max_workers=min(self.max_workers, len(specs))) as pool:
                 tagged = list(pool.map(_pool_run_spec, specs))
@@ -178,8 +203,18 @@ class CampaignExecutor:
             # them tagged (see _pool_run_spec), so only genuine transport/
             # pool failures trigger the rerun.
             self.last_mode = "fallback-serial"
-            return [run_spec(s) for s in specs]
+            return self._run_serial(specs)
         self.last_mode = "pool"
+        if self.observe is not None:
+            t1 = perf_counter()
+            for s in specs:
+                # Per-task walls are not observable from the parent with
+                # pool.map; one span per task over the pool phase keeps
+                # the campaign track complete without changing transport.
+                self.observe.host_span(
+                    t0, t1, "task", track="campaign",
+                    args={"kind": s.kind, "key": s.key, "mode": "pool"},
+                )
         results: list[Any] = []
         for tag, payload in tagged:
             if tag == "err":

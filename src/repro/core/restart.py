@@ -35,6 +35,7 @@ from repro.core.faults.policies import InjectionPolicy, SingleUniformFailurePoli
 from repro.core.faults.schedule import FailureSchedule
 from repro.core.harness.config import SystemConfig
 from repro.core.simulator import XSim
+from repro.obs import Observer
 from repro.pdes.engine import SimulationResult
 from repro.util.errors import SimulationError
 from repro.util.rng import RngStreams
@@ -147,6 +148,7 @@ class RestartDriver:
         check: bool | None = None,
         shards: int = 1,
         shard_transport: str | None = None,
+        observe: "bool | Observer | None" = None,
     ):
         if mttf is not None and policy is not None:
             raise SimulationError("pass either mttf or policy, not both")
@@ -175,6 +177,12 @@ class RestartDriver:
         #: :mod:`repro.pdes.sharded`); results are bit-identical to serial.
         self.shards = shards
         self.shard_transport = shard_transport
+        #: One :class:`~repro.obs.Observer` shared by every segment, so
+        #: the exported timeline covers the whole failure/restart
+        #: experiment on its continuous virtual clock.
+        self.observer: Observer | None = None
+        if observe is not None and observe is not False:
+            self.observer = observe if isinstance(observe, Observer) else Observer()
 
     def run(self) -> FailureRunResult:
         """Execute segments until the application completes (or the restart
@@ -184,6 +192,12 @@ class RestartDriver:
         segments: list[SegmentRecord] = []
         start = 0.0
         for index in range(self.max_restarts + 1):
+            if self.observer is not None and index > 0:
+                # The restart instant completes the resilience sequence:
+                # inject -> detect -> notify -> abort -> restart.
+                self.observer.instant(
+                    start, "restart", track="resilience", args={"segment": index}
+                )
             sim = XSim(
                 self.system,
                 seed=self.seed,
@@ -192,6 +206,7 @@ class RestartDriver:
                 check=self.check,
                 shards=self.shards,
                 shard_transport=self.shard_transport,
+                observe=self.observer,
             )
             if self.schedule is not None and index == 0:
                 sim.inject_schedule(self.schedule)
@@ -207,6 +222,11 @@ class RestartDriver:
             for rank, t_abs in to_inject:
                 sim.inject_failure(rank, t_abs)
             result = sim.run(self.app, args=self.make_args(store))
+            if self.observer is not None:
+                self.observer.span(
+                    start, result.exit_time, "segment", track="simulator",
+                    args={"index": index, "completed": result.completed},
+                )
             segments.append(
                 SegmentRecord(
                     index=index,

@@ -28,6 +28,7 @@ from repro.core.faults.softerror import SoftErrorInjector
 from repro.core.harness.config import SystemConfig
 from repro.mpi.world import MpiWorld
 from repro.models.memory import MemoryTracker
+from repro.obs import Observer
 from repro.pdes.engine import Engine, SimulationResult
 from repro.util.errors import SimulationError
 from repro.util.rng import RngStreams
@@ -50,6 +51,7 @@ class XSim:
         shards: int = 1,
         shard_transport: str | None = None,
         shard_lookahead: float | None = None,
+        observe: "bool | Observer | None" = None,
     ):
         self.system = system
         self.seed = seed
@@ -95,6 +97,14 @@ class XSim:
         if record_events:
             self.event_trace = EventTrace()
             self.engine.event_trace = self.event_trace
+        #: Observability bus (``observe=True`` or an existing
+        #: :class:`~repro.obs.Observer`, e.g. shared across restart
+        #: segments by the driver).  See :mod:`repro.obs`.
+        self.observer: Observer | None = None
+        if observe is not None and observe is not False:
+            self.observer = observe if isinstance(observe, Observer) else Observer()
+            self.engine.obs = self.observer
+            self.world.obs = self.observer
         self._soft_errors: SoftErrorInjector | None = None
         self._pending_failures: list[tuple[int, float]] = []
         #: Snapshot of the failures armed before :meth:`run`; the sharded
@@ -163,6 +173,16 @@ class XSim:
             from repro.pdes.sharded import run_sharded
 
             return run_sharded(self, app, args, nranks)
+        if self.observer is not None:
+            from time import perf_counter
+
+            t0 = perf_counter()
+            result = self.engine.run()
+            self.observer.host_span(
+                t0, perf_counter(), "engine-run", track="engine",
+                args={"events": self.engine.event_count},
+            )
+            return result
         return self.engine.run()
 
     # ------------------------------------------------------------------

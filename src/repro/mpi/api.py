@@ -262,12 +262,18 @@ class MpiApi:
         vp = self.vp
         world = self.world
         req = request
+        t0 = None
         if not req.done:
+            obs = world.obs
+            if obs is not None and obs.detail:
+                t0 = vp.clock
             req.waiting = True
             yield Block(req)  # stringified lazily, only for reports
             req.waiting = False
         if req.completion_time > vp.clock:
             yield Advance(req.completion_time - vp.clock, busy=False)
+        if t0 is not None:
+            world.obs.span(t0, vp.clock, "wait", rank=vp.rank)
         if world.check is not None:
             world.check.on_wait_complete(vp, req)
         if req.error != SUCCESS:

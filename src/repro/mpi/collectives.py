@@ -245,13 +245,19 @@ def _analytic(
     dead = [r for r in comm.group if r not in result.values]
     if dead:
         f = dead[0]
-        yield Advance(world.network.detection_timeout(api.rank, f), busy=False)
+        timeout = world.network.detection_timeout(api.rank, f)
+        yield Advance(timeout, busy=False)
         world.engine.log.log(
             api.vp.clock,
             "detect",
             f"detected failure of rank {f} ({kind} ctx={comm.context_id * 2 + 1})",
             rank=api.rank,
         )
+        if world.obs is not None:
+            world.obs.instant(
+                api.vp.clock, "detect", rank=api.rank, track="resilience",
+                args={"failed_rank": f, "latency": timeout},
+            )
         yield from world.handle_error(
             api.vp, comm, MpiError(ERR_PROC_FAILED, f"{kind} with failed rank {f}", f)
         )
@@ -281,8 +287,30 @@ def _linear_cost(api: "MpiApi", size: int, nbytes: int, phases: int = 2) -> floa
 # ----------------------------------------------------------------------
 # public dispatchers
 # ----------------------------------------------------------------------
+def _observed(api: "MpiApi", name: str, inner: GenOp) -> GenOp:
+    """Wrap a collective's dispatch in an observer span.
+
+    The span covers this rank's virtual entry-to-exit interval.  When no
+    observer is attached the inner generator is delegated to directly; a
+    collective killed mid-flight by an abort emits no span (the serial
+    and sharded engines kill generators at the same virtual point, so
+    exports stay identical).
+    """
+    obs = api.world.obs
+    if obs is None:
+        return (yield from inner)
+    t0 = api.vp.clock
+    result = yield from inner
+    obs.span(t0, api.vp.clock, name, rank=api.rank)
+    return result
+
+
 def barrier(api: "MpiApi", comm: "Communicator") -> GenOp:
     """``MPI_Barrier``."""
+    return (yield from _observed(api, "coll:barrier", _barrier_dispatch(api, comm)))
+
+
+def _barrier_dispatch(api: "MpiApi", comm: "Communicator") -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return
@@ -297,6 +325,14 @@ def barrier(api: "MpiApi", comm: "Communicator") -> GenOp:
 
 def bcast(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, root: int = 0) -> GenOp:
     """``MPI_Bcast``: returns the root's value on every member."""
+    return (
+        yield from _observed(api, "coll:bcast", _bcast_dispatch(api, comm, value, nbytes, root))
+    )
+
+
+def _bcast_dispatch(
+    api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, root: int = 0
+) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return value
@@ -316,6 +352,16 @@ def reduce(
     api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op, root: int = 0
 ) -> GenOp:
     """``MPI_Reduce``: the folded value at the root, ``None`` elsewhere."""
+    return (
+        yield from _observed(
+            api, "coll:reduce", _reduce_dispatch(api, comm, value, nbytes, op, root)
+        )
+    )
+
+
+def _reduce_dispatch(
+    api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op, root: int = 0
+) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return fold(op, [value])
@@ -334,6 +380,16 @@ def reduce(
 
 def allreduce(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op) -> GenOp:
     """``MPI_Allreduce`` (reduce to rank 0, then broadcast)."""
+    return (
+        yield from _observed(
+            api, "coll:allreduce", _allreduce_dispatch(api, comm, value, nbytes, op)
+        )
+    )
+
+
+def _allreduce_dispatch(
+    api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op
+) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return fold(op, [value])
@@ -347,11 +403,21 @@ def allreduce(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: 
         acc = yield from _reduce_linear(api, comm, me, size, tag, value, nbytes, op, 0)
     else:
         acc = yield from _reduce_tree(api, comm, me, size, tag, value, nbytes, op, 0)
-    return (yield from bcast(api, comm, acc, nbytes, root=0))
+    # _bcast_dispatch (not bcast): the composing allreduce span is the one
+    # user-visible collective; no nested bcast span.
+    return (yield from _bcast_dispatch(api, comm, acc, nbytes, root=0))
 
 
 def gather(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, root: int = 0) -> GenOp:
     """``MPI_Gather``: list of member values (rank order) at the root."""
+    return (
+        yield from _observed(api, "coll:gather", _gather_dispatch(api, comm, value, nbytes, root))
+    )
+
+
+def _gather_dispatch(
+    api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, root: int = 0
+) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return [value]
@@ -368,6 +434,12 @@ def gather(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, root: i
 
 def allgather(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int) -> GenOp:
     """``MPI_Allgather``: every member gets the rank-ordered value list."""
+    return (
+        yield from _observed(api, "coll:allgather", _allgather_dispatch(api, comm, value, nbytes))
+    )
+
+
+def _allgather_dispatch(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return [value]
@@ -378,13 +450,23 @@ def allgather(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int) -> G
         )
         return [result.values.get(w) for w in comm.group]
     out = yield from _gather_linear(api, comm, me, size, tag, value, nbytes, 0)
-    return (yield from bcast(api, comm, out, nbytes * size, root=0))
+    return (yield from _bcast_dispatch(api, comm, out, nbytes * size, root=0))
 
 
 def scatter(
     api: "MpiApi", comm: "Communicator", values: list[Any] | None, nbytes: int, root: int = 0
 ) -> GenOp:
     """``MPI_Scatter``: always message-level (per-destination payloads)."""
+    return (
+        yield from _observed(
+            api, "coll:scatter", _scatter_dispatch(api, comm, values, nbytes, root)
+        )
+    )
+
+
+def _scatter_dispatch(
+    api: "MpiApi", comm: "Communicator", values: list[Any] | None, nbytes: int, root: int = 0
+) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         if values is None or len(values) != 1:
@@ -398,6 +480,14 @@ def alltoall(
 ) -> GenOp:
     """``MPI_Alltoall``/``MPI_Alltoallv``: always message-level.  A list of
     sizes (one per destination) gives the variable-size semantics."""
+    return (
+        yield from _observed(api, "coll:alltoall", _alltoall_dispatch(api, comm, values, nbytes))
+    )
+
+
+def _alltoall_dispatch(
+    api: "MpiApi", comm: "Communicator", values: list[Any], nbytes: int | list[int]
+) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return [values[0]]
@@ -406,6 +496,10 @@ def alltoall(
 
 def scan(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op) -> GenOp:
     """``MPI_Scan`` (inclusive): always message-level (chain)."""
+    return (yield from _observed(api, "coll:scan", _scan_dispatch(api, comm, value, nbytes, op)))
+
+
+def _scan_dispatch(api: "MpiApi", comm: "Communicator", value: Any, nbytes: int, op: Op) -> GenOp:
     me, size, tag = _setup(api, comm)
     if size == 1:
         return fold(op, [value])

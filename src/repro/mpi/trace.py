@@ -39,6 +39,8 @@ class MsgRecord:
     protocol: str
     dropped: bool
     """True when delivery was discarded because the destination failed."""
+    drop_time: float = math.nan
+    """Virtual time the drop was observed at (NaN unless ``dropped``)."""
 
     @property
     def delivered(self) -> bool:
@@ -46,7 +48,11 @@ class MsgRecord:
 
     @property
     def latency(self) -> float:
-        """Post-to-delivery virtual duration (NaN if undelivered)."""
+        """Post-to-delivery virtual duration (NaN if undelivered).
+
+        Dropped messages were never delivered, so their latency is NaN;
+        the drop instant itself is kept in :attr:`drop_time`.
+        """
         return self.arrival_time - self.post_time
 
     def as_row(self) -> tuple:
@@ -62,6 +68,7 @@ class MsgRecord:
             self.nbytes,
             self.protocol,
             int(self.dropped),
+            self.drop_time,
         )
 
 
@@ -77,6 +84,7 @@ ROW_HEADER = (
     "nbytes",
     "protocol",
     "dropped",
+    "drop_time",
 )
 
 
@@ -85,6 +93,12 @@ class CommTrace:
 
     def __init__(self) -> None:
         self._records: dict[int, MsgRecord] = {}
+        #: Deliveries whose seq was never posted.  Expected (and benign)
+        #: when tracing is enabled mid-run; a sequencing bug otherwise.
+        self.orphan_deliveries = 0
+        #: Set by :meth:`MpiWorld.launch` when the trace was attached before
+        #: any message was posted, so orphans cannot be mid-run artifacts.
+        self.from_start = False
 
     # -- recording (called by MpiWorld) ---------------------------------
     def record_post(
@@ -116,9 +130,13 @@ class CommTrace:
         """Record the delivery (or resilience drop) of message ``seq``."""
         record = self._records.get(seq)
         if record is None:
-            return  # tracing was enabled mid-run
-        record.arrival_time = time
-        record.dropped = dropped
+            self.orphan_deliveries += 1
+            return  # tracing was enabled mid-run (or a sequencing bug)
+        if dropped:
+            record.dropped = True
+            record.drop_time = time
+        else:
+            record.arrival_time = time
 
     # -- queries ----------------------------------------------------------
     def __len__(self) -> int:
@@ -162,8 +180,12 @@ class CommTrace:
         return out
 
     def busiest_pairs(self, n: int = 10) -> list[tuple[tuple[int, int], int]]:
-        """Top-n (src, dst) pairs by bytes."""
-        return sorted(self.traffic_matrix().items(), key=lambda kv: -kv[1])[:n]
+        """Top-n (src, dst) pairs by bytes, ties broken by (src, dst).
+
+        The tie-break keeps the report bit-identical across runs that
+        produce the same traffic matrix in a different insertion order.
+        """
+        return sorted(self.traffic_matrix().items(), key=lambda kv: (-kv[1], kv[0]))[:n]
 
     def to_rows(self) -> list[tuple]:
         """All records as portable tuples (see :data:`ROW_HEADER`)."""

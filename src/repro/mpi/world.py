@@ -199,6 +199,11 @@ class MpiWorld:
             from repro.mpi.trace import CommTrace
 
             self.trace = CommTrace()
+        #: Optional :class:`repro.obs.Observer` collecting collective
+        #: spans, blocking-wait spans (``detail``), and resilience
+        #: instants (detect/notify/revoke).  Off by default at the cost
+        #: of one attribute test per emission site.
+        self.obs = None
         # Shared Advance instances for the fixed per-message software
         # overheads.  The engine only reads ``dt``/``busy`` from a yielded
         # Advance and the overheads are fixed after construction, so one
@@ -234,6 +239,10 @@ class MpiWorld:
                 f"{self.network.ranks_per_node} ranks/node)"
             )
         self._launched = True
+        if self.trace is not None and len(self.trace) == 0:
+            # The trace provably sees every message, so delivery of an
+            # unknown seq is a sequencing bug, not a mid-run attach.
+            self.trace.from_start = True
         self.world_comm = Communicator(Group(range(nranks)), self.alloc_context(), "MPI_COMM_WORLD")
         apis: list[MpiApi] = []
         for rank in range(nranks):
@@ -443,6 +452,12 @@ class MpiWorld:
             f"detected failure of rank {failed_rank} ({req.describe()})",
             rank=req.vp.rank,
         )
+        if self.obs is not None:
+            failed_at = req.vp.failed_peers.get(failed_rank, detect)
+            self.obs.instant(
+                detect, "detect", rank=req.vp.rank, track="resilience",
+                args={"failed_rank": failed_rank, "latency": detect - failed_at},
+            )
 
     def _match_unexpected(self, state: RankState, req: Request) -> Msg | None:
         """Pop the lowest-seq buffered message matching a fresh receive."""
@@ -479,7 +494,11 @@ class MpiWorld:
     def wait(self, vp: VirtualProcess, req: Request) -> Generator[Any, Any, Msg | None]:
         """Block until ``req`` completes; deliver its error (if any) through
         the communicator's error handler; return the received message."""
+        t0 = None
         if not req.done:
+            obs = self.obs
+            if obs is not None and obs.detail:
+                t0 = vp.clock
             req.waiting = True
             yield Block(req)  # stringified lazily, only for reports
             req.waiting = False
@@ -488,6 +507,8 @@ class MpiWorld:
         if req.completion_time > vp.clock:
             # waiting for completion (in-flight data, detection timeout)
             yield Advance(req.completion_time - vp.clock, busy=False)
+        if t0 is not None:
+            self.obs.span(t0, vp.clock, "wait", rank=vp.rank)
         if self.check is not None:
             self.check.on_wait_complete(vp, req)
         if req.error == SUCCESS:
@@ -629,6 +650,15 @@ class MpiWorld:
     # ------------------------------------------------------------------
     # failure propagation (paper §IV-B/C)
     # ------------------------------------------------------------------
+    def _obs_owns(self, rank: int) -> bool:
+        """Whether this world emits observer events on behalf of ``rank``.
+
+        Broadcast handlers (like :meth:`_on_failure`) run in *every* shard
+        of a sharded run; the sharded world overrides this so each rank's
+        events are emitted exactly once, by its owning shard.
+        """
+        return True
+
     def _on_failure(self, fvp: VirtualProcess, t_fail: float) -> None:
         f = fvp.rank
         fstate = self.states[f]
@@ -640,9 +670,19 @@ class MpiWorld:
         self.memory.free_all(f)
         # Simulator-internal notification broadcast: every VP maintains its
         # own list of failed processes and their failure times.
+        obs = self.obs
         for state in self.states:
             if state.vp.alive:
                 state.vp.failed_peers[f] = t_fail
+                if obs is not None and self._obs_owns(state.rank):
+                    # Visible one wire latency after the failure, matching
+                    # _failure_visible; owner-filtered so sharded runs
+                    # emit each rank's notification exactly once.
+                    obs.instant(
+                        t_fail + self.network.wire_latency(f, state.rank),
+                        "notify", rank=state.rank, track="resilience",
+                        args={"failed_rank": f},
+                    )
         # Release (and fail) requests involving the failed process.
         for state in self.states:
             if not state.vp.alive:
@@ -718,6 +758,11 @@ class MpiWorld:
             f"detected failure of rank {failed_rank} ({req.describe()})",
             rank=req.vp.rank,
         )
+        if self.obs is not None:
+            self.obs.instant(
+                detect, "detect", rank=req.vp.rank, track="resilience",
+                args={"failed_rank": failed_rank, "latency": detect - t_fail},
+            )
         if req.waiting:
             self.engine.wake(req.vp, detect)
 
@@ -734,6 +779,11 @@ class MpiWorld:
             return
         comm.revoked = True
         self.engine.log.log(t, "revoke", f"{comm.name} revoked", rank=initiator)
+        if self.obs is not None:
+            self.obs.instant(
+                t, "revoke", rank=initiator, track="resilience",
+                args={"comm": comm.name},
+            )
         ctxs = (comm.context_id * 2, comm.context_id * 2 + 1)
         for state in self.states:
             if not state.vp.alive or not comm.contains(state.rank):

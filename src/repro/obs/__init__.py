@@ -1,0 +1,38 @@
+"""Unified observability layer (the run-telemetry analogue of DUMPI/OTF).
+
+The simulator's telemetry used to live in four disconnected fragments —
+:class:`~repro.util.simlog.SimLog`, the profiler phase marks,
+:class:`~repro.mpi.trace.CommTrace`, and the harness metrics — with no
+shared timeline or export format.  This package ties them together:
+
+* :class:`Observer` — a low-overhead event bus (no-op when detached, like
+  ``Engine.mark_phase``) collecting :class:`ObsEvent` spans and instants
+  from the PDES engine, the MPI layer, the resilience path, the sharded
+  coordinator, and the campaign executor.
+* :mod:`repro.obs.export` — deterministic Chrome trace-event JSON
+  (Perfetto-loadable), JSONL, and CSV exporters plus a loader.
+* :class:`TimelineReport` — per-rank resilience latency distributions and
+  a join of Observer/CommTrace/SimLog records onto one clock.
+
+Attach via ``XSim(observe=...)`` or ``xsim-run app --trace-out``; the
+sim-domain event set of a sharded run is byte-identical to the serial
+run's export (enforced by the ``obs-parity`` simcheck).
+"""
+
+from repro.obs.events import HOST, SIM, ObsEvent, Observer
+from repro.obs.export import load_events, to_chrome, to_csv, to_jsonl, write_export
+from repro.obs.timeline import LatencyStats, TimelineReport
+
+__all__ = [
+    "HOST",
+    "SIM",
+    "LatencyStats",
+    "ObsEvent",
+    "Observer",
+    "TimelineReport",
+    "load_events",
+    "to_chrome",
+    "to_csv",
+    "to_jsonl",
+    "write_export",
+]

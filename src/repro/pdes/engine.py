@@ -145,6 +145,10 @@ class Engine:
         #: every dispatch (attach before :meth:`run`).  ``None`` (the
         #: default) costs one attribute test per event.
         self.check = None
+        #: Optional :class:`repro.obs.Observer` collecting resilience
+        #: instants (inject/abort) from the engine.  ``None`` (the
+        #: default) costs one attribute test per emission site.
+        self.obs = None
         #: Called with ``(vp, time)`` after a VP is killed by failure
         #: injection; the MPI layer uses this to delete queued messages,
         #: broadcast the simulator-internal notification, and release
@@ -664,6 +668,11 @@ class Engine:
         # "An informational message is printed out ... to let the user know
         # of the time and location (rank) of the failure."
         self.log.log(vp.end_time, "failure", f"MPI process failure ({reason})", rank=vp.rank)
+        if self.obs is not None:
+            self.obs.instant(
+                vp.end_time, "inject", rank=vp.rank, track="resilience",
+                args={"reason": reason},
+            )
         for listener in self.failure_listeners:
             listener(vp, vp.end_time)
 
@@ -736,6 +745,8 @@ class Engine:
         self.abort_time = time
         self.abort_rank = initiator
         self.log.log(time, "abort", "MPI_Abort invoked", rank=initiator)
+        if self.obs is not None:
+            self.obs.instant(time, "abort", rank=initiator, track="resilience")
         self._pending_abort = time
 
     def _apply_abort_sweep(self) -> None:

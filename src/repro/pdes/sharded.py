@@ -267,6 +267,9 @@ class ShardReport:
     cross_shard_msgs: int
     log_entries: list
     trace_entries: list | None
+    #: Observer events collected by this worker's shard-local
+    #: :class:`~repro.obs.Observer` (``None`` when observability is off).
+    obs_entries: list | None
     #: (owned checkpoint files, writes delta, deletes delta) — fork only.
     store_delta: tuple | None
 
@@ -314,6 +317,8 @@ class WindowedEngine(Engine):
         # Logged only in the initiating shard so the merged log carries the
         # line exactly once, like the serial run.
         self.log.log(time, "abort", "MPI_Abort invoked", rank=initiator)
+        if self.obs is not None:
+            self.obs.instant(time, "abort", rank=initiator, track="resilience")
         self._pending_abort = time
 
     def apply_remote_abort(self, time: float, initiator: int) -> None:
@@ -571,6 +576,12 @@ class ShardedMpiWorld(MpiWorld):
             )
         super().revoke(comm, t, initiator)
 
+    def _obs_owns(self, rank: int) -> bool:
+        # Failure broadcasts replay in every shard; only the owner of a
+        # rank emits its observer events, so the merged stream matches
+        # the serial run's exactly.
+        return self.shard_id is None or rank in self.owned
+
 
 # ----------------------------------------------------------------------
 # worker
@@ -590,12 +601,24 @@ class ShardWorker:
         self._abort_reported = False
         self._store: CheckpointStore | None = None
         self._store_base = (0, 0)
+        self._obs = None
 
     def setup(self, store: CheckpointStore | None = None) -> float:
         engine = self.engine
         # Workers record log entries only; the coordinator echoes the
         # merged, time-ordered stream once.
         engine.log.stream = None
+        parent_obs = getattr(self.sim, "observer", None)
+        if parent_obs is not None:
+            # A fresh shard-local bus: the inline shard-0 worker shares
+            # its sim (and hence observer) with the coordinator, so
+            # recording into the parent directly would duplicate events
+            # at merge time.  Events ship back via ShardReport.
+            from repro.obs import Observer
+
+            self._obs = Observer(detail=parent_obs.detail)
+            engine.obs = self._obs
+            self.world.obs = self._obs
         self.world.configure_shard(self.shard_id, self.owned, self.lookahead)
         engine.configure_shard(self.shard_id, self.owned)
         engine.begin_windowed_run()
@@ -633,11 +656,21 @@ class ShardWorker:
     def run_window(self, end: float) -> tuple:
         t0 = perf_counter()
         self.engine.run_window(end)
+        if self._obs is not None:
+            self._obs.host_span(
+                t0, perf_counter(), "window", track=f"shard {self.shard_id}",
+                args={"end": end},
+            )
         return self._reply(t0)
 
     def run_exact(self, time: float) -> tuple:
         t0 = perf_counter()
         self.engine.run_exact(time)
+        if self._obs is not None:
+            self._obs.host_span(
+                t0, perf_counter(), "lockstep", track=f"shard {self.shard_id}",
+                args={"time": time},
+            )
         return self._reply(t0)
 
     def _reply(self, t0: float) -> tuple:
@@ -698,6 +731,7 @@ class ShardWorker:
             cross_shard_msgs=world.cross_shard_msgs,
             log_entries=list(engine.log.entries),
             trace_entries=list(trace.entries) if trace is not None else None,
+            obs_entries=list(self._obs.events) if self._obs is not None else None,
             store_delta=store_delta,
         )
 
@@ -810,6 +844,7 @@ def _build_replica(sim: "XSim", app, args: tuple, nranks: int) -> "XSim":
         coalesce_advances=sim.engine.coalesce_advances,
         shards=sim.shards,
         shard_transport="inline",
+        observe=sim.observer,
     )
     replica.world.launch(app, nranks, args)
     for rank, time in sim._armed_failures:
@@ -890,6 +925,7 @@ class _Coordinator:
         h_min: float,
         armed: list[tuple[int, float]],
         stats: ShardStats,
+        obs=None,
     ):
         self.conns = conns
         self.n = len(conns)
@@ -898,6 +934,9 @@ class _Coordinator:
         self.h_min = h_min
         self.armed = armed
         self.stats = stats
+        #: Parent-side :class:`~repro.obs.Observer` receiving host-domain
+        #: per-round events (workers have their own shard-local buses).
+        self.obs = obs
         self.mins = [c.initial_min for c in conns]
         self.pending: list[list[tuple]] = [[] for _ in conns]
         self.directives: list[list[tuple]] = [[] for _ in conns]
@@ -984,8 +1023,18 @@ class _Coordinator:
         self.stats.critical_path_seconds += max(walls)
         self.stats.worker_busy_seconds += sum(walls)
         self.stats.barrier_seconds += max(0.0, (perf_counter() - t0) - max(walls))
+        if self.obs is not None:
+            self.obs.host_span(
+                t0, perf_counter(), "window-round", track="coordinator",
+                args={
+                    "round": self.stats.windows,
+                    "workers": len(targets),
+                    "max_wall": max(walls),
+                },
+            )
 
     def _apply_round(self) -> None:
+        t0 = perf_counter()
         for k, conn in enumerate(self.conns):
             conn.send(("apply", self.pending[k], self.directives[k]))
             self.pending[k] = []
@@ -993,6 +1042,11 @@ class _Coordinator:
         for k, conn in enumerate(self.conns):
             self.mins[k] = conn.recv_payload()
         self.stats.lockstep_rounds += 1
+        if self.obs is not None:
+            self.obs.host_span(
+                t0, perf_counter(), "apply-round", track="coordinator",
+                args={"round": self.stats.lockstep_rounds},
+            )
 
     def _t1_priority(self, k: int, t1: float) -> int:
         # The serial engine dispatches an armed failure before same-time
@@ -1025,6 +1079,11 @@ class _Coordinator:
                 if j != k:
                     self.directives[j].append(("abort", abort[0], abort[1]))
         self.stats.lockstep_rounds += 1
+        if self.obs is not None:
+            self.obs.host_span(
+                perf_counter() - wall, perf_counter(), "lockstep-round",
+                track="coordinator", args={"shard": k, "time": t1},
+            )
 
 
 # ----------------------------------------------------------------------
@@ -1090,7 +1149,9 @@ def run_sharded(sim: "XSim", app, args: tuple, nranks: int) -> SimulationResult:
         transport, sim, app, args, nranks, parts, store, lookahead
     )
     try:
-        coordinator = _Coordinator(conns, owner, lookahead, h_min, armed, stats)
+        coordinator = _Coordinator(
+            conns, owner, lookahead, h_min, armed, stats, obs=sim.observer
+        )
         reports = coordinator.drive()
     finally:
         cleanup()
@@ -1167,6 +1228,16 @@ def _merge_reports(
     if orig_stream is not None:
         for entry in merged_log:
             print(entry.render(), file=orig_stream)
+    if sim.observer is not None:
+        # Shard-local buses ship their events in the reports; export-time
+        # canonical sorting makes the merge order irrelevant.  The inline
+        # shard-0 worker swapped the parent's obs hooks for its own bus,
+        # so point them back at the parent observer.
+        sim.observer.extend(
+            entry for report in reports for entry in (report.obs_entries or ())
+        )
+        engine.obs = sim.observer
+        world.obs = sim.observer
     if sim.event_trace is not None:
         merged_trace = sorted(
             (

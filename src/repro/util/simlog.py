@@ -77,7 +77,11 @@ class SimLog:
         if self.max_entries is not None:
             if self.max_entries < 1:
                 raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+            seeded = len(self.entries)
             self.entries = deque(self.entries, maxlen=self.max_entries)
+            # Seed entries evicted by the maxlen cap count as dropped too,
+            # keeping len(log) + log.dropped equal to the events ever logged.
+            self.dropped += seeded - len(self.entries)
 
     def log(
         self,

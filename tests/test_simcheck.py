@@ -285,6 +285,7 @@ class TestDifferentialHarness:
             "executor-fallback",
             "collectives",
             "sharded-parity",
+            "obs-parity",
         ]
         failed = [r for r in results if not r.passed]
         assert not failed, "\n".join(str(r) for r in failed)

@@ -84,3 +84,33 @@ class TestLevelFilter:
         log = SimLog()
         with pytest.raises(KeyError):
             log.log(0.0, "x", "y", level="loud")
+
+
+class TestSeededEntries:
+    def test_seed_eviction_counts_as_dropped(self):
+        """Regression: entries evicted by the maxlen cap at construction
+        time were not counted, breaking len(log) + dropped == logged."""
+        seed = [
+            LogEntry(time=float(i), category="tick", rank=None, message=f"n={i}")
+            for i in range(5)
+        ]
+        log = SimLog(max_entries=3, entries=seed)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.message for e in log] == ["n=2", "n=3", "n=4"]
+
+    def test_accounting_stays_exact_as_logging_continues(self):
+        seed = [
+            LogEntry(time=0.0, category="tick", rank=None, message="seed")
+            for _ in range(4)
+        ]
+        log = SimLog(max_entries=2, entries=seed)
+        for i in range(3):
+            log.log(float(i), "tick", f"n={i}")
+        assert len(log) + log.dropped == 4 + 3
+
+    def test_seed_below_capacity_drops_nothing(self):
+        seed = [LogEntry(time=0.0, category="tick", rank=None, message="x")]
+        log = SimLog(max_entries=3, entries=seed)
+        assert log.dropped == 0
+        assert len(log) == 1

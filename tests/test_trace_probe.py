@@ -72,6 +72,56 @@ class TestCommTrace:
         assert dropped[0].dst == 1
         assert not dropped[0].delivered
 
+    def test_dropped_latency_is_nan_with_drop_time(self):
+        """Regression: a dropped message's latency used to be computed
+        from the drop instant, reporting a bogus finite 'delivery'
+        latency.  The drop instant now lives in drop_time instead."""
+
+        def app(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=64, tag=0)
+                yield from mpi.compute(10.0)
+            yield from mpi.finalize()
+
+        trace, _ = traced_run(app, failures=[(1, 0.0)])
+        (rec,) = trace.dropped_messages()
+        assert math.isnan(rec.latency)
+        assert math.isnan(rec.arrival_time)
+        assert not math.isnan(rec.drop_time)
+        assert rec.drop_time >= rec.post_time
+        # delivered messages: the other way around
+        clean, _ = traced_run(pingpong)
+        delivered = [r for r in clean if r.delivered]
+        assert delivered
+        assert all(math.isnan(r.drop_time) for r in delivered)
+        assert all(r.latency > 0 for r in delivered)
+
+    def test_drop_time_exported_in_rows(self):
+        t = CommTrace()
+        t.record_post(0, 1.0, 0, 1, 2, 0, 64, "eager")
+        t.record_delivery(0, 3.5, dropped=True)
+        row = t.to_rows()[0]
+        assert row[ROW_HEADER.index("dropped")] == 1
+        assert row[ROW_HEADER.index("drop_time")] == 3.5
+        assert math.isnan(row[ROW_HEADER.index("arrival_time")])
+
+    def test_busiest_pairs_ties_broken_by_endpoints(self):
+        """Regression: equal-byte pairs were returned in traffic-matrix
+        insertion order, so reports differed between runs with the same
+        traffic."""
+        t = CommTrace()
+        # same byte totals, inserted in scrambled order
+        for seq, (src, dst) in enumerate([(3, 0), (1, 2), (0, 3), (2, 1)]):
+            t.record_post(seq, 0.0, src, dst, 2, 0, 100, "eager")
+        assert t.busiest_pairs() == [
+            ((0, 3), 100),
+            ((1, 2), 100),
+            ((2, 1), 100),
+            ((3, 0), 100),
+        ]
+        assert t.busiest_pairs(2) == [((0, 3), 100), ((1, 2), 100)]
+
     def test_rows_export(self):
         trace, _ = traced_run(pingpong)
         rows = trace.to_rows()
@@ -97,10 +147,20 @@ class TestCommTrace:
         big = trace.messages(src=0, dst=1, ctx=2)
         assert big[0].protocol == "rendezvous"
 
-    def test_delivery_of_unknown_seq_ignored(self):
+    def test_delivery_of_unknown_seq_counted_as_orphan(self):
+        """Regression: unknown-seq deliveries were silently swallowed;
+        they are now counted so the sanitizer can tell mid-run attach
+        from a sequencing bug."""
         t = CommTrace()
         t.record_delivery(99, 1.0, dropped=False)  # no crash
         assert len(t) == 0
+        assert t.orphan_deliveries == 1
+        assert t.from_start is False
+
+    def test_trace_attached_before_launch_is_from_start(self):
+        trace, _ = traced_run(pingpong)
+        assert trace.from_start
+        assert trace.orphan_deliveries == 0
 
     def test_tracing_disabled_by_default(self):
         run = run_app(pingpong, nranks=2)
