@@ -25,6 +25,9 @@ they do, bit-for-bit where the promise is bit-identity:
   failure run: identical per-rank traces and result digests.
 * **obs parity** — the :mod:`repro.obs` timeline export of a failure run,
   serial vs. sharded: byte-identical Chrome-JSON and JSONL files.
+* **scenario parity** — one :class:`~repro.run.scenario.Scenario` through
+  the full TOML round trip and every registered backend: identical
+  scenario digests and identical result digests.
 
 :func:`run_all` executes every check and (optionally) writes failure
 artifacts — traces, digests, divergence reports — into a directory for CI
@@ -459,6 +462,62 @@ def check_obs_parity(
     )
 
 
+def check_scenario_parity(
+    nranks: int = 16, iterations: int = 20, shards: int = 2
+) -> CheckResult:
+    """One scenario, every backend, plus the TOML round trip.
+
+    The :mod:`repro.run` layer promises that a scenario is a complete
+    description of a run: serializing it to TOML and back must preserve
+    the scenario digest, and executing it on any registered backend must
+    produce the same result digest.  Uses a failure run (explicit
+    schedule) so the restart loop is part of the compared behavior.
+    """
+    from repro.run.backends import backend_names, run_scenario
+    from repro.run.scenario import Scenario
+
+    _, clean = _heat_sim(nranks, iterations, 10, paper_timing=True)
+    base = Scenario(
+        ranks=nranks,
+        iterations=iterations,
+        interval=10,
+        failures=f"{nranks // 3}@{0.4 * clean.exit_time}s",
+    )
+    round_tripped = Scenario.from_toml(base.to_toml())
+    if round_tripped.scenario_digest() != base.scenario_digest():
+        return CheckResult(
+            "scenario-parity",
+            False,
+            "TOML round trip changed the scenario digest",
+            artifacts={"scenario.toml": base.to_toml()},
+        )
+    digests: dict[str, str] = {}
+    for name in backend_names():
+        scenario = round_tripped.with_(
+            shards=1 if name == "serial" else shards,
+            shard_transport={"sharded-inline": "inline", "sharded-fork": "fork"}.get(name),
+        )
+        digests[name] = run_scenario(scenario).digest()
+    if len(set(digests.values())) != 1:
+        return CheckResult(
+            "scenario-parity",
+            False,
+            "backends disagree: "
+            + ", ".join(f"{n} {d[:16]}" for n, d in digests.items()),
+            artifacts={
+                "scenario-digests.txt": "".join(
+                    f"{n} {d}\n" for n, d in digests.items()
+                )
+            },
+        )
+    return CheckResult(
+        "scenario-parity",
+        True,
+        f"{len(digests)} backends agree on digest "
+        f"{next(iter(digests.values()))[:16]} (restart run, TOML round trip)",
+    )
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -487,6 +546,7 @@ def run_all(
         check_collectives,
         check_sharded_parity,
         check_obs_parity,
+        check_scenario_parity,
     ]
     names = [
         "rerun",
@@ -497,6 +557,7 @@ def run_all(
         "collectives",
         "sharded-parity",
         "obs-parity",
+        "scenario-parity",
     ]
     if only is not None:
         if only not in names:

@@ -9,21 +9,27 @@ timing statistics and the informational failure/abort messages.
 Subcommands::
 
     xsim-run app     --app heat3d --ranks 64 --interval 250 [--mttf 3000]
+    xsim-run app     --scenario run.toml  # declarative spec (repro.run)
+    xsim-run sweep   --scenario run.toml --set interval=500,250 -j 4
     xsim-run table1  # Finject bit-flip campaign (paper Table I)
     xsim-run table2  --ranks 512  # checkpoint-interval x MTTF sweep
     xsim-run arch    --ranks 32768  # architecture self-description (Fig. 1)
     xsim-run bench   # PDES throughput + sharded speedup -> BENCH_pdes.json
     xsim-run simcheck  # differential determinism harness (see repro.check)
 
-``app`` accepts ``--shards N`` (or ``XSIM_SHARDS``) to run the one
-simulation on the sharded conservative-parallel engine
-(:mod:`repro.pdes.sharded`); results and traces are bit-identical to the
-serial engine.
+Every ``app``/``arch``/``sweep`` invocation resolves one
+:class:`~repro.run.scenario.Scenario` through the layered precedence
+chain — library defaults < ``--scenario`` TOML file < ``XSIM_*``
+environment < explicit flags — and executes it on its registered backend
+(``serial``, ``sharded-inline``, ``sharded-fork``; pick with ``--shards``
+/ ``--shard-transport`` or the scenario's ``execution`` table).  Results
+and traces are bit-identical across backends.
 
 Debugging aids on ``app``: ``--check`` enables the runtime invariant
 sanitizer (equivalent to ``XSIM_CHECK=1``); ``--record-trace FILE`` saves
 the full event-dispatch trace; ``--replay FILE`` re-runs and diffs against
-a saved trace, reporting the first divergence.
+a saved trace, reporting the first divergence; ``--digest`` prints the
+canonical result fingerprint for cross-backend comparison.
 """
 
 from __future__ import annotations
@@ -33,20 +39,16 @@ import os
 import sys
 from typing import Sequence
 
-from repro.apps.cg import CgConfig, cg
 from repro.check.trace import EventTrace
-from repro.apps.heat3d import HeatConfig, heat3d
-from repro.apps.ring import RingConfig, ring
-from repro.apps.stencil2d import Stencil2dConfig, stencil2d
-from repro.core.checkpoint.store import CheckpointStore
 from repro.core.faults.finject import FinjectCampaign
-from repro.core.faults.schedule import FailureSchedule
-from repro.core.harness.config import SystemConfig
 from repro.core.harness.experiment import Table2Config, run_table2
 from repro.core.harness.parallel import default_jobs
 from repro.core.harness.report import format_table, render_table2
-from repro.core.restart import RestartDriver
 from repro.core.simulator import XSim
+from repro.run.backends import capped_shards, run_scenario  # noqa: F401 - capped_shards re-exported
+from repro.run.scenario import Scenario, load_scenario_file, parse_dims
+from repro.run.sweep import parse_set, run_sweep
+from repro.util.errors import ConfigurationError
 
 
 def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
@@ -64,7 +66,7 @@ def _add_shards_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--shards",
         type=int,
-        default=int(os.environ.get("XSIM_SHARDS", "1") or 1),
+        default=None,
         help="partition the simulated ranks across N conservative-parallel "
         "engine shards (default: XSIM_SHARDS or 1); the event trace is "
         "bit-identical to a serial run",
@@ -79,151 +81,192 @@ def _add_shards_args(p: argparse.ArgumentParser) -> None:
     )
 
 
-def capped_shards(shards: int, jobs: int = 1, transport: str | None = None) -> int:
-    """Cap ``jobs * shards`` at the host's CPU count (fork transport only).
-
-    Every forked shard worker is a full process; running ``jobs`` pool
-    workers that each fork ``shards`` engine workers silently oversubscribes
-    the host and makes *everything* slower.  The inline transport stays in
-    one process and is never capped.
-    """
-    if shards <= 1 or transport == "inline":
-        return shards
-    ncpu = os.cpu_count() or 1
-    jobs = max(1, jobs)
-    if jobs * shards > ncpu:
-        capped = max(1, ncpu // jobs)
-        print(
-            f"warning: --jobs {jobs} x --shards {shards} would oversubscribe "
-            f"{ncpu} CPUs; capping shards to {capped} "
-            "(use --shard-transport inline to shard without extra processes)",
-            file=sys.stderr,
-        )
-        return capped
-    return shards
-
-
 def _add_system_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--ranks", type=int, default=64, help="simulated MPI rank count")
-    p.add_argument("--topology", default="torus", choices=["torus", "mesh", "fattree", "star", "crossbar"])
-    p.add_argument("--latency", default="1us", help="link latency (e.g. 1us)")
-    p.add_argument("--bandwidth", default="32GB/s", help="link bandwidth")
-    p.add_argument("--eager-threshold", default="256kB", help="eager/rendezvous threshold")
-    p.add_argument("--detection-timeout", default="10s", help="failure detection timeout")
-    p.add_argument("--slowdown", type=float, default=1000.0, help="simulated node slowdown")
-    p.add_argument("--collectives", default="linear", choices=["linear", "tree", "analytic"])
-    p.add_argument("--seed", type=int, default=0, help="deterministic experiment seed")
+    # Defaults are None sentinels: an unset flag leaves the field to the
+    # lower precedence layers (scenario file, environment, library
+    # defaults — see repro.run.scenario).  The help text states the
+    # library default.
+    p.add_argument("--ranks", type=int, default=None,
+                   help="simulated MPI rank count (default 64)")
+    p.add_argument("--topology", default=None,
+                   choices=["torus", "mesh", "fattree", "star", "crossbar"],
+                   help="interconnect topology (default torus)")
+    p.add_argument("--dims", default=None, metavar="DxDxD",
+                   help="explicit topology grid, e.g. 8x8x4 for a torus/mesh "
+                   "or 16x3 (arity x levels) for a fattree; must be "
+                   "consistent with --ranks/--topology (default: derived "
+                   "near-cubic dims)")
+    p.add_argument("--latency", default=None, help="link latency (default 1us)")
+    p.add_argument("--bandwidth", default=None, help="link bandwidth (default 32GB/s)")
+    p.add_argument("--eager-threshold", default=None,
+                   help="eager/rendezvous threshold (default 256kB)")
+    p.add_argument("--detection-timeout", default=None,
+                   help="failure detection timeout (default 10s)")
+    p.add_argument("--slowdown", type=float, default=None,
+                   help="simulated node slowdown (default 1000)")
+    p.add_argument("--collectives", default=None,
+                   choices=["linear", "tree", "analytic"],
+                   help="collective algorithm family (default linear)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="deterministic experiment seed (default 0)")
 
 
-def _system_from(args: argparse.Namespace) -> SystemConfig:
-    return SystemConfig.paper_system(
-        nranks=args.ranks,
-        topology_kind=args.topology,
-        topology_dims=None,
-        link_latency=args.latency,
-        link_bandwidth=args.bandwidth,
-        eager_threshold=args.eager_threshold,
-        detection_timeout=args.detection_timeout,
-        slowdown=args.slowdown,
-        collective_algorithm=args.collectives,
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", default=None, choices=["heat3d", "cg", "stencil2d", "ring"],
+                   help="simulated application (default heat3d)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="application iterations (default 1000)")
+    p.add_argument("--interval", type=int, default=None,
+                   help="checkpoint interval (default 1000)")
+    p.add_argument("--mttf", type=float, default=None,
+                   help="system MTTF for random injection (s)")
+    p.add_argument(
+        "--xsim-failures",
+        default=None,
+        help='failure schedule as "rank@time,rank@time" (also: XSIM_FAILURES env var)',
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="enable the runtime invariant sanitizer (same as XSIM_CHECK=1)",
+    )
+    p.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="load a scenario TOML file; explicit flags and XSIM_* variables "
+        "override its values (defaults < file < env < flags)",
     )
 
 
-def _cmd_app(args: argparse.Namespace) -> int:
-    system = _system_from(args)
-    # --check forces the sanitizer on; without it, None defers to XSIM_CHECK.
-    check = True if args.check else None
-    tracing = bool(args.record_trace or args.replay)
-    observer = None
-    if args.trace_out:
-        from repro.obs import Observer
+def _scenario_overrides(args: argparse.Namespace) -> dict:
+    """The flag layer of the precedence chain: every scenario-mapped
+    option the user actually passed (``None`` = not given)."""
+    ov = dict(
+        ranks=getattr(args, "ranks", None),
+        topology=getattr(args, "topology", None),
+        dims=parse_dims(args.dims) if getattr(args, "dims", None) else None,
+        latency=getattr(args, "latency", None),
+        bandwidth=getattr(args, "bandwidth", None),
+        eager_threshold=getattr(args, "eager_threshold", None),
+        detection_timeout=getattr(args, "detection_timeout", None),
+        slowdown=getattr(args, "slowdown", None),
+        collectives=getattr(args, "collectives", None),
+        seed=getattr(args, "seed", None),
+        shards=getattr(args, "shards", None),
+        shard_transport=getattr(args, "shard_transport", None),
+        app=getattr(args, "app", None),
+        iterations=getattr(args, "iterations", None),
+        interval=getattr(args, "interval", None),
+        mttf=getattr(args, "mttf", None),
+        failures=getattr(args, "xsim_failures", None),
+        # store_true flags: only an explicitly passed flag overrides.
+        check=True if getattr(args, "check", False) else None,
+        trace_detail=True if getattr(args, "trace_detail", False) else None,
+        trace_out=getattr(args, "trace_out", None) or None,
+    )
+    return ov
 
-        observer = Observer(detail=args.trace_detail)
-    if tracing and args.mttf is not None:
+
+def _resolve_scenario(args: argparse.Namespace) -> tuple[Scenario, dict]:
+    """Resolve the invocation's scenario (and ``[sweep]`` grid, if any)
+    through the full precedence chain."""
+    overrides = _scenario_overrides(args)
+    file = getattr(args, "scenario", None)
+    if file:
+        return load_scenario_file(file, **overrides)
+    return Scenario.resolve(**overrides), {}
+
+
+def _cmd_app(args: argparse.Namespace) -> int:
+    tracing = bool(args.record_trace or args.replay)
+    try:
+        scenario, _ = _resolve_scenario(args)
+        if tracing:
+            scenario = scenario.with_(record_events=True)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if tracing and scenario.mttf is not None:
         print(
             "--record-trace/--replay cover exactly one engine run; "
             "combine them with --xsim-failures, not --mttf",
             file=sys.stderr,
         )
         return 2
-    schedule = FailureSchedule.from_environment()
-    if args.xsim_failures:
-        schedule.extend(FailureSchedule.parse(args.xsim_failures))
-    shards = capped_shards(args.shards, transport=args.shard_transport)
 
-    if args.app == "heat3d":
-        workload = HeatConfig.paper_workload(
-            checkpoint_interval=args.interval, nranks=args.ranks, iterations=args.iterations
-        )
-        app, make_args = heat3d, (lambda store: (workload, store))
-    elif args.app == "stencil2d":
-        cfg2 = Stencil2dConfig.for_ranks(args.ranks, checkpoint_interval=args.interval)
-        app, make_args = stencil2d, (lambda store: (cfg2, store))
-    elif args.app == "cg":
-        cgc = CgConfig.for_ranks(
-            args.ranks, max_iterations=args.iterations, checkpoint_interval=args.interval
-        )
-        app, make_args = cg, (lambda store: (cgc, store))
-    elif args.app == "ring":
-        rcfg = RingConfig(rounds=args.iterations)
-        app, make_args = ring, (lambda store: (rcfg,))
-    else:  # pragma: no cover - argparse choices guard this
-        raise SystemExit(f"unknown app {args.app}")
-
-    if not tracing and (args.mttf is not None or len(schedule) > 0):
-        driver = RestartDriver(
-            system,
-            app,
-            make_args=make_args,
-            mttf=args.mttf,
-            schedule=schedule if schedule else None,
-            seed=args.seed,
-            log_stream=sys.stdout,
-            check=check,
-            shards=shards,
-            shard_transport=args.shard_transport,
-            observe=observer,
-        )
-        run = driver.run()
-        last = run.segments[-1].result
-        print(last.timing_report())
+    outcome = run_scenario(scenario, log_stream=sys.stdout, force_single=tracing)
+    if outcome.mode == "restart":
+        run = outcome.run
+        print(run.segments[-1].result.timing_report())
         print(
             f"E2={run.e2:,.1f}s failures={run.f} restarts={run.restarts} "
             f"MTTF_a={'-' if run.mttf_a is None else f'{run.mttf_a:,.1f}s'}"
         )
     else:
-        # Single engine run: the path --record-trace/--replay cover (a
-        # failure schedule is injected directly; no restart segments).
-        sim = XSim(
-            system,
-            seed=args.seed,
-            log_stream=sys.stdout,
-            check=check,
-            record_events=tracing,
-            shards=shards,
-            shard_transport=args.shard_transport,
-            observe=observer,
-        )
-        if len(schedule) > 0:
-            sim.inject_schedule(schedule)
-        result = sim.run(app, args=make_args(CheckpointStore()))
+        result = outcome.result
         print(result.timing_report())
         print(f"E1={result.exit_time:,.1f}s completed={result.completed}")
         if args.record_trace:
-            sim.event_trace.save(args.record_trace)
-            print(f"recorded {len(sim.event_trace)} events to {args.record_trace}")
+            outcome.sim.event_trace.save(args.record_trace)
+            print(f"recorded {len(outcome.sim.event_trace)} events to {args.record_trace}")
         if args.replay:
             reference = EventTrace.load(args.replay)
-            divergence = reference.diff(sim.event_trace)
+            divergence = reference.diff(outcome.sim.event_trace)
             if divergence is not None:
                 print(divergence.report())
                 return 1
             print(f"replay matches {args.replay}: {len(reference)} events, 0 divergences")
-    if observer is not None:
+    if args.digest:
+        print(f"result digest: {outcome.digest()}")
+    if outcome.observer is not None and scenario.trace_out:
         from repro.obs import write_export
 
-        count = write_export(observer, args.trace_out, include_host=args.trace_host)
-        print(f"exported {count} events to {args.trace_out}")
+        count = write_export(
+            outcome.observer, scenario.trace_out, include_host=args.trace_host
+        )
+        print(f"exported {count} events to {scenario.trace_out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        base, grid = _resolve_scenario(args)
+        if args.jobs is not None:
+            base = base.with_(jobs=args.jobs)
+        for axis in args.set or []:
+            name, values = parse_set(axis)
+            grid[name] = values
+        if not grid:
+            print(
+                "error: nothing to sweep; pass --set field=v1,v2 or a "
+                "[sweep] table in the scenario file",
+                file=sys.stderr,
+            )
+            return 2
+        pairs = run_sweep(base, grid)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    axes = list(grid)
+    header = axes + ["mode", "completed", "time", "failures", "restarts", "digest"]
+    rows = []
+    for scenario, summary in pairs:
+        time_s = summary.get("e2", summary["exit_time"])
+        rows.append(
+            tuple(str(getattr(scenario, a)) for a in axes)
+            + (
+                summary["mode"],
+                str(summary["completed"]),
+                f"{time_s:,.1f}s",
+                str(summary["failures"]),
+                str(summary.get("restarts", 0)),
+                summary["result_digest"][:12],
+            )
+        )
+    print(f"{len(pairs)} scenarios ({' x '.join(axes)}) on backend "
+          f"{base.backend_name()}:")
+    print(format_table(header, rows))
     return 0
 
 
@@ -266,7 +309,12 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_arch(args: argparse.Namespace) -> int:
-    sim = XSim(_system_from(args))
+    try:
+        scenario, _ = _resolve_scenario(args)
+        sim = XSim.from_scenario(scenario)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(sim.render_architecture())
     return 0
 
@@ -342,20 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_app = sub.add_parser("app", help="run a simulated application")
     _add_system_args(p_app)
     _add_shards_args(p_app)
-    p_app.add_argument("--app", default="heat3d", choices=["heat3d", "cg", "stencil2d", "ring"])
-    p_app.add_argument("--iterations", type=int, default=1000)
-    p_app.add_argument("--interval", type=int, default=1000, help="checkpoint interval")
-    p_app.add_argument("--mttf", type=float, default=None, help="system MTTF for random injection (s)")
-    p_app.add_argument(
-        "--xsim-failures",
-        default="",
-        help='failure schedule as "rank@time,rank@time" (also: XSIM_FAILURES env var)',
-    )
-    p_app.add_argument(
-        "--check",
-        action="store_true",
-        help="enable the runtime invariant sanitizer (same as XSIM_CHECK=1)",
-    )
+    _add_workload_args(p_app)
     p_app.add_argument(
         "--record-trace",
         metavar="FILE",
@@ -368,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="re-run and diff against a trace saved with --record-trace; "
         "exit 1 at the first divergence",
+    )
+    p_app.add_argument(
+        "--digest",
+        action="store_true",
+        help="print the canonical result digest (bit-identical across "
+        "backends for the same scenario)",
     )
     p_app.add_argument(
         "--trace-out",
@@ -391,6 +432,32 @@ def build_parser() -> argparse.ArgumentParser:
         "are nondeterministic, so exports are no longer byte-comparable",
     )
     p_app.set_defaults(fn=_cmd_app)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="expand a scenario matrix (cartesian parameter grid) into a "
+        "campaign of independent runs",
+    )
+    _add_system_args(p_sw)
+    _add_shards_args(p_sw)
+    _add_workload_args(p_sw)
+    p_sw.add_argument(
+        "--set",
+        action="append",
+        metavar="FIELD=V1,V2",
+        help="sweep axis, e.g. --set interval=500,250 --set mttf=6000,3000; "
+        "repeatable, combined cartesian with any [sweep] table in the "
+        "scenario file",
+    )
+    p_sw.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the campaign (default: XSIM_JOBS or 1); "
+        "results are identical to a serial sweep",
+    )
+    p_sw.set_defaults(fn=_cmd_sweep)
 
     p_tl = sub.add_parser(
         "timeline", help="summarize an exported observability trace "
@@ -426,6 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_arch = sub.add_parser("arch", help="architecture self-description (paper Figure 1)")
     _add_system_args(p_arch)
+    _add_shards_args(p_arch)
+    p_arch.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="describe the machine/backend a scenario TOML file resolves to",
+    )
     p_arch.set_defaults(fn=_cmd_arch)
 
     p_bench = sub.add_parser(

@@ -64,6 +64,44 @@ def balanced_dims(nnodes: int, ndims: int = 3) -> tuple[int, ...]:
     return tuple(dims)
 
 
+def validate_dims(dims: tuple[int, ...], kind: str, nnodes: int) -> None:
+    """Reject an explicit topology-dims grid that cannot hold ``nnodes``.
+
+    Torus/mesh grids need ``prod(dims) >= nnodes``; a fat tree's dims are
+    ``(arity, levels)`` and need ``arity ** levels >= nnodes``; star and
+    crossbar topologies are sized by the node count alone and take no
+    dims.  Raises :class:`~repro.util.errors.ConfigurationError` with the
+    inconsistency spelled out.
+    """
+    if any(d < 1 for d in dims):
+        raise ConfigurationError(f"topology dims must be >= 1, got {dims}")
+    if kind in ("torus", "mesh"):
+        capacity = math.prod(dims)
+        if capacity < nnodes:
+            raise ConfigurationError(
+                f"dims {'x'.join(map(str, dims))} hold {capacity} nodes but the "
+                f"job needs {nnodes}; increase the dims or lower the rank count"
+            )
+        return
+    if kind == "fattree":
+        if len(dims) != 2:
+            raise ConfigurationError(
+                f"fattree dims are (arity, levels); got {len(dims)} values"
+            )
+        arity, levels = dims
+        if arity < 2:
+            raise ConfigurationError(f"fattree arity must be >= 2, got {arity}")
+        if arity**levels < nnodes:
+            raise ConfigurationError(
+                f"fattree {arity}^{levels} holds {arity ** levels} nodes but "
+                f"the job needs {nnodes}"
+            )
+        return
+    raise ConfigurationError(
+        f"topology {kind!r} is sized by the rank count and takes no dims"
+    )
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Everything needed to build the simulated machine's models."""
@@ -136,6 +174,8 @@ class SystemConfig:
     def make_topology(self) -> Topology:
         """Build the interconnect topology object."""
         kind = self.topology_kind
+        if self.topology_dims is not None:
+            validate_dims(tuple(self.topology_dims), kind, self.nnodes)
         if kind == "torus":
             return TorusTopology(self.topology_dims or balanced_dims(self.nnodes))
         if kind == "mesh":

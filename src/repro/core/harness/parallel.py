@@ -59,6 +59,18 @@ class RunSpec:
     key: tuple = ()
     params: dict[str, Any] = field(default_factory=dict)
 
+    @classmethod
+    def from_scenario(cls, scenario, key: tuple = ()) -> "RunSpec":
+        """A spec executing one :class:`~repro.run.scenario.Scenario` via
+        the ``scenario`` task: the spec carries only the scenario's
+        primitive dict form, workers rebuild and run it on its resolved
+        backend and return :meth:`~repro.run.backends.ScenarioOutcome.summary`."""
+        return cls(
+            "scenario",
+            key=key if key else ("scenario", scenario.scenario_digest()[:12]),
+            params={"scenario": scenario.to_dict()},
+        )
+
 
 _TASKS: dict[str, Callable[..., Any]] = {}
 
@@ -248,6 +260,16 @@ def _task_selftest(
             raise LocalError(raise_message)
         raise RuntimeError(raise_message)
     return value
+
+
+@task("scenario")
+def _task_scenario(*, scenario: dict) -> dict[str, Any]:
+    """One declarative :class:`~repro.run.scenario.Scenario`, executed on
+    its resolved backend; sweeps (``xsim-run sweep``) fan these out."""
+    from repro.run.backends import run_scenario
+    from repro.run.scenario import Scenario
+
+    return run_scenario(Scenario.from_dict(scenario)).summary()
 
 
 @task("table2-e1")

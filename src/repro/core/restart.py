@@ -26,7 +26,7 @@ Table II:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import IO, Any, Callable
+from typing import IO, TYPE_CHECKING, Any, Callable
 
 from repro.check import checking_enabled
 from repro.check.sanitizer import verify_store_cleaned
@@ -37,8 +37,12 @@ from repro.core.harness.config import SystemConfig
 from repro.core.simulator import XSim
 from repro.obs import Observer
 from repro.pdes.engine import SimulationResult
+from repro.run.instruments import coerce_observer
 from repro.util.errors import SimulationError
 from repro.util.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.run.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -149,9 +153,13 @@ class RestartDriver:
         shards: int = 1,
         shard_transport: str | None = None,
         observe: "bool | Observer | None" = None,
+        scenario: "Scenario | None" = None,
     ):
         if mttf is not None and policy is not None:
             raise SimulationError("pass either mttf or policy, not both")
+        #: The one declarative spec every segment of this experiment runs
+        #: under, when the driver was built via :meth:`from_scenario`.
+        self.scenario = scenario
         self.system = system
         self.app = app
         self.make_args = make_args
@@ -180,9 +188,47 @@ class RestartDriver:
         #: One :class:`~repro.obs.Observer` shared by every segment, so
         #: the exported timeline covers the whole failure/restart
         #: experiment on its continuous virtual clock.
-        self.observer: Observer | None = None
-        if observe is not None and observe is not False:
-            self.observer = observe if isinstance(observe, Observer) else Observer()
+        self.observer: Observer | None = coerce_observer(observe)
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "Scenario",
+        log_stream: IO[str] | None = None,
+        observe: "bool | Observer | None" = None,
+        **overrides: Any,
+    ) -> "RestartDriver":
+        """A driver that carries one :class:`~repro.run.scenario.Scenario`
+        across every failure/restart segment.
+
+        The scenario supplies the machine, the application, the explicit
+        failure schedule and/or MTTF draw policy, the C/R budget, the
+        seed, the backend (shard count resolved through the registry's
+        CPU cap, once, here), and the instrumentation switches;
+        ``overrides`` passes any extra constructor argument through (e.g.
+        an ``interceptor`` or a component-model ``policy``).
+        """
+        from repro.run.backends import get_backend
+
+        backend = get_backend(scenario.backend_name())
+        app, make_args = scenario.make_app()
+        schedule = scenario.schedule()
+        if observe is None and scenario.observe:
+            observe = True
+        kwargs: dict[str, Any] = dict(
+            mttf=scenario.mttf,
+            schedule=schedule if schedule else None,
+            seed=scenario.seed,
+            max_restarts=scenario.max_restarts,
+            log_stream=log_stream,
+            check=scenario.check,
+            shards=backend.resolve_shards(scenario),
+            shard_transport=backend.transport,
+            observe=observe,
+            scenario=scenario,
+        )
+        kwargs.update(overrides)
+        return cls(scenario.system_config(), app, make_args, **kwargs)
 
     def run(self) -> FailureRunResult:
         """Execute segments until the application completes (or the restart
@@ -207,6 +253,7 @@ class RestartDriver:
                 shards=self.shards,
                 shard_transport=self.shard_transport,
                 observe=self.observer,
+                scenario=self.scenario,
             )
             if self.schedule is not None and index == 0:
                 sim.inject_schedule(self.schedule)

@@ -6,21 +6,29 @@ job execution (the engine is single-shot); the
 :class:`~repro.core.restart.RestartDriver` creates a fresh instance per
 failure/restart segment, carrying the simulated exit time forward.
 
+``XSim`` is a compatibility facade over the :mod:`repro.run` layer: its
+constructor keywords map onto a :class:`~repro.run.scenario.Scenario`'s
+fields, instrumentation (sanitizer, event trace, observer) attaches
+through the :mod:`repro.run.instruments` hook table, and :meth:`XSim.run`
+dispatches through the :mod:`repro.run.backends` registry — the serial
+and sharded engines are registry entries, not hand-coded branches here.
+
 Usage::
 
     sim = XSim(SystemConfig.paper_system(nranks=4096))
     sim.inject_failure(rank=17, time=1000.0)          # rank/time pair
     sim.inject_schedule(FailureSchedule.parse("3@5s"))  # CLI/env format
     result = sim.run(my_app, args=(cfg,))
+
+    sim = XSim.from_scenario(Scenario(ranks=4096, app="heat3d"))
 """
 
 from __future__ import annotations
 
-from typing import IO, Any
+from typing import IO, TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.check import checking_enabled
 from repro.check.sanitizer import Sanitizer
 from repro.check.trace import EventTrace
 from repro.core.faults.schedule import FailureSchedule
@@ -30,9 +38,14 @@ from repro.mpi.world import MpiWorld
 from repro.models.memory import MemoryTracker
 from repro.obs import Observer
 from repro.pdes.engine import Engine, SimulationResult
+from repro.run.backends import backend_for, get_backend
+from repro.run.instruments import attach_instruments
 from repro.util.errors import SimulationError
 from repro.util.rng import RngStreams
 from repro.util.simlog import SimLog
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.run.scenario import Scenario
 
 
 class XSim:
@@ -52,16 +65,27 @@ class XSim:
         shard_transport: str | None = None,
         shard_lookahead: float | None = None,
         observe: "bool | Observer | None" = None,
+        trace_detail: bool = False,
+        scenario: "Scenario | None" = None,
     ):
         self.system = system
         self.seed = seed
         self.rng = RngStreams(seed)
         #: Worker-process count for the sharded conservative-parallel
-        #: engine (``repro.pdes.sharded``); 1 = serial.
+        #: engine (``repro.pdes.sharded``); 1 = serial.  Scenario-driven
+        #: construction (:meth:`from_scenario`, the CLI, campaigns) passes
+        #: a count already through the registry's jobs x shards CPU cap
+        #: (:func:`repro.run.backends.capped_shards`); direct construction
+        #: takes the count literally (benchmarks measure deliberate
+        #: oversubscription this way).
         self.shards = shards
         self.shard_transport = shard_transport
         self.shard_lookahead = shard_lookahead
-        if shards > 1:
+        #: The declarative spec this simulation was built from, when it
+        #: came through :meth:`from_scenario`/:mod:`repro.run` (``None``
+        #: for directly constructed instances).
+        self.scenario = scenario
+        if self.shards > 1:
             from repro.pdes.sharded import ShardedMpiWorld, WindowedEngine
 
             engine_cls, world_cls = WindowedEngine, ShardedMpiWorld
@@ -83,28 +107,26 @@ class XSim:
             collective_algorithm=system.collective_algorithm,
             record_trace=record_trace,
         )
-        #: Runtime invariant sanitizer (simcheck).  ``check=None`` (the
-        #: default) consults the ``XSIM_CHECK`` environment variable, so
-        #: an entire test or CI run can be checked without code changes.
-        self.checker: Sanitizer | None = None
-        if check if check is not None else checking_enabled():
-            self.checker = Sanitizer(self.engine, self.world)
-            self.engine.check = self.checker
-            self.world.check = self.checker
-        #: Event-trace recorder (``record_events=True``): every dispatched
-        #: engine event, for replay diffing via ``EventTrace.diff``.
-        self.event_trace: EventTrace | None = None
-        if record_events:
-            self.event_trace = EventTrace()
-            self.engine.event_trace = self.event_trace
-        #: Observability bus (``observe=True`` or an existing
-        #: :class:`~repro.obs.Observer`, e.g. shared across restart
-        #: segments by the driver).  See :mod:`repro.obs`.
-        self.observer: Observer | None = None
-        if observe is not None and observe is not False:
-            self.observer = observe if isinstance(observe, Observer) else Observer()
-            self.engine.obs = self.observer
-            self.world.obs = self.observer
+        # Instrumentation wires through the repro.run hook table (one
+        # attach point shared by every backend and launcher):
+        # ``check=None`` defers to the ``XSIM_CHECK`` environment
+        # variable; ``record_events=True`` records the dispatch trace for
+        # replay diffing; ``observe`` accepts ``True`` or an existing
+        # :class:`~repro.obs.Observer` (e.g. shared across restart
+        # segments by the driver).
+        attached = attach_instruments(
+            self,
+            check=check,
+            record_events=record_events,
+            observe=observe,
+            trace_detail=trace_detail,
+        )
+        #: Runtime invariant sanitizer (simcheck), or ``None``.
+        self.checker: Sanitizer | None = attached.checker
+        #: Event-trace recorder, or ``None``.
+        self.event_trace: EventTrace | None = attached.event_trace
+        #: Observability bus, or ``None``.  See :mod:`repro.obs`.
+        self.observer: Observer | None = attached.observer
         self._soft_errors: SoftErrorInjector | None = None
         self._pending_failures: list[tuple[int, float]] = []
         #: Snapshot of the failures armed before :meth:`run`; the sharded
@@ -157,9 +179,29 @@ class XSim:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: "Scenario",
+        start_time: float = 0.0,
+        log_stream: IO[str] | None = None,
+        observe: "bool | Observer | None" = None,
+    ) -> "XSim":
+        """Build the simulation a scenario describes, on the scenario's
+        resolved backend (see :mod:`repro.run.backends`)."""
+        return get_backend(scenario.backend_name()).make_sim(
+            scenario, start_time=start_time, log_stream=log_stream, observe=observe
+        )
+
+    @property
+    def backend(self):
+        """The registry backend this instance dispatches to."""
+        return backend_for(self.shards, self.shard_transport)
+
     def run(self, app, args: tuple = (), nranks: int | None = None) -> SimulationResult:
         """Launch ``app(mpi, *args)`` on ``nranks`` (default: the system's
-        full rank count) and simulate to completion or abort."""
+        full rank count) and simulate to completion or abort via the
+        backend registry."""
         if self._ran:
             raise SimulationError("XSim instances are single-shot; create a new one")
         self._ran = True
@@ -169,21 +211,7 @@ class XSim:
         for rank, time in self._pending_failures:
             self.engine.schedule_failure(rank, time)
         self._pending_failures.clear()
-        if self.shards > 1:
-            from repro.pdes.sharded import run_sharded
-
-            return run_sharded(self, app, args, nranks)
-        if self.observer is not None:
-            from time import perf_counter
-
-            t0 = perf_counter()
-            result = self.engine.run()
-            self.observer.host_span(
-                t0, perf_counter(), "engine-run", track="engine",
-                args={"events": self.engine.event_count},
-            )
-            return result
-        return self.engine.run()
+        return self.backend.run_engine(self, app, args, nranks)
 
     # ------------------------------------------------------------------
     # architecture self-description (Figure 1 reproduction)
@@ -192,7 +220,9 @@ class XSim:
         """Structured description of the layered architecture, mirroring
         the paper's Figure 1 (a) architecture / (b) design diagrams."""
         net = self.world.network
+        backend = self.backend
         return {
+            "backend": backend.describe(self),
             "layers": [
                 "application (simulated MPI processes / virtual processes)",
                 "simulated MPI layer (pt2pt matching, collectives, error handlers, ULFM)",
@@ -232,5 +262,11 @@ class XSim:
             f"simulated machine: {d['virtual_processes']} VPs on {d['nodes']} nodes "
             f"({d['topology']}), {d['collective_algorithm']} collectives, "
             f"{d['processor_slowdown']:g}x slowdown"
+        )
+        b = d["backend"]
+        transport = f", {b['shard_transport']} transport" if b["shard_transport"] else ""
+        shard_word = "shard" if b["shards"] == 1 else "shards"
+        lines.append(
+            f"execution backend: {b['name']} ({b['shards']} {shard_word}{transport})"
         )
         return "\n".join(lines)

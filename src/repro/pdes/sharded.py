@@ -608,15 +608,15 @@ class ShardWorker:
         # Workers record log entries only; the coordinator echoes the
         # merged, time-ordered stream once.
         engine.log.stream = None
-        parent_obs = getattr(self.sim, "observer", None)
-        if parent_obs is not None:
-            # A fresh shard-local bus: the inline shard-0 worker shares
-            # its sim (and hence observer) with the coordinator, so
-            # recording into the parent directly would duplicate events
-            # at merge time.  Events ship back via ShardReport.
-            from repro.obs import Observer
+        # A fresh shard-local bus (None when observability is off): the
+        # inline shard-0 worker shares its sim (and hence observer) with
+        # the coordinator, so recording into the parent directly would
+        # duplicate events at merge time.  Events ship back via
+        # ShardReport.
+        from repro.run.instruments import make_shard_observer
 
-            self._obs = Observer(detail=parent_obs.detail)
+        self._obs = make_shard_observer(getattr(self.sim, "observer", None))
+        if self._obs is not None:
             engine.obs = self._obs
             self.world.obs = self._obs
         self.world.configure_shard(self.shard_id, self.owned, self.lookahead)

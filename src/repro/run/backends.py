@@ -1,0 +1,310 @@
+"""The runtime-backend registry: every way of executing a scenario.
+
+A :class:`Backend` turns a :class:`~repro.run.scenario.Scenario` into a
+running simulation behind one interface — ``execute(scenario) ->
+SimulationResult`` — and is registered by name:
+
+* ``serial`` — the single-process PDES engine;
+* ``sharded-inline`` — the conservative-parallel engine with every shard
+  replica driven in one process (bit-exact, debuggable, no extra cores);
+* ``sharded-fork`` — one forked worker process per shard.
+
+The jobs x shards CPU-capping guard (:func:`capped_shards`) lives here,
+so campaigns and direct API calls get the same oversubscription
+protection the CLI applies; :class:`~repro.core.simulator.XSim` also
+routes its ``run`` dispatch through this registry, which makes a new
+execution mode one ``@register_backend`` entry instead of an edit at
+every launcher.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.restart import FailureRunResult
+    from repro.core.simulator import XSim
+    from repro.pdes.engine import SimulationResult
+    from repro.run.scenario import Scenario
+
+#: name -> Backend instance.
+BACKENDS: dict[str, "Backend"] = {}
+
+
+def register_backend(backend_cls: type) -> type:
+    """Class decorator: instantiate and register a backend by its name."""
+    backend = backend_cls()
+    if backend.name in BACKENDS:
+        raise ConfigurationError(f"duplicate backend {backend.name!r}")
+    BACKENDS[backend.name] = backend
+    return backend_cls
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, registration-ordered."""
+    return tuple(BACKENDS)
+
+
+def get_backend(name: str) -> "Backend":
+    """Look a backend up by name."""
+    backend = BACKENDS.get(name)
+    if backend is None:
+        raise ConfigurationError(
+            f"unknown backend {name!r} (registered: {', '.join(BACKENDS)})"
+        )
+    return backend
+
+
+def capped_shards(
+    shards: int, jobs: int = 1, transport: str | None = None, quiet: bool = False
+) -> int:
+    """Cap ``jobs * shards`` at the host's CPU count (fork transport only).
+
+    Every forked shard worker is a full process; running ``jobs`` pool
+    workers that each fork ``shards`` engine workers silently oversubscribes
+    the host and makes *everything* slower.  The inline transport stays in
+    one process and is never capped.
+    """
+    if shards <= 1 or transport == "inline":
+        return shards
+    ncpu = os.cpu_count() or 1
+    jobs = max(1, jobs)
+    if jobs * shards > ncpu:
+        capped = max(1, ncpu // jobs)
+        if not quiet:
+            print(
+                f"warning: --jobs {jobs} x --shards {shards} would oversubscribe "
+                f"{ncpu} CPUs; capping shards to {capped} "
+                "(use --shard-transport inline to shard without extra processes)",
+                file=sys.stderr,
+            )
+        return capped
+    return shards
+
+
+class Backend:
+    """One execution mode.  Subclasses set ``name`` and the shard
+    ``transport`` they imply, and implement :meth:`run_engine`."""
+
+    name: str = "?"
+    #: Shard transport this backend drives (``None`` for serial).
+    transport: str | None = None
+
+    def resolve_shards(self, scenario: Scenario, quiet: bool = False) -> int:
+        """The shard count this backend actually runs, after the CPU cap."""
+        return capped_shards(
+            scenario.shards, jobs=scenario.jobs, transport=self.transport, quiet=quiet
+        )
+
+    def make_sim(
+        self,
+        scenario: Scenario,
+        start_time: float = 0.0,
+        log_stream=None,
+        observe: Any = None,
+        quiet: bool = False,
+    ) -> "XSim":
+        """Build a configured (not yet run) simulation for the scenario."""
+        from repro.core.simulator import XSim
+
+        return XSim(
+            scenario.system_config(),
+            seed=scenario.seed,
+            start_time=start_time,
+            log_stream=log_stream,
+            check=scenario.check,
+            record_events=scenario.record_events,
+            shards=self.resolve_shards(scenario, quiet=quiet),
+            shard_transport=self.transport,
+            observe=observe if observe is not None else (scenario.observe or None),
+            trace_detail=scenario.trace_detail,
+            scenario=scenario,
+        )
+
+    def execute(
+        self, scenario: Scenario, *, log_stream=None, observe: Any = None
+    ) -> "SimulationResult":
+        """One single-segment run of the scenario on this backend: build
+        the simulation, arm the explicit failure schedule, launch the app
+        with a fresh checkpoint store, and simulate to completion/abort."""
+        from repro.core.checkpoint.store import CheckpointStore
+
+        sim = self.make_sim(scenario, log_stream=log_stream, observe=observe)
+        schedule = scenario.schedule()
+        if schedule:
+            sim.inject_schedule(schedule)
+        app, make_args = scenario.make_app()
+        return sim.run(app, args=make_args(CheckpointStore()))
+
+    def run_engine(self, sim: "XSim", app, args: tuple, nranks: int):
+        """Drive an already-launched simulation to its result (the
+        dispatch target of ``XSim.run``)."""
+        raise NotImplementedError
+
+    def describe(self, sim: "XSim") -> dict[str, Any]:
+        """Backend block of ``XSim.describe_architecture``."""
+        return {
+            "name": self.name,
+            "shards": sim.shards,
+            "shard_transport": self.transport,
+        }
+
+
+@register_backend
+class SerialBackend(Backend):
+    """The single-process PDES engine."""
+
+    name = "serial"
+    transport = None
+
+    def run_engine(self, sim: "XSim", app, args: tuple, nranks: int):
+        if sim.observer is not None:
+            t0 = perf_counter()
+            result = sim.engine.run()
+            sim.observer.host_span(
+                t0, perf_counter(), "engine-run", track="engine",
+                args={"events": sim.engine.event_count},
+            )
+            return result
+        return sim.engine.run()
+
+
+class _ShardedBackend(Backend):
+    def run_engine(self, sim: "XSim", app, args: tuple, nranks: int):
+        from repro.pdes.sharded import run_sharded
+
+        return run_sharded(sim, app, args, nranks)
+
+
+@register_backend
+class ShardedInlineBackend(_ShardedBackend):
+    """Conservative-parallel shards, all driven in one process."""
+
+    name = "sharded-inline"
+    transport = "inline"
+
+
+@register_backend
+class ShardedForkBackend(_ShardedBackend):
+    """Conservative-parallel shards, one forked worker process each."""
+
+    name = "sharded-fork"
+    transport = "fork"
+
+
+def backend_for(shards: int, shard_transport: str | None) -> Backend:
+    """The backend a legacy ``(shards, shard_transport)`` pair selects —
+    the dispatch rule every pre-registry launcher hand-coded."""
+    from repro.run.scenario import Scenario
+
+    return get_backend(
+        Scenario(shards=max(1, shards), shard_transport=shard_transport).backend_name()
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario execution (single run or full restart experiment)
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioOutcome:
+    """What one scenario run produced.
+
+    ``mode`` is ``"single"`` (one engine run; ``sim``/``result`` set) or
+    ``"restart"`` (a full failure/restart experiment under
+    :class:`~repro.core.restart.RestartDriver`; ``run`` set).
+    """
+
+    scenario: Scenario
+    mode: str
+    result: "SimulationResult | None" = None
+    run: "FailureRunResult | None" = None
+    sim: "XSim | None" = None
+    observer: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return self.run.completed if self.run is not None else self.result.completed
+
+    @property
+    def last_result(self) -> "SimulationResult":
+        """The (final-segment) simulation result."""
+        return self.run.segments[-1].result if self.run is not None else self.result
+
+    def digest(self) -> str:
+        """Canonical result fingerprint: :func:`result_digest` of a single
+        run, or the campaign digest over per-segment result digests of a
+        restart experiment.  Equal across backends for equal scenarios."""
+        from repro.core.harness.experiment import campaign_digest, result_digest
+
+        if self.run is not None:
+            return campaign_digest([result_digest(s.result) for s in self.run.segments])
+        return result_digest(self.result)
+
+    def summary(self) -> dict[str, Any]:
+        """Primitive-only record of the outcome (campaign transport)."""
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "backend": self.scenario.backend_name(),
+            "scenario_digest": self.scenario.scenario_digest(),
+            "result_digest": self.digest(),
+            "completed": self.completed,
+            "exit_time": self.last_result.exit_time,
+        }
+        if self.run is not None:
+            out.update(
+                e2=self.run.e2,
+                failures=self.run.f,
+                restarts=self.run.restarts,
+                mttf_a=self.run.mttf_a,
+            )
+        else:
+            out.update(failures=len(self.result.failures), restarts=0)
+        return out
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    log_stream=None,
+    observe: Any = None,
+    force_single: bool = False,
+) -> ScenarioOutcome:
+    """Execute a scenario end to end on its resolved backend.
+
+    A scenario with failure injection (an ``mttf`` or an explicit
+    schedule) runs the full restart loop — one
+    :class:`~repro.core.restart.RestartDriver` carrying this scenario
+    across segments; otherwise (or with ``force_single=True``, the
+    trace-record/replay path) it is one engine run via
+    :meth:`Backend.execute`.
+    """
+    backend = get_backend(scenario.backend_name())
+    wants_driver = scenario.mttf is not None or bool(scenario.schedule())
+    if wants_driver and not force_single:
+        from repro.core.restart import RestartDriver
+
+        driver = RestartDriver.from_scenario(
+            scenario, log_stream=log_stream, observe=observe
+        )
+        run = driver.run()
+        return ScenarioOutcome(
+            scenario=scenario, mode="restart", run=run, observer=driver.observer
+        )
+    from repro.core.checkpoint.store import CheckpointStore
+
+    sim = backend.make_sim(scenario, log_stream=log_stream, observe=observe)
+    schedule = scenario.schedule()
+    if schedule:
+        sim.inject_schedule(schedule)
+    app, make_args = scenario.make_app()
+    result = sim.run(app, args=make_args(CheckpointStore()))
+    return ScenarioOutcome(
+        scenario=scenario, mode="single", result=result, sim=sim,
+        observer=sim.observer,
+    )

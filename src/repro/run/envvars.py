@@ -1,0 +1,98 @@
+"""Registry of every ``XSIM_*`` environment variable the toolkit reads.
+
+One table, consumed three ways:
+
+* :meth:`Scenario.resolve <repro.run.scenario.Scenario.resolve>` applies
+  the environment layer of the precedence chain (library defaults <
+  scenario file < environment < flags/kwargs) from it;
+* the "Environment variables" table in ``docs/INTERNALS.md`` documents it
+  (a test asserts the documented set matches this registry, and that this
+  registry matches the variables the source actually reads);
+* ``xsim-run`` help text references the per-flag equivalents.
+
+Adding a variable here without documenting it (or vice versa) fails the
+``test_env_var_docs_match_code`` test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """One environment knob: where it reads and what it overrides."""
+
+    name: str
+    #: The Scenario field the variable sets (the precedence chain slots
+    #: every variable between the scenario file and explicit flags).
+    field: str
+    #: Equivalent ``xsim-run`` flag.
+    cli_flag: str
+    description: str
+
+
+#: Every environment variable the code reads, keyed by name.
+XSIM_ENV_VARS: dict[str, EnvVar] = {
+    v.name: v
+    for v in (
+        EnvVar(
+            "XSIM_FAILURES",
+            field="failures",
+            cli_flag="--xsim-failures",
+            description='failure schedule as "rank@time,rank@time" '
+            "(times accept unit suffixes, e.g. 3@100s)",
+        ),
+        EnvVar(
+            "XSIM_CHECK",
+            field="check",
+            cli_flag="--check",
+            description="any value other than empty/0 enables the runtime "
+            "invariant sanitizer on every run",
+        ),
+        EnvVar(
+            "XSIM_SHARDS",
+            field="shards",
+            cli_flag="--shards",
+            description="shard count for the conservative-parallel engine "
+            "(1 = serial)",
+        ),
+        EnvVar(
+            "XSIM_JOBS",
+            field="jobs",
+            cli_flag="--jobs",
+            description="worker-process count for campaigns of independent "
+            "runs (1 = serial in-process)",
+        ),
+    )
+}
+
+
+def read_environment(environ=None) -> dict[str, object]:
+    """The environment layer of the scenario precedence chain: a partial
+    ``{field: value}`` mapping containing only the variables that are set
+    (and non-empty) in ``environ`` (default ``os.environ``)."""
+    import os
+
+    from repro.util.errors import ConfigurationError
+
+    env = os.environ if environ is None else environ
+    out: dict[str, object] = {}
+    raw = env.get("XSIM_FAILURES", "").strip()
+    if raw:
+        out["failures"] = raw
+    raw = env.get("XSIM_CHECK", "").strip()
+    if raw:
+        out["check"] = raw != "0"
+    for name, field in (("XSIM_SHARDS", "shards"), ("XSIM_JOBS", "jobs")):
+        raw = env.get(name, "").strip()
+        if not raw:
+            continue
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(f"{name} must be an integer, got {raw!r}") from exc
+        if value < 1:
+            raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        out[field] = value
+    return out

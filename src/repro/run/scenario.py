@@ -1,0 +1,449 @@
+"""The :class:`Scenario` spec: one declarative description of one run.
+
+A scenario captures everything a run needs — the simulated machine, the
+application and its arguments, the failure schedule, the checkpoint/restart
+policy, the seed, the execution backend, and the instrumentation switches —
+as a frozen, picklable, TOML-round-trippable value with a stable digest.
+
+Layered resolution (:meth:`Scenario.resolve`)::
+
+    library defaults  <  scenario file (TOML)  <  XSIM_* environment
+                      <  CLI flags / explicit kwargs
+
+Each layer overrides the previous one per field; the environment layer is
+the :mod:`repro.run.envvars` registry.  The TOML form groups fields into
+``[machine]``, ``[app]``, ``[resilience]``, ``[execution]``, and
+``[instrumentation]`` tables; an optional ``[sweep]`` table (not part of
+the scenario itself) declares a parameter grid for ``xsim-run sweep``
+(see :mod:`repro.run.sweep`)::
+
+    [machine]
+    ranks = 64
+    topology = "torus"
+
+    [resilience]
+    failures = "3@100s"
+
+    [sweep]
+    interval = [500, 250, 125]
+    mttf = [6000.0, 3000.0]
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.faults.schedule import FailureSchedule
+from repro.core.harness.config import SystemConfig, validate_dims
+from repro.run.envvars import read_environment
+from repro.util.errors import ConfigurationError
+
+#: TOML table -> ordered (toml key, Scenario field) pairs.  This mapping
+#: *is* the file format; every Scenario field appears exactly once.
+TOML_LAYOUT: dict[str, tuple[tuple[str, str], ...]] = {
+    "machine": (
+        ("ranks", "ranks"),
+        ("topology", "topology"),
+        ("dims", "dims"),
+        ("latency", "latency"),
+        ("bandwidth", "bandwidth"),
+        ("eager_threshold", "eager_threshold"),
+        ("detection_timeout", "detection_timeout"),
+        ("slowdown", "slowdown"),
+        ("collectives", "collectives"),
+    ),
+    "app": (
+        ("name", "app"),
+        ("iterations", "iterations"),
+        ("interval", "interval"),
+    ),
+    "resilience": (
+        ("failures", "failures"),
+        ("mttf", "mttf"),
+        ("max_restarts", "max_restarts"),
+    ),
+    "execution": (
+        ("seed", "seed"),
+        ("backend", "backend"),
+        ("shards", "shards"),
+        ("shard_transport", "shard_transport"),
+        ("jobs", "jobs"),
+    ),
+    "instrumentation": (
+        ("check", "check"),
+        ("record_events", "record_events"),
+        ("observe", "observe"),
+        ("trace_detail", "trace_detail"),
+        ("trace_out", "trace_out"),
+    ),
+}
+
+APP_NAMES = ("heat3d", "cg", "stencil2d", "ring")
+TOPOLOGY_NAMES = ("torus", "mesh", "fattree", "star", "crossbar")
+
+
+def parse_dims(text: str) -> tuple[int, ...]:
+    """Parse the ``--dims`` grid format, e.g. ``8x8x4`` -> ``(8, 8, 4)``."""
+    parts = [p.strip() for p in str(text).replace(",", "x").split("x") if p.strip()]
+    if not parts:
+        raise ConfigurationError(f"empty dims spec {text!r}; expected e.g. 8x8x4")
+    try:
+        dims = tuple(int(p) for p in parts)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bad dims spec {text!r}; expected positive integers like 8x8x4"
+        ) from exc
+    if any(d < 1 for d in dims):
+        raise ConfigurationError(f"dims must be >= 1, got {dims}")
+    return dims
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One full run, declaratively.  Defaults are the library defaults
+    (identical to the bare ``xsim-run app`` invocation)."""
+
+    # -- machine -------------------------------------------------------
+    ranks: int = 64
+    topology: str = "torus"
+    dims: tuple[int, ...] | None = None
+    latency: str = "1us"
+    bandwidth: str = "32GB/s"
+    eager_threshold: str = "256kB"
+    detection_timeout: str = "10s"
+    slowdown: float = 1000.0
+    collectives: str = "linear"
+    # -- application ---------------------------------------------------
+    app: str = "heat3d"
+    iterations: int = 1000
+    interval: int = 1000
+    # -- resilience ----------------------------------------------------
+    failures: str = ""
+    mttf: float | None = None
+    max_restarts: int = 1000
+    # -- execution -----------------------------------------------------
+    seed: int = 0
+    backend: str | None = None
+    shards: int = 1
+    shard_transport: str | None = None
+    jobs: int = 1
+    # -- instrumentation -----------------------------------------------
+    check: bool | None = None
+    record_events: bool = False
+    observe: bool = False
+    trace_detail: bool = False
+    trace_out: str = ""
+
+    def __post_init__(self) -> None:
+        # Normalize representation-equivalent inputs (TOML integers,
+        # list-form dims) so equality and the digest are canonical.
+        object.__setattr__(self, "slowdown", float(self.slowdown))
+        if self.mttf is not None:
+            object.__setattr__(self, "mttf", float(self.mttf))
+        if self.dims is not None:
+            object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+        for name in ("latency", "bandwidth", "eager_threshold", "detection_timeout"):
+            object.__setattr__(self, name, str(getattr(self, name)))
+        # A trace destination implies the observability bus; normalizing
+        # here keeps flag-built and file-built scenarios digest-equal.
+        if self.trace_out and not self.observe:
+            object.__setattr__(self, "observe", True)
+        if self.ranks < 1:
+            raise ConfigurationError(f"ranks must be >= 1, got {self.ranks}")
+        if self.app not in APP_NAMES:
+            raise ConfigurationError(
+                f"unknown app {self.app!r} (choose from {', '.join(APP_NAMES)})"
+            )
+        if self.topology not in TOPOLOGY_NAMES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r} "
+                f"(choose from {', '.join(TOPOLOGY_NAMES)})"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shard_transport not in (None, "fork", "inline"):
+            raise ConfigurationError(
+                f"unknown shard transport {self.shard_transport!r}"
+            )
+        if self.dims is not None:
+            # paper_system places one rank per node, so nnodes == ranks.
+            validate_dims(self.dims, self.topology, self.ranks)
+        # Parse eagerly so a bad schedule fails at build, not at launch.
+        FailureSchedule.parse(self.failures)
+
+    # ------------------------------------------------------------------
+    # layered resolution
+    # ------------------------------------------------------------------
+    @classmethod
+    def resolve(
+        cls,
+        file: "str | Path | None" = None,
+        environ: dict[str, str] | None = None,
+        use_environment: bool = True,
+        **overrides: Any,
+    ) -> "Scenario":
+        """Build a scenario through the full precedence chain.
+
+        ``file`` supplies the TOML layer; the environment layer reads the
+        ``XSIM_*`` variables (from ``environ`` or ``os.environ``; disable
+        with ``use_environment=False``); ``overrides`` is the flag/kwarg
+        layer, where ``None`` values mean "not given at this layer".
+        """
+        layers: dict[str, Any] = {}
+        if file is not None:
+            layers.update(_toml_fields(Path(file).read_text()))
+        if use_environment:
+            layers.update(read_environment(environ))
+        layers.update({k: v for k, v in overrides.items() if v is not None})
+        known = {f.name for f in fields(cls)}
+        unknown = set(layers) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**layers)
+
+    def with_(self, **overrides: Any) -> "Scenario":
+        """Copy with field overrides (sweep expansion uses this)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, dict[str, Any]]:
+        """Nested ``{table: {key: value}}`` form (the TOML layout), with
+        ``None`` fields omitted — primitives only, safe to pickle/JSON."""
+        out: dict[str, dict[str, Any]] = {}
+        for table, pairs in TOML_LAYOUT.items():
+            body = {}
+            for key, field_name in pairs:
+                value = getattr(self, field_name)
+                if value is None:
+                    continue
+                body[key] = list(value) if isinstance(value, tuple) else value
+            out[table] = body
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; unknown tables/keys are rejected."""
+        return cls(**_dict_fields(doc))
+
+    def to_toml(self) -> str:
+        """Canonical TOML rendering (every non-``None`` field, fixed
+        table and key order) — ``from_toml(to_toml(s)) == s``."""
+        lines: list[str] = []
+        for table, body in self.to_dict().items():
+            if not body:
+                continue
+            lines.append(f"[{table}]")
+            for key, value in body.items():
+                lines.append(f"{key} = {_toml_value(value)}")
+            lines.append("")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "Scenario":
+        """Parse a scenario TOML document (``[sweep]`` table ignored)."""
+        return cls(**_toml_fields(text))
+
+    def to_toml_file(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_toml())
+
+    @classmethod
+    def from_toml_file(cls, path: "str | Path") -> "Scenario":
+        return cls.from_toml(Path(path).read_text())
+
+    def scenario_digest(self) -> str:
+        """Stable sha256 fingerprint of the spec (floats via ``float.hex``
+        — two scenarios digest equal iff every field is identical)."""
+        h = hashlib.sha256()
+        for f in sorted(fields(self), key=lambda f: f.name):
+            value = getattr(self, f.name)
+            if isinstance(value, float):
+                rendered = value.hex()
+            elif isinstance(value, tuple):
+                rendered = "x".join(str(v) for v in value)
+            else:
+                rendered = repr(value)
+            h.update(f"{f.name}={rendered}\n".encode())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # derived objects
+    # ------------------------------------------------------------------
+    def backend_name(self) -> str:
+        """The registered backend this scenario runs on.
+
+        Explicit ``backend`` wins (and must agree with ``shard_transport``
+        if both are given); otherwise the name derives from ``shards`` and
+        ``shard_transport`` exactly as the pre-registry launchers did.
+        """
+        if self.backend is not None:
+            implied = {"sharded-fork": "fork", "sharded-inline": "inline"}.get(
+                self.backend
+            )
+            if (
+                self.shard_transport is not None
+                and implied is not None
+                and implied != self.shard_transport
+            ):
+                raise ConfigurationError(
+                    f"backend {self.backend!r} conflicts with "
+                    f"shard_transport {self.shard_transport!r}"
+                )
+            return self.backend
+        if self.shards <= 1:
+            return "serial"
+        if self.shard_transport == "inline":
+            return "sharded-inline"
+        return "sharded-fork"
+
+    def system_config(self) -> SystemConfig:
+        """The simulated machine this scenario describes."""
+        return SystemConfig.paper_system(
+            nranks=self.ranks,
+            topology_kind=self.topology,
+            topology_dims=self.dims,
+            link_latency=self.latency,
+            link_bandwidth=self.bandwidth,
+            eager_threshold=self.eager_threshold,
+            detection_timeout=self.detection_timeout,
+            slowdown=self.slowdown,
+            collective_algorithm=self.collectives,
+        )
+
+    def make_app(self) -> tuple[Callable, Callable]:
+        """``(app, make_args)``: the application generator function and
+        the per-segment argument builder (given the checkpoint store)."""
+        if self.app == "heat3d":
+            from repro.apps.heat3d import HeatConfig, heat3d
+
+            workload = HeatConfig.paper_workload(
+                checkpoint_interval=self.interval,
+                nranks=self.ranks,
+                iterations=self.iterations,
+            )
+            return heat3d, (lambda store: (workload, store))
+        if self.app == "stencil2d":
+            from repro.apps.stencil2d import Stencil2dConfig, stencil2d
+
+            cfg = Stencil2dConfig.for_ranks(self.ranks, checkpoint_interval=self.interval)
+            return stencil2d, (lambda store: (cfg, store))
+        if self.app == "cg":
+            from repro.apps.cg import CgConfig, cg
+
+            cfg = CgConfig.for_ranks(
+                self.ranks, max_iterations=self.iterations,
+                checkpoint_interval=self.interval,
+            )
+            return cg, (lambda store: (cfg, store))
+        from repro.apps.ring import RingConfig, ring
+
+        cfg = RingConfig(rounds=self.iterations)
+        return ring, (lambda store: (cfg,))
+
+    def schedule(self) -> FailureSchedule:
+        """The explicit failure schedule (may be empty)."""
+        return FailureSchedule.parse(self.failures)
+
+
+# ----------------------------------------------------------------------
+# TOML plumbing
+# ----------------------------------------------------------------------
+_FIELD_BY_TABLE_KEY = {
+    (table, key): field_name
+    for table, pairs in TOML_LAYOUT.items()
+    for key, field_name in pairs
+}
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    text = str(value)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _dict_fields(doc: dict[str, Any]) -> dict[str, Any]:
+    """Flatten a nested ``{table: {key: value}}`` document into Scenario
+    constructor kwargs, rejecting unknown tables/keys (except ``sweep``)."""
+    out: dict[str, Any] = {}
+    for table, body in doc.items():
+        if table == "sweep":
+            continue
+        if table not in TOML_LAYOUT:
+            raise ConfigurationError(
+                f"unknown scenario table [{table}] "
+                f"(expected {', '.join(TOML_LAYOUT)} or sweep)"
+            )
+        if not isinstance(body, dict):
+            raise ConfigurationError(f"scenario table [{table}] must be a table")
+        for key, value in body.items():
+            field_name = _FIELD_BY_TABLE_KEY.get((table, key))
+            if field_name is None:
+                raise ConfigurationError(f"unknown scenario key {table}.{key}")
+            out[field_name] = value
+    return out
+
+
+def _parse_toml(text: str) -> dict[str, Any]:
+    import tomllib
+
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigurationError(f"bad scenario TOML: {exc}") from exc
+
+
+def _toml_fields(text: str) -> dict[str, Any]:
+    return _dict_fields(_parse_toml(text))
+
+
+def load_scenario_file(
+    path: "str | Path",
+    environ: dict[str, str] | None = None,
+    use_environment: bool = True,
+    **overrides: Any,
+) -> tuple[Scenario, dict[str, list]]:
+    """Load a scenario file plus its optional ``[sweep]`` grid, resolving
+    the environment and override layers on top of the file layer.
+
+    Returns ``(scenario, grid)`` where ``grid`` maps Scenario field names
+    to value lists (empty when the file has no ``[sweep]`` table).
+    """
+    text = Path(path).read_text()
+    doc = _parse_toml(text)
+    grid_raw = doc.get("sweep", {})
+    if not isinstance(grid_raw, dict):
+        raise ConfigurationError("[sweep] must be a table of field = [values]")
+    known = {f.name for f in fields(Scenario)}
+    grid: dict[str, list] = {}
+    for key, values in grid_raw.items():
+        if key not in known:
+            raise ConfigurationError(f"unknown sweep field {key!r}")
+        if not isinstance(values, list) or not values:
+            raise ConfigurationError(
+                f"sweep field {key!r} must map to a non-empty list"
+            )
+        grid[key] = values
+    layers = _dict_fields(doc)
+    if use_environment:
+        layers.update(read_environment(environ))
+    layers.update({k: v for k, v in overrides.items() if v is not None})
+    unknown = set(layers) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown scenario field(s): {', '.join(sorted(unknown))}"
+        )
+    return Scenario(**layers), grid

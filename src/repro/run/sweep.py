@@ -1,0 +1,107 @@
+"""Scenario-matrix expansion: one base scenario, a cartesian grid, a campaign.
+
+The unit of a real resilience experiment is a *matrix* of scenarios —
+checkpoint interval x system MTTF in the paper's Table II, fault schedule
+x machine parameters in FINJ-style campaigns.  This module expands a base
+:class:`~repro.run.scenario.Scenario` and a ``{field: [values]}`` grid
+into the full cartesian list of scenarios and executes them as
+scenario-backed :class:`~repro.core.harness.parallel.RunSpec` campaigns
+(serial or fanned out over a worker pool — results identical either way).
+
+Grids come from a ``[sweep]`` table in the scenario TOML or from repeated
+``--set field=v1,v2`` flags on ``xsim-run sweep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from itertools import product
+from typing import Any
+
+from repro.run.scenario import Scenario, parse_dims
+from repro.util.errors import ConfigurationError
+
+
+def expand_matrix(base: Scenario, grid: dict[str, list]) -> list[Scenario]:
+    """Every combination of the grid applied to ``base``, in deterministic
+    order: the first grid field varies slowest (dict insertion order)."""
+    if not grid:
+        return [base]
+    names = list(grid)
+    for name, values in grid.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ConfigurationError(
+                f"sweep field {name!r} must map to a non-empty list"
+            )
+    return [
+        base.with_(**dict(zip(names, combo)))
+        for combo in product(*(grid[n] for n in names))
+    ]
+
+
+def parse_set(text: str, base: Scenario | None = None) -> tuple[str, list]:
+    """Parse one ``--set field=v1,v2,...`` grid axis, coercing values to
+    the scenario field's type (``--set mttf=6000,3000`` yields floats)."""
+    if "=" not in text:
+        raise ConfigurationError(
+            f"bad --set {text!r}; expected field=value[,value...]"
+        )
+    name, _, raw = text.partition("=")
+    name = name.strip()
+    known = {f.name for f in fields(Scenario)}
+    if name not in known:
+        raise ConfigurationError(
+            f"unknown sweep field {name!r} (scenario fields: "
+            f"{', '.join(sorted(known))})"
+        )
+    items = [v.strip() for v in raw.split(",") if v.strip()]
+    if not items:
+        raise ConfigurationError(f"--set {text!r} names no values")
+    return name, [_coerce(name, v) for v in items]
+
+
+_INT_FIELDS = {"ranks", "iterations", "interval", "max_restarts", "seed", "shards", "jobs"}
+_FLOAT_FIELDS = {"slowdown", "mttf"}
+_BOOL_FIELDS = {"check", "record_events", "observe", "trace_detail"}
+
+
+def _coerce(name: str, value: str) -> Any:
+    try:
+        if name in _INT_FIELDS:
+            return int(value)
+        if name in _FLOAT_FIELDS:
+            return float(value)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad value {value!r} for sweep field {name!r}") from exc
+    if name in _BOOL_FIELDS:
+        lowered = value.lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ConfigurationError(f"bad boolean {value!r} for sweep field {name!r}")
+    if name == "dims":
+        return parse_dims(value)
+    return value
+
+
+def sweep_specs(scenarios: list[Scenario]) -> list:
+    """Scenario-backed run specs for a campaign executor."""
+    from repro.core.harness.parallel import RunSpec
+
+    return [RunSpec.from_scenario(s, key=("sweep", i)) for i, s in enumerate(scenarios)]
+
+
+def run_sweep(
+    base: Scenario, grid: dict[str, list], jobs: int | None = None
+) -> list[tuple[Scenario, dict[str, Any]]]:
+    """Expand and execute the matrix; returns ``(scenario, summary)``
+    pairs in grid order.  ``jobs`` defaults to the base scenario's
+    ``jobs`` field; every cell is an independent deterministic run, so
+    pool results are identical to serial ones."""
+    from repro.core.harness.parallel import CampaignExecutor
+
+    scenarios = expand_matrix(base, grid)
+    executor = CampaignExecutor(max_workers=base.jobs if jobs is None else jobs)
+    summaries = executor.run(sweep_specs(scenarios))
+    return list(zip(scenarios, summaries))

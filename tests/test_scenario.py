@@ -1,0 +1,470 @@
+"""The unified scenario & runtime-backend layer (``repro.run``)."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.run import (
+    XSIM_ENV_VARS,
+    AttachedInstruments,
+    Scenario,
+    attach_instruments,
+    backend_names,
+    capped_shards,
+    expand_matrix,
+    get_backend,
+    load_scenario_file,
+    parse_dims,
+    parse_set,
+    run_scenario,
+    run_sweep,
+)
+from repro.util.errors import ConfigurationError
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+def tiny(**overrides) -> Scenario:
+    """A fast 8-rank scenario (sub-second serial run)."""
+    base = dict(ranks=8, iterations=20, interval=10)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+# ----------------------------------------------------------------------
+# layered resolution
+# ----------------------------------------------------------------------
+class TestResolutionPrecedence:
+    def test_defaults_match_bare_cli(self):
+        s = Scenario()
+        assert (s.ranks, s.topology, s.app) == (64, "torus", "heat3d")
+        assert (s.iterations, s.interval, s.seed, s.shards, s.jobs) == (
+            1000, 1000, 0, 1, 1,
+        )
+
+    def test_file_overrides_defaults(self, tmp_path):
+        f = tmp_path / "s.toml"
+        f.write_text("[machine]\nranks = 16\n")
+        s = Scenario.resolve(file=f, use_environment=False)
+        assert s.ranks == 16
+        assert s.topology == "torus"  # untouched default
+
+    def test_env_overrides_file(self, tmp_path):
+        f = tmp_path / "s.toml"
+        f.write_text('[resilience]\nfailures = "1@5s"\n\n[execution]\nshards = 4\n')
+        s = Scenario.resolve(
+            file=f, environ={"XSIM_FAILURES": "2@9s", "XSIM_SHARDS": "2"}
+        )
+        assert s.failures == "2@9s"  # env replaces, not extends
+        assert s.shards == 2
+
+    def test_flags_override_env(self, tmp_path):
+        f = tmp_path / "s.toml"
+        f.write_text("[machine]\nranks = 16\n")
+        s = Scenario.resolve(
+            file=f,
+            environ={"XSIM_FAILURES": "2@9s", "XSIM_JOBS": "3"},
+            failures="5@1s",
+            ranks=32,
+        )
+        assert s.failures == "5@1s"
+        assert s.jobs == 3  # env layer, no flag
+        assert s.ranks == 32  # flag beats file
+
+    def test_none_override_means_not_given(self):
+        assert Scenario.resolve(use_environment=False, ranks=None).ranks == 64
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario field"):
+            Scenario.resolve(use_environment=False, rank_count=8)
+
+    def test_flags_scenario_equals_toml_scenario(self, tmp_path):
+        """A scenario built from CLI-style kwargs equals one from the
+        equivalent TOML file — including the digest."""
+        f = tmp_path / "s.toml"
+        f.write_text(
+            "[machine]\nranks = 8\n\n[app]\niterations = 20\ninterval = 10\n"
+            '\n[resilience]\nfailures = "3@50s"\n'
+        )
+        from_file = Scenario.resolve(file=f, use_environment=False)
+        from_flags = Scenario.resolve(
+            use_environment=False, ranks=8, iterations=20, interval=10,
+            failures="3@50s",
+        )
+        assert from_file == from_flags
+        assert from_file.scenario_digest() == from_flags.scenario_digest()
+
+    def test_bad_env_int_rejected(self):
+        with pytest.raises(ConfigurationError, match="XSIM_SHARDS"):
+            Scenario.resolve(environ={"XSIM_SHARDS": "many"})
+
+
+# ----------------------------------------------------------------------
+# serialization & digest
+# ----------------------------------------------------------------------
+class TestSerialization:
+    def test_toml_round_trip(self):
+        s = tiny(
+            topology="mesh", dims=(3, 3), failures="1@5s", mttf=None,
+            shards=2, shard_transport="inline", check=True, trace_out="t.json",
+        )
+        assert Scenario.from_toml(s.to_toml()) == s
+
+    def test_round_trip_keeps_digest(self):
+        s = tiny(mttf=3000.0, seed=7)
+        assert Scenario.from_toml(s.to_toml()).scenario_digest() == s.scenario_digest()
+
+    def test_dict_round_trip(self):
+        s = tiny(dims=(2, 2, 2), topology="torus")
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_digest_changes_with_any_field(self):
+        assert tiny().scenario_digest() != tiny(seed=1).scenario_digest()
+
+    def test_unknown_table_and_key_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"unknown scenario table"):
+            Scenario.from_toml("[wardrobe]\nnarnia = true\n")
+        with pytest.raises(ConfigurationError, match="machine.rank_count"):
+            Scenario.from_toml("[machine]\nrank_count = 8\n")
+
+    def test_trace_out_implies_observe(self):
+        assert tiny(trace_out="t.json").observe is True
+
+    def test_file_round_trip(self, tmp_path):
+        s = tiny(failures="2@7s")
+        path = tmp_path / "s.toml"
+        s.to_toml_file(path)
+        assert Scenario.from_toml_file(path) == s
+
+    def test_sweep_table_loaded_and_validated(self, tmp_path):
+        f = tmp_path / "s.toml"
+        f.write_text("[machine]\nranks = 8\n\n[sweep]\ninterval = [10, 5]\n")
+        scenario, grid = load_scenario_file(f, use_environment=False)
+        assert scenario.ranks == 8
+        assert grid == {"interval": [10, 5]}
+        f.write_text("[sweep]\nwarp = [1]\n")
+        with pytest.raises(ConfigurationError, match="unknown sweep field"):
+            load_scenario_file(f, use_environment=False)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_registry_names(self):
+        assert set(backend_names()) == {"serial", "sharded-inline", "sharded-fork"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            get_backend("quantum")
+
+    def test_backend_name_derivation(self):
+        assert tiny().backend_name() == "serial"
+        assert tiny(shards=2).backend_name() == "sharded-fork"
+        assert tiny(shards=2, shard_transport="inline").backend_name() == "sharded-inline"
+        assert tiny(backend="serial").backend_name() == "serial"
+
+    def test_backend_transport_conflict(self):
+        with pytest.raises(ConfigurationError, match="conflicts"):
+            tiny(backend="sharded-fork", shard_transport="inline").backend_name()
+
+    def test_serial_vs_sharded_inline_digest_parity(self):
+        serial = run_scenario(tiny())
+        sharded = run_scenario(tiny(shards=2, shard_transport="inline"))
+        assert serial.digest() == sharded.digest()
+        assert serial.scenario.scenario_digest() != sharded.scenario.scenario_digest()
+
+    def test_restart_mode_with_schedule(self):
+        outcome = run_scenario(tiny(iterations=40, failures="3@50s"))
+        assert outcome.mode == "restart"
+        assert outcome.completed
+        assert outcome.run.f == 1
+        summary = outcome.summary()
+        assert summary["restarts"] == 1
+        assert summary["result_digest"] == outcome.digest()
+
+    def test_restart_digest_matches_across_backends(self):
+        a = run_scenario(tiny(iterations=40, failures="3@50s"))
+        b = run_scenario(
+            tiny(iterations=40, failures="3@50s", shards=2, shard_transport="inline")
+        )
+        assert a.digest() == b.digest()
+
+    def test_backend_execute_single_run(self):
+        result = get_backend("serial").execute(tiny())
+        assert result.completed
+
+    def test_xsim_from_scenario_backend_described(self):
+        from repro.core.simulator import XSim
+
+        sim = XSim.from_scenario(tiny(shards=2, shard_transport="inline"))
+        described = sim.describe_architecture()["backend"]
+        assert described == {
+            "name": "sharded-inline", "shards": 2, "shard_transport": "inline",
+        }
+
+
+class TestCappedShards:
+    """Boundary cases of the jobs x shards CPU cap (satellite c)."""
+
+    def test_exact_fit_is_untouched(self, monkeypatch):
+        import repro.run.backends as backends
+
+        monkeypatch.setattr(backends.os, "cpu_count", lambda: 8)
+        assert capped_shards(4, jobs=2, transport="fork") == 4
+
+    def test_inline_never_capped(self, monkeypatch):
+        import repro.run.backends as backends
+
+        monkeypatch.setattr(backends.os, "cpu_count", lambda: 1)
+        assert capped_shards(64, jobs=64, transport="inline") == 64
+
+    def test_jobs_beyond_cpus_clamp_to_one_shard(self, monkeypatch, capsys):
+        import repro.run.backends as backends
+
+        monkeypatch.setattr(backends.os, "cpu_count", lambda: 4)
+        assert capped_shards(2, jobs=8, transport="fork", quiet=True) == 1
+        assert capsys.readouterr().err == ""  # quiet suppresses the warning
+
+    def test_cli_reexport_is_registry_function(self):
+        from repro import cli
+        from repro.run import backends
+
+        assert cli.capped_shards is backends.capped_shards
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_attach_to_sim(self):
+        from repro.core.harness.config import SystemConfig
+        from repro.core.simulator import XSim
+
+        sim = XSim(
+            SystemConfig.small_test_system(nranks=2),
+            check=True, record_events=True, observe=True,
+        )
+        assert sim.checker is not None and sim.engine.check is not None
+        assert sim.event_trace is not None and sim.engine.event_trace is sim.event_trace
+        assert sim.observer is not None and sim.engine.obs is sim.observer
+
+    def test_detached_by_default(self):
+        from repro.core.harness.config import SystemConfig
+        from repro.core.simulator import XSim
+
+        sim = XSim(SystemConfig.small_test_system(nranks=2), check=False)
+        assert sim.checker is None and sim.event_trace is None and sim.observer is None
+
+    def test_attach_returns_slots(self):
+        from repro.core.harness.config import SystemConfig
+        from repro.core.simulator import XSim
+
+        sim = XSim(SystemConfig.small_test_system(nranks=2), check=False)
+        attached = attach_instruments(sim, check=False)
+        assert isinstance(attached, AttachedInstruments)
+        assert attached.checker is None
+
+    def test_observer_instance_passes_through(self):
+        from repro.obs import Observer
+        from repro.run.instruments import coerce_observer
+
+        obs = Observer(detail=True)
+        assert coerce_observer(obs) is obs
+        assert coerce_observer(None) is None
+        assert coerce_observer(False) is None
+        assert coerce_observer(True, detail=True).detail is True
+
+    def test_duplicate_hook_rejected(self):
+        from repro.run.instruments import INSTRUMENTS, instrument
+
+        assert set(INSTRUMENTS) >= {"sanitizer", "event-trace", "observer"}
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            instrument("sanitizer")(lambda host, **kw: None)
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+class TestSweep:
+    def test_expand_matrix_order(self):
+        cells = expand_matrix(tiny(), {"interval": [10, 5], "seed": [0, 1]})
+        assert [(c.interval, c.seed) for c in cells] == [
+            (10, 0), (10, 1), (5, 0), (5, 1),
+        ]
+
+    def test_parse_set_coercion(self):
+        assert parse_set("mttf=6000,3000") == ("mttf", [6000.0, 3000.0])
+        assert parse_set("interval=500,250") == ("interval", [500, 250])
+        assert parse_set("check=1,0") == ("check", [True, False])
+        assert parse_set("dims=2x2,4x1") == ("dims", [(2, 2), (4, 1)])
+
+    def test_parse_set_errors(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep field"):
+            parse_set("warp=9")
+        with pytest.raises(ConfigurationError, match="expected field="):
+            parse_set("interval")
+        with pytest.raises(ConfigurationError, match="bad value"):
+            parse_set("interval=fast")
+
+    def test_run_sweep_serial_matches_grid(self):
+        pairs = run_sweep(tiny(), {"seed": [0, 1]})
+        assert len(pairs) == 2
+        (s0, r0), (s1, r1) = pairs
+        assert (s0.seed, s1.seed) == (0, 1)
+        assert r0["completed"] and r1["completed"]
+        assert r0["result_digest"] == r1["result_digest"]  # seed only feeds injection
+
+    def test_runspec_scenario_task_round_trips(self):
+        from repro.core.harness.parallel import CampaignExecutor, RunSpec
+
+        spec = RunSpec.from_scenario(tiny())
+        assert spec.kind == "scenario"
+        [summary] = CampaignExecutor(max_workers=1).run([spec])
+        assert summary["completed"] is True
+        assert summary["backend"] == "serial"
+        assert summary["result_digest"] == run_scenario(tiny()).digest()
+
+
+# ----------------------------------------------------------------------
+# dims (satellite d)
+# ----------------------------------------------------------------------
+class TestDims:
+    def test_parse_dims(self):
+        assert parse_dims("8x8x4") == (8, 8, 4)
+        assert parse_dims("16,3") == (16, 3)
+        with pytest.raises(ConfigurationError, match="bad dims"):
+            parse_dims("8xbig")
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            parse_dims("8x0")
+
+    def test_valid_dims_build_topology(self):
+        s = tiny(topology="mesh", dims=(3, 3))
+        topo = s.system_config().make_topology()
+        assert type(topo).__name__ == "MeshTopology"
+        assert topo.nnodes == 9  # the grid's capacity; >= the 8 ranks
+
+    def test_undersized_dims_rejected_with_counts(self):
+        with pytest.raises(ConfigurationError) as err:
+            Scenario(ranks=64, dims=(2, 2, 2))
+        assert "hold 8 nodes but the job needs 64" in str(err.value)
+
+    def test_fattree_dims_are_arity_levels(self):
+        tiny(topology="fattree", dims=(4, 2))  # 4^2 = 16 >= 8: fine
+        with pytest.raises(ConfigurationError, match=r"4\^1 holds 4 nodes"):
+            tiny(topology="fattree", dims=(4, 1))
+        with pytest.raises(ConfigurationError, match="arity must be >= 2"):
+            tiny(topology="fattree", dims=(1, 8))
+
+    def test_star_takes_no_dims(self):
+        with pytest.raises(ConfigurationError, match="takes no dims"):
+            tiny(topology="star", dims=(8,))
+
+    def test_cli_dims_error_message(self, capsys):
+        assert main(["app", "--ranks", "64", "--dims", "2x2x2"]) == 2
+        err = capsys.readouterr().err
+        assert "2x2x2" in err and "needs 64" in err
+
+    def test_cli_dims_accepted(self, capsys):
+        assert main([
+            "app", "--app", "ring", "--ranks", "4", "--iterations", "2",
+            "--dims", "2x2", "--topology", "mesh",
+        ]) == 0
+        assert "completed=True" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# CLI integration (scenario flag, sweep subcommand, arch backend line)
+# ----------------------------------------------------------------------
+class TestScenarioCli:
+    def test_app_scenario_file_and_digest(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("XSIM_FAILURES", raising=False)
+        f = tmp_path / "s.toml"
+        f.write_text(
+            "[machine]\nranks = 8\n\n[app]\niterations = 20\ninterval = 10\n"
+        )
+        assert main(["app", "--scenario", str(f), "--digest"]) == 0
+        out = capsys.readouterr().out
+        serial = re.search(r"result digest: ([0-9a-f]{64})", out).group(1)
+        assert main([
+            "app", "--scenario", str(f), "--digest",
+            "--shards", "2", "--shard-transport", "inline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"result digest: ([0-9a-f]{64})", out).group(1) == serial
+
+    def test_app_flags_override_scenario_file(self, tmp_path, capsys):
+        f = tmp_path / "s.toml"
+        f.write_text("[machine]\nranks = 8\n\n[app]\nname = \"heat3d\"\n")
+        assert main([
+            "app", "--scenario", str(f), "--app", "ring", "--iterations", "2",
+            "--ranks", "4",
+        ]) == 0
+        assert "4 processes" in capsys.readouterr().out
+
+    def test_sweep_cli_table(self, tmp_path, capsys):
+        f = tmp_path / "s.toml"
+        f.write_text(
+            "[machine]\nranks = 8\n\n[app]\niterations = 20\ninterval = 10\n"
+            "\n[sweep]\nseed = [0, 1]\n"
+        )
+        assert main(["sweep", "--scenario", str(f), "--set", "interval=10,5"]) == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out and "digest" in out
+
+    def test_sweep_without_grid_errors(self, capsys):
+        assert main(["sweep", "--ranks", "8"]) == 2
+        assert "nothing to sweep" in capsys.readouterr().err
+
+    def test_arch_renders_backend(self, capsys):
+        assert main([
+            "arch", "--ranks", "16", "--shards", "2", "--shard-transport", "inline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "execution backend: sharded-inline (2 shards, inline transport)" in out
+
+    def test_arch_default_backend_serial(self, capsys):
+        assert main(["arch", "--ranks", "16"]) == 0
+        assert "execution backend: serial (1 shard)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# env-var registry vs docs vs code (satellite a)
+# ----------------------------------------------------------------------
+class TestEnvVarDocs:
+    def test_env_var_docs_match_code(self):
+        """Every XSIM_* variable the source reads is in the registry, and
+        every registry entry is documented in the INTERNALS table."""
+        read_in_source = set()
+        for path in SRC.rglob("*.py"):
+            for name in re.findall(r"\bXSIM_[A-Z_]+\b", path.read_text()):
+                if name != "XSIM_ENV_VARS":  # the registry itself
+                    read_in_source.add(name)
+        assert read_in_source == set(XSIM_ENV_VARS)
+
+        table = (DOCS / "INTERNALS.md").read_text()
+        documented = set(re.findall(r"^\| `(XSIM_[A-Z_]+)` \|", table, re.M))
+        assert documented == set(XSIM_ENV_VARS)
+
+    def test_registry_flags_exist_in_cli(self):
+        from repro.cli import build_parser
+
+        help_text = build_parser().format_help()
+        app_help = [
+            a for a in build_parser()._subparsers._group_actions[0].choices.items()
+        ]
+        flags = {v.cli_flag for v in XSIM_ENV_VARS.values()}
+        all_help = help_text + "".join(p.format_help() for _, p in app_help)
+        for flag in flags:
+            assert flag in all_help
+
+    def test_scenario_fields_cover_registry(self):
+        from dataclasses import fields
+
+        names = {f.name for f in fields(Scenario)}
+        assert {v.field for v in XSIM_ENV_VARS.values()} <= names

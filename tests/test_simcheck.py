@@ -286,6 +286,7 @@ class TestDifferentialHarness:
             "collectives",
             "sharded-parity",
             "obs-parity",
+            "scenario-parity",
         ]
         failed = [r for r in results if not r.passed]
         assert not failed, "\n".join(str(r) for r in failed)
