@@ -33,7 +33,6 @@ artifacts.
 
 from __future__ import annotations
 
-import heapq
 import json
 import math
 from typing import TYPE_CHECKING, Any
@@ -71,24 +70,14 @@ class Sanitizer:
     def dump(self) -> dict[str, Any]:
         """Structured diagnostic snapshot of the simulation state."""
         engine = self.engine
-        heap_head = []
-        for time, seq, gvp, _, fn, _args in heapq.nsmallest(20, engine._heap):
-            heap_head.append(
-                {
-                    "time": time,
-                    "seq": seq,
-                    "rank": None if gvp is None else gvp.rank,
-                    "fn": fn.__name__,
-                }
-            )
         return {
             "now": engine.now,
             "event_count": engine.event_count,
             "checks": self.checks,
             "log_tail": [e.render() for e in list(engine.log)[-20:]],
             "vps": [vp.snapshot() for vp in engine.vps[:256]],
-            "heap_size": len(engine._heap),
-            "heap_head": heap_head,
+            "heap_size": engine.queue_size(),
+            "heap_head": engine.heap_head(20),
             "failed_history": dict(self._failed),
         }
 

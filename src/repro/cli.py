@@ -79,6 +79,14 @@ def _add_shards_args(p: argparse.ArgumentParser) -> None:
         "or inline (all shards in-process — same schedule, for debugging "
         "and single-core hosts)",
     )
+    p.add_argument(
+        "--engine",
+        choices=["heap", "flat"],
+        default=None,
+        help="event-core selection (default: XSIM_ENGINE or heap): heap is "
+        "the tuple binary heap, flat the slab-pool flat core; results and "
+        "traces are bit-identical",
+    )
 
 
 def _add_system_args(p: argparse.ArgumentParser) -> None:
@@ -155,6 +163,7 @@ def _scenario_overrides(args: argparse.Namespace) -> dict:
         seed=getattr(args, "seed", None),
         shards=getattr(args, "shards", None),
         shard_transport=getattr(args, "shard_transport", None),
+        engine=getattr(args, "engine", None),
         app=getattr(args, "app", None),
         iterations=getattr(args, "iterations", None),
         interval=getattr(args, "interval", None),
@@ -326,13 +335,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     out = Path(args.out) if args.out else bench.BENCH_PATH
     update: dict = {}
+    if not args.skip_cores:
+        print("heap vs flat event core at 512 ranks (paired, interleaved) ...")
+        cores = bench.measure_cores(nranks=512)
+        update["cores"] = cores
+        for core in ("heap", "flat"):
+            r = cores[core]
+            print(f"  {core}: {cores['events']:>9,} events in {r['host_s']:.3f}s "
+                  f"({r['events_per_sec']:,.0f} ev/s)")
+        fp = cores["flat"]["profile"]
+        print(f"  flat/heap ratio {cores['flat_vs_heap']:.3f}x; flat pool peak "
+              f"{fp['pool_peak']:,} slots, {fp['slab_grows']} slab grows, "
+              f"free-list reuse {fp['free_reuse_ratio']:.1%}, "
+              f"max batch {fp['batch_max']:,}")
+    if os.environ.get("XSIM_FULL_SCALE", "").strip() not in ("", "0"):
+        print("paper-exact 32,768-rank run (XSIM_FULL_SCALE=1) ...")
+        fs = bench.full_scale_record()
+        update["full_scale"] = fs
+        print(f"  {fs['events']:,} events in {fs['host_s']:.3f}s "
+              f"({fs['events_per_sec']:,.0f} ev/s, E1={fs['e1']:,.1f}s, "
+              f"{fs['engine']} core)")
     if not args.skip_scaling:
         print(f"scaling sweep at {', '.join(map(str, bench.SCALES))} ranks ...")
         results = bench.run_scaling()
         update.update(bench.scaling_record(results))
         for n, r in results.items():
             print(f"  {n:>6} ranks: {r['events']:>9,} events in {r['host_s']:.3f}s "
-                  f"({r['events'] / r['host_s']:,.0f} ev/s)")
+                  f"({bench.rate(r['events'], r['host_s']):,.0f} ev/s)")
         print(f"  512-rank throughput vs frozen seed baseline: "
               f"{update['speedup_vs_seed']:.3f}x (host-state dependent; "
               f"authoritative paired figure {bench.PAIRED_AB_512['speedup']}x)")
@@ -519,6 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the serial throughput sweep")
     p_bench.add_argument("--skip-sharded", action="store_true",
                          help="skip the serial-vs-sharded comparison")
+    p_bench.add_argument("--skip-cores", action="store_true",
+                         help="skip the paired heap-vs-flat event-core comparison")
     p_bench.add_argument("--out", default=None, metavar="FILE",
                          help="output path (default: BENCH_pdes.json at the repo root)")
     p_bench.set_defaults(fn=_cmd_bench)

@@ -37,7 +37,6 @@ file-system models — and implements the mechanics behind every MPI call:
 from __future__ import annotations
 
 import math
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
 import numpy as np
@@ -344,11 +343,10 @@ class MpiWorld:
                 self._release_failed(req, dst, failed_at)
             else:
                 self.states[vp.rank].rdv_sends.append(req)
-        # Inline of engine.schedule (per-message hot path).
+        # Per-message hot path: engine.schedule minus the varargs tuple.
         if arrival < engine.now:
             raise SimulationError(f"cannot schedule into the past ({arrival} < {engine.now})")
-        engine._seq += 1
-        heappush(engine._heap, (arrival, engine._seq, None, 0, self._arrive, (msg,)))
+        engine.post_event(arrival, self._arrive, msg)
         return req
 
     def irecv(

@@ -37,7 +37,7 @@ from __future__ import annotations
 import gc
 import math
 from dataclasses import dataclass, field
-from heapq import heapify, heappop, heappush
+from heapq import heapify, heappop, heappush, nsmallest
 from typing import Any, Callable, Generator
 
 from repro.pdes.context import VirtualProcess, VpState
@@ -216,6 +216,35 @@ class Engine:
             raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
         self._seq += 1
         heappush(self._heap, (time, self._seq, vp, vp.epoch, fn, args))
+
+    def post_event(self, time: float, fn: Callable[[Any], None], arg: Any) -> None:
+        """Schedule ``fn(arg)`` at ``time`` — the unguarded single-payload
+        fast path (per-message deliveries).  Callers validate ``time``
+        against their own clock; no past-check is repeated here.  Exists
+        as a method (rather than the callers pushing heap tuples inline)
+        so alternative event cores can intercept every scheduling path.
+        """
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, None, 0, fn, (arg,)))
+
+    def queue_size(self) -> int:
+        """Number of queued (possibly stale) events."""
+        return len(self._heap)
+
+    def heap_head(self, n: int = 20) -> list[dict[str, Any]]:
+        """The ``n`` earliest queued events as diagnostic records (the
+        sanitizer's dump snapshot) — core-representation independent."""
+        out = []
+        for time, seq, gvp, _, fn, _args in nsmallest(n, self._heap):
+            out.append(
+                {
+                    "time": time,
+                    "seq": seq,
+                    "rank": None if gvp is None else gvp.rank,
+                    "fn": fn.__name__,
+                }
+            )
+        return out
 
     def mark_phase(self, label: str) -> None:
         """Record a named phase boundary for profiling.

@@ -1,0 +1,673 @@
+"""Flat-array event core: slab-allocated pool + compact-key heap dispatch.
+
+The baseline :class:`~repro.pdes.engine.Engine` stores every queued event
+as a 6-tuple ``(time, seq, guard_vp, guard_epoch, fn, args)`` — two fresh
+tuples per event, a bound method, and a rich comparison over six fields on
+every sift.  This module rebuilds the same event queue as a **flat event
+pool**:
+
+* parallel slab-grown arrays ``kind / guard_vp / guard_epoch / a / b / c``
+  hold all event state, indexed by an integer *slot*;
+* the binary heap contains only the compact sort key ``(time, seq, slot)``
+  — the slot is ballast, never compared (``seq`` is unique), so every
+  sift compares a float and an int and nothing else;
+* a LIFO free-list recycles slots, so steady-state dispatch performs
+  **zero per-event pool allocation** (the arrays stop growing once the
+  simulation reaches its peak event population);
+* the uninstrumented run loop drains **batches** of same-timestamp events
+  without re-checking the abort horizon or re-entering the outer loop.
+
+Dispatch is kind-specialized: instead of storing ``fn``/``args`` and
+paying a generic call, the loop switches on the small-int ``kind`` and
+inlines the bodies of the per-event callbacks (`_resume_advance`,
+`_do_wake`, `_failure_due`, `_resume_delayed`) the baseline engine would
+have invoked.  Generic callbacks (message arrivals, scheduled functions)
+still dispatch through stored callables.
+
+**Observational identity.**  The flat core is digest-identical to the
+heap core: same events in the same ``(time, seq)`` order, same control
+points, same ``event_count``/``stale_skipped``/``coalesced_advances``,
+same trace entries and sanitizer callbacks.  Instrumented runs (event
+trace or sanitizer attached) take a per-event loop that *materializes*
+the exact ``(fn, args)`` pair the heap engine would have stored, so trace
+kinds (function names) and dispatch hooks are bit-identical; the
+``flat-parity`` simcheck (:mod:`repro.check.differential`) holds the two
+cores against each other on every workload family.
+
+Kind table (payload slots ``a``/``b``/``c``; ``-`` means unused and
+guaranteed ``None`` — the free-list invariant lets allocation sites skip
+re-clearing them):
+
+====================  =======  ==========  =========  =========
+kind                  guarded  a           b          c
+====================  =======  ==========  =========  =========
+``K_GCALL``           yes      fn          args       --
+``K_ADVANCE``         yes      --          --         --
+``K_WAKE``            yes      wait_token  value      exc
+``K_FAILURE``         yes      --          --         --
+``K_RESUME_DELAYED``  yes      value       exc        --
+``K_CALL1``           no       fn          arg        --
+``K_CALL``            no       fn          args       --
+====================  =======  ==========  =========  =========
+
+``K_ADVANCE``/``K_FAILURE``/``K_RESUME_DELAYED`` need no stored time:
+the event's heap time *is* the resume clock / scheduled failure time.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+from heapq import heapify, heappop, heappush, nsmallest
+from typing import Any, Callable
+
+from repro.pdes.context import VirtualProcess, VpState
+from repro.pdes.engine import Engine
+from repro.pdes.requests import Advance, Block
+from repro.util.errors import ConfigurationError, DeadlockError, SimulationError, XsimError
+
+K_GCALL = 0
+K_ADVANCE = 1
+K_WAKE = 2
+K_FAILURE = 3
+K_RESUME_DELAYED = 4
+K_CALL1 = 5
+K_CALL = 6
+
+#: Slots added per pool growth.  One slab covers most runs below ~1k
+#: ranks; larger runs grow a handful of times and then never again.
+_SLAB = 2048
+
+
+class _FlatCore:
+    """Mixin replacing the tuple heap of an :class:`Engine` subclass with
+    the flat event pool.  Composed as ``class FlatEngine(_FlatCore,
+    Engine)`` — every scheduling/dispatch method is overridden here; the
+    resilience surface (kill/abort/retire, result assembly) is inherited
+    unchanged, which is what keeps the two cores digest-identical.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        # (time, seq, slot) — replaces the baseline 6-tuple heap.
+        self._heap: list[tuple[float, int, int]] = []
+        self._ek: list[int] = []
+        self._eg: list[VirtualProcess | None] = []
+        self._ege: list[int] = []
+        self._ea: list[Any] = []
+        self._eb: list[Any] = []
+        self._ec: list[Any] = []
+        self._free: list[int] = []
+        self._pool_cap = 0
+        # -- pool/heap gauges (read by repro.util.profiling) -----------
+        self.pool_allocs = 0
+        self.pool_reuses = 0
+        self.slab_grows = 0
+        self.pool_peak = 0
+        self.batch_max = 0
+
+    # ------------------------------------------------------------------
+    # pool management
+    # ------------------------------------------------------------------
+    def _grow(self) -> int:
+        """Extend every parallel array by one slab; return a fresh slot."""
+        base = self._pool_cap
+        self._ek.extend([0] * _SLAB)
+        self._eg.extend([None] * _SLAB)
+        self._ege.extend([0] * _SLAB)
+        self._ea.extend([None] * _SLAB)
+        self._eb.extend([None] * _SLAB)
+        self._ec.extend([None] * _SLAB)
+        self._pool_cap = base + _SLAB
+        self.slab_grows += 1
+        # LIFO free list, lowest slots handed out first.
+        self._free.extend(range(base + _SLAB - 1, base, -1))
+        return base
+
+    def _new_slot(self) -> int:
+        """Allocate a slot (free-list first, slab growth when exhausted)."""
+        self.pool_allocs += 1
+        free = self._free
+        if free:
+            self.pool_reuses += 1
+            slot = free.pop()
+        else:
+            slot = self._grow()
+        used = self._pool_cap - len(free)
+        if used > self.pool_peak:
+            self.pool_peak = used
+        return slot
+
+    def _release(self, slot: int) -> None:
+        """Return a slot to the free list, dropping payload references."""
+        self._eg[slot] = self._ea[slot] = self._eb[slot] = self._ec[slot] = None
+        self._free.append(slot)
+
+    # ------------------------------------------------------------------
+    # scheduling surface (every entry point that fed the tuple heap)
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
+        slot = self._new_slot()
+        self._ek[slot] = K_CALL
+        self._ea[slot] = fn
+        self._eb[slot] = args
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, slot))
+
+    def _schedule_vp(
+        self, time: float, vp: VirtualProcess, fn: Callable[..., None], *args: Any
+    ) -> None:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
+        slot = self._new_slot()
+        self._ek[slot] = K_GCALL
+        self._eg[slot] = vp
+        self._ege[slot] = vp.epoch
+        self._ea[slot] = fn
+        self._eb[slot] = args
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, slot))
+
+    def post_event(self, time: float, fn: Callable[[Any], None], arg: Any) -> None:
+        # Unguarded single-payload fast path (message deliveries); the
+        # caller has already validated ``time`` against the clock.  The
+        # slot allocation is inlined — one call per simulated message.
+        self.pool_allocs += 1
+        free = self._free
+        if free:
+            self.pool_reuses += 1
+            slot = free.pop()
+        else:
+            slot = self._grow()
+        used = self._pool_cap - len(self._free)
+        if used > self.pool_peak:
+            self.pool_peak = used
+        self._ek[slot] = K_CALL1
+        self._ea[slot] = fn
+        self._eb[slot] = arg
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, slot))
+
+    def wake(
+        self,
+        vp: VirtualProcess,
+        time: float,
+        value: Any = None,
+        exc: BaseException | None = None,
+    ) -> None:
+        if vp.state is not VpState.BLOCKED:
+            raise SimulationError(f"wake() on non-blocked VP rank {vp.rank} ({vp.state})")
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
+        slot = self._new_slot()
+        self._ek[slot] = K_WAKE
+        self._eg[slot] = vp
+        self._ege[slot] = vp.epoch
+        self._ea[slot] = vp.wait_token
+        self._eb[slot] = value
+        self._ec[slot] = exc
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, slot))
+
+    def schedule_failure(self, rank: int, time: float) -> None:
+        if time < self.start_time:
+            raise ConfigurationError(
+                f"failure time {time} precedes simulation start {self.start_time}"
+            )
+        vp = self.vps[rank]
+        vp.time_of_failure = min(vp.time_of_failure, time)
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
+        slot = self._new_slot()
+        self._ek[slot] = K_FAILURE
+        self._eg[slot] = vp
+        self._ege[slot] = vp.epoch
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, slot))
+
+    # ------------------------------------------------------------------
+    # heap introspection (sanitizer diagnostics, parity with Engine)
+    # ------------------------------------------------------------------
+    def heap_head(self, n: int = 20) -> list[dict[str, Any]]:
+        out = []
+        for time, seq, slot in nsmallest(n, self._heap):
+            g = self._eg[slot]
+            fn, _args = self._materialize(time, slot)
+            out.append(
+                {
+                    "time": time,
+                    "seq": seq,
+                    "rank": None if g is None else g.rank,
+                    "fn": fn.__name__,
+                }
+            )
+        return out
+
+    def _materialize(self, t: float, slot: int) -> tuple[Callable[..., None], tuple]:
+        """The exact ``(fn, args)`` pair the heap engine would have stored
+        for this event — instrumented dispatch and diagnostics run through
+        it so trace entries and dump snapshots are bit-identical."""
+        k = self._ek[slot]
+        g = self._eg[slot]
+        a = self._ea[slot]
+        b = self._eb[slot]
+        if k == K_ADVANCE:
+            return self._resume_advance, (g, self._ege[slot], t)
+        if k == K_CALL1:
+            return a, (b,)
+        if k == K_WAKE:
+            return self._do_wake, (g, self._ege[slot], a, t, b, self._ec[slot])
+        if k == K_FAILURE:
+            return self._failure_due, (g, self._ege[slot], t)
+        if k == K_RESUME_DELAYED:
+            return self._resume_delayed, (g, self._ege[slot], t, a, b)
+        return a, b  # K_CALL / K_GCALL
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self):
+        if self._ran:
+            raise SimulationError("Engine.run() may only be called once")
+        self._ran = True
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if self.event_trace is not None or self.check is not None:
+                self._drain_instrumented()
+            else:
+                self._drain_fast()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if self._pending_abort is not None:  # abort at the last instant
+            self._apply_abort_sweep()
+        if self._live > 0:
+            blocked = [
+                (vp.rank, str(vp.wait_tag), vp.state.value) for vp in self.vps if vp.alive
+            ]
+            raise DeadlockError(blocked)
+        if self.check is not None:
+            self.check.on_run_end()
+        return self._result()
+
+    def _drain_fast(self) -> None:
+        """Uninstrumented run-to-quiescence: kind-specialized dispatch with
+        same-timestamp batch draining.
+
+        Event-for-event equivalent to the baseline loop.  The deferred
+        abort sweep is only re-checked at the first event of each batch:
+        within one simulated instant ``t`` no sweep can newly become due —
+        ``request_abort`` is first-wins and is always invoked with the
+        aborting VP's clock, which is ``>= t`` mid-dispatch, so ``t >
+        pending_abort`` cannot turn true between two same-``t`` events.
+        """
+        heap = self._heap
+        pop = heappop
+        ek = self._ek
+        eg = self._eg
+        ege = self._ege
+        ea = self._ea
+        eb = self._eb
+        ec = self._ec
+        free_append = self._free.append
+        step = self._step
+        ADVANCING = VpState.ADVANCING
+        BLOCKED = VpState.BLOCKED
+        READY = VpState.READY
+        batch_max = self.batch_max
+        while heap:
+            t, _seq, slot = pop(heap)
+            if self._pending_abort is not None and t > self._pending_abort:
+                self._apply_abort_sweep()
+            batch = 0
+            while True:
+                batch += 1
+                g = eg[slot]
+                if g is not None and g.epoch != ege[slot]:
+                    eg[slot] = ea[slot] = eb[slot] = ec[slot] = None
+                    free_append(slot)
+                    self.stale_skipped += 1  # lazily deleted dead-VP event
+                else:
+                    k = ek[slot]
+                    self.now = t
+                    self.event_count += 1
+                    if k == K_ADVANCE:
+                        eg[slot] = None
+                        free_append(slot)
+                        if g.state is ADVANCING:
+                            g.clock = t
+                            if t >= g.time_of_failure:
+                                self._kill_failure(g, t)
+                            elif t >= g.time_of_abort:
+                                self._kill_abort(g, t)
+                            else:
+                                step(g)
+                    elif k == K_CALL1:
+                        a = ea[slot]
+                        b = eb[slot]
+                        ea[slot] = eb[slot] = None
+                        free_append(slot)
+                        a(b)
+                    elif k == K_WAKE:
+                        token = ea[slot]
+                        b = eb[slot]
+                        c = ec[slot]
+                        eg[slot] = ea[slot] = eb[slot] = ec[slot] = None
+                        free_append(slot)
+                        if g.state is BLOCKED and g.wait_token == token:
+                            if t > g.clock:
+                                g.clock = t
+                            if g.clock >= g.time_of_failure:
+                                self._kill_failure(g, g.clock)
+                            elif g.clock >= g.time_of_abort:
+                                self._kill_abort(g, g.clock)
+                            else:
+                                step(g, b, c)
+                    elif k == K_FAILURE:
+                        eg[slot] = None
+                        free_append(slot)
+                        # The wait (or not-yet-started VP) provably extends
+                        # past the scheduled failure time.
+                        if g.state is BLOCKED or g.state is READY:
+                            self._kill_failure(g, t)
+                    elif k == K_RESUME_DELAYED:
+                        value = ea[slot]
+                        exc = eb[slot]
+                        eg[slot] = ea[slot] = eb[slot] = None
+                        free_append(slot)
+                        if g.state is ADVANCING:
+                            g.clock = t
+                            if t >= g.time_of_failure:
+                                self._kill_failure(g, t)
+                            elif t >= g.time_of_abort:
+                                self._kill_abort(g, t)
+                            else:
+                                step(g, value, exc)
+                    else:  # K_CALL / K_GCALL: generic stored callable
+                        a = ea[slot]
+                        b = eb[slot]
+                        eg[slot] = ea[slot] = eb[slot] = None
+                        free_append(slot)
+                        a(*b)
+                if heap and heap[0][0] == t:
+                    _t, _seq, slot = pop(heap)
+                    continue
+                break
+            if batch > batch_max:
+                batch_max = batch
+        self.batch_max = batch_max
+
+    def _drain_instrumented(self) -> None:
+        """Run-to-quiescence with an event trace and/or sanitizer attached:
+        per-event dispatch through the materialized ``(fn, args)`` so hook
+        ordering and trace content match the heap engine exactly."""
+        heap = self._heap
+        pop = heappop
+        trace = self.event_trace
+        check = self.check
+        while heap:
+            t, seq, slot = pop(heap)
+            if self._pending_abort is not None and t > self._pending_abort:
+                self._apply_abort_sweep()
+            g = self._eg[slot]
+            if g is not None and g.epoch != self._ege[slot]:
+                self._release(slot)
+                self.stale_skipped += 1
+                continue
+            fn, args = self._materialize(t, slot)
+            self._release(slot)
+            if trace is not None:
+                trace.record_dispatch(t, seq, g, fn, args)
+            if check is not None:
+                check.on_dispatch(t, seq, g)
+            self.now = t
+            self.event_count += 1
+            fn(*args)
+
+    # ------------------------------------------------------------------
+    # windowed dispatch interface (sharded workers)
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float:
+        heap = self._heap
+        eg = self._eg
+        ege = self._ege
+        while heap:
+            slot = heap[0][2]
+            g = eg[slot]
+            if g is not None and g.epoch != ege[slot]:
+                heappop(heap)
+                self._release(slot)
+                self.stale_skipped += 1
+                continue
+            return heap[0][0]
+        return math.inf
+
+    def _dispatch_bounded(self, bound: float, inclusive: bool) -> None:
+        heap = self._heap
+        pop = heappop
+        trace = self.event_trace
+        check = self.check
+        try:
+            # Mirrors Engine._dispatch_bounded: non-inclusive windows
+            # re-read ``_window_end`` every iteration (the sharded world
+            # tightens it mid-dispatch after emitting an envelope).
+            while heap and (
+                heap[0][0] <= bound if inclusive else heap[0][0] < self._window_end
+            ):
+                t, seq, slot = pop(heap)
+                if self._pending_abort is not None and t > self._pending_abort:
+                    self._apply_abort_sweep()
+                g = self._eg[slot]
+                if g is not None and g.epoch != self._ege[slot]:
+                    self._release(slot)
+                    self.stale_skipped += 1
+                    continue
+                fn, args = self._materialize(t, slot)
+                self._release(slot)
+                if trace is not None:
+                    trace.record_dispatch(t, seq, g, fn, args)
+                if check is not None:
+                    check.on_dispatch(t, seq, g)
+                self.now = t
+                self.event_count += 1
+                fn(*args)
+            effective = bound if inclusive else self._window_end
+            if self._pending_abort is not None and (
+                effective >= self._pending_abort
+                if inclusive
+                else effective > self._pending_abort
+            ):
+                self._apply_abort_sweep()
+        finally:
+            self._window_end = math.inf
+
+    def deactivate_remote(self, owned: frozenset[int]) -> None:
+        for vp in self.vps:
+            if vp.rank in owned:
+                continue
+            vp.epoch += 1
+            vp.state = VpState.BLOCKED
+            vp.wait_tag = "remote-shard"
+            self._live -= 1
+            gen = vp.gen
+            if gen is not None:
+                gen.close()
+                vp.gen = None
+        ek = self._ek
+        eg = self._eg
+        ege = self._ege
+        ea = self._ea
+        eb = self._eb
+        delay_due = self._delay_due
+        keep: list[tuple[float, int, int]] = []
+        for entry in self._heap:
+            slot = entry[2]
+            g = eg[slot]
+            if g is not None:
+                live = g.epoch == ege[slot]
+            else:
+                # Unguarded injected-delay events addressed to non-owned
+                # ranks would otherwise fire (and be counted) in every
+                # shard; everything else unguarded stays.
+                live = not (
+                    ek[slot] == K_CALL and ea[slot] == delay_due and eb[slot][0] not in owned
+                )
+            if live:
+                keep.append(entry)
+            else:
+                self._release(slot)
+        self._heap = keep
+        heapify(keep)
+
+    # ------------------------------------------------------------------
+    # stepping virtual processes
+    # ------------------------------------------------------------------
+    def _step(
+        self, vp: VirtualProcess, value: Any = None, exc: BaseException | None = None
+    ) -> None:
+        """Identical to :meth:`Engine._step` except the two heap pushes
+        (delayed resume, Advance resume) allocate pool slots instead of
+        tuples."""
+        if vp.pending_delay > 0.0:
+            delay, vp.pending_delay = vp.pending_delay, 0.0
+            vp.state = VpState.ADVANCING
+            slot = self._new_slot()
+            self._ek[slot] = K_RESUME_DELAYED
+            # (cold path — the inline allocation below is for Advance only)
+            self._eg[slot] = vp
+            self._ege[slot] = vp.epoch
+            self._ea[slot] = value
+            self._eb[slot] = exc
+            self._seq += 1
+            heappush(self._heap, (vp.clock + delay, self._seq, slot))
+            return
+        vp.state = VpState.RUNNING
+        gen = vp.gen
+        send = gen.send
+        heap = self._heap
+        ek = self._ek
+        eg = self._eg
+        ege = self._ege
+        free = self._free
+        coalesce = self.coalesce_advances
+        window_end = self._window_end
+        while True:
+            try:
+                if exc is not None:
+                    err, exc = exc, None
+                    item = gen.throw(err)
+                else:
+                    item = send(value)
+            except StopIteration as stop:
+                self._finish(vp, stop.value)
+                return
+            except XsimError:
+                raise  # simulator/host errors crash the simulation
+            except Exception as err:
+                self._kill_failure(
+                    vp, vp.clock, reason=f"uncaught {type(err).__name__}: {err}"
+                )
+                return
+            value = None
+            # The simulator has regained control: failure/abort control point.
+            if vp.clock >= vp.time_of_failure:
+                self._kill_failure(vp, vp.clock)
+                return
+            if vp.clock >= vp.time_of_abort:
+                self._kill_abort(vp, vp.clock)
+                return
+            kind = type(item)
+            if kind is Advance:
+                dt = item.dt
+                if dt < 0.0:
+                    self._crash(vp, f"negative Advance({dt})")
+                if dt == 0.0:
+                    continue  # zero-cost control point; keep running
+                if item.busy:
+                    vp.busy_time += dt
+                new_clock = vp.clock + dt
+                if coalesce and new_clock < window_end and (not heap or heap[0][0] > new_clock):
+                    # Inline control point — see Engine._step for why this
+                    # preserves results and event accounting exactly.
+                    if self.event_trace is not None:
+                        self.event_trace.record_coalesced(new_clock, vp.rank)
+                    if self.check is not None:
+                        self.check.on_dispatch(new_clock, -1, vp)
+                    self.now = new_clock
+                    self.event_count += 1
+                    self.coalesced_advances += 1
+                    vp.clock = new_clock
+                    if self._pending_abort is not None and new_clock > self._pending_abort:
+                        self._apply_abort_sweep()  # leaving the abort instant
+                    if new_clock >= vp.time_of_failure:
+                        self._kill_failure(vp, new_clock)
+                        return
+                    if new_clock >= vp.time_of_abort:
+                        self._kill_abort(vp, new_clock)
+                        return
+                    continue
+                vp.state = VpState.ADVANCING
+                # Inline _new_slot: one allocation per executed Advance
+                # makes this the pool's hottest call site.
+                self.pool_allocs += 1
+                if free:
+                    self.pool_reuses += 1
+                    slot = free.pop()
+                    used = self._pool_cap - len(free)
+                    if used > self.pool_peak:
+                        self.pool_peak = used
+                else:
+                    slot = self._grow()
+                    free = self._free
+                    used = self._pool_cap - len(free)
+                    if used > self.pool_peak:
+                        self.pool_peak = used
+                ek[slot] = K_ADVANCE
+                eg[slot] = vp
+                ege[slot] = vp.epoch
+                self._seq += 1
+                heappush(heap, (new_clock, self._seq, slot))
+                return
+            if kind is Block:
+                vp.state = VpState.BLOCKED
+                vp.wait_token += 1
+                vp.wait_tag = item.tag
+                return
+            self._crash(vp, f"yielded unknown request {item!r}")
+
+
+class FlatEngine(_FlatCore, Engine):
+    """Serial engine running on the flat event pool."""
+
+
+def make_windowed_flat_engine_class():
+    """The windowed (shard-worker) flat engine class.
+
+    Built lazily so importing :mod:`repro.pdes.flatcore` does not drag in
+    the sharded machinery (and vice versa — sharded imports nothing from
+    here, keeping the import graph acyclic).
+    """
+    from repro.pdes.sharded import WindowedEngine
+
+    class FlatWindowedEngine(_FlatCore, WindowedEngine):
+        """Windowed engine variant running on the flat event pool."""
+
+    return FlatWindowedEngine
+
+
+_flat_windowed_cls = None
+
+
+def flat_engine_class(windowed: bool):
+    """The flat engine class for serial (``windowed=False``) or sharded
+    (``windowed=True``) execution; the windowed class is built once."""
+    if not windowed:
+        return FlatEngine
+    global _flat_windowed_cls
+    if _flat_windowed_cls is None:
+        _flat_windowed_cls = make_windowed_flat_engine_class()
+    return _flat_windowed_cls

@@ -78,7 +78,6 @@ import multiprocessing as mp
 import os
 import warnings
 from dataclasses import dataclass, field
-from heapq import heappush
 from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
@@ -468,8 +467,7 @@ class ShardedMpiWorld(MpiWorld):
                 raise SimulationError(
                     f"cannot schedule into the past ({arrival} < {engine.now})"
                 )
-            engine._seq += 1
-            heappush(engine._heap, (arrival, engine._seq, None, 0, self._arrive, (msg,)))
+            engine.post_event(arrival, self._arrive, msg)
         else:
             if isinstance(payload, Communicator):
                 raise ShardedParityError(
@@ -522,8 +520,7 @@ class ShardedMpiWorld(MpiWorld):
                 f"causality violation: envelope arriving at {arrival} behind "
                 f"shard clock {engine.now}"
             )
-        engine._seq += 1
-        heappush(engine._heap, (arrival, engine._seq, None, 0, self._arrive, (msg,)))
+        engine.post_event(arrival, self._arrive, msg)
 
     def apply_rdv_done(self, req_id: int, t_send_done: float) -> None:
         """Complete a cross-shard rendezvous send (receiver matched it)."""
@@ -845,6 +842,7 @@ def _build_replica(sim: "XSim", app, args: tuple, nranks: int) -> "XSim":
         shards=sim.shards,
         shard_transport="inline",
         observe=sim.observer,
+        engine=sim.engine_name,
     )
     replica.world.launch(app, nranks, args)
     for rank, time in sim._armed_failures:

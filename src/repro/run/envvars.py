@@ -64,7 +64,25 @@ XSIM_ENV_VARS: dict[str, EnvVar] = {
             description="worker-process count for campaigns of independent "
             "runs (1 = serial in-process)",
         ),
+        EnvVar(
+            "XSIM_ENGINE",
+            field="engine",
+            cli_flag="--engine",
+            description='event-core selection: "heap" (tuple binary heap) '
+            'or "flat" (slab-pool flat core); digest-identical',
+        ),
     )
+}
+
+
+#: Environment switches that are *not* scenario fields (they gate tooling
+#: behavior, not the simulated run) — documented in the same INTERNALS
+#: table and covered by the same docs-vs-code sync test.
+XSIM_ENV_SWITCHES: dict[str, str] = {
+    "XSIM_FULL_SCALE": (
+        "any value other than empty/0 adds the paper-exact 32,768-rank "
+        "measurement to ``xsim-run bench`` (tens of seconds)"
+    ),
 }
 
 
@@ -95,4 +113,11 @@ def read_environment(environ=None) -> dict[str, object]:
         if value < 1:
             raise ConfigurationError(f"{name} must be >= 1, got {value}")
         out[field] = value
+    raw = env.get("XSIM_ENGINE", "").strip()
+    if raw:
+        if raw not in ("heap", "flat"):
+            raise ConfigurationError(
+                f"XSIM_ENGINE must be 'heap' or 'flat', got {raw!r}"
+            )
+        out["engine"] = raw
     return out

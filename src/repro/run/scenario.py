@@ -68,6 +68,7 @@ TOML_LAYOUT: dict[str, tuple[tuple[str, str], ...]] = {
     "execution": (
         ("seed", "seed"),
         ("backend", "backend"),
+        ("engine", "engine"),
         ("shards", "shards"),
         ("shard_transport", "shard_transport"),
         ("jobs", "jobs"),
@@ -83,6 +84,7 @@ TOML_LAYOUT: dict[str, tuple[tuple[str, str], ...]] = {
 
 APP_NAMES = ("heat3d", "cg", "stencil2d", "ring")
 TOPOLOGY_NAMES = ("torus", "mesh", "fattree", "star", "crossbar")
+ENGINE_NAMES = ("heap", "flat")
 
 
 def parse_dims(text: str) -> tuple[int, ...]:
@@ -127,6 +129,7 @@ class Scenario:
     # -- execution -----------------------------------------------------
     seed: int = 0
     backend: str | None = None
+    engine: str = "heap"
     shards: int = 1
     shard_transport: str | None = None
     jobs: int = 1
@@ -161,6 +164,11 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown topology {self.topology!r} "
                 f"(choose from {', '.join(TOPOLOGY_NAMES)})"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r} "
+                f"(choose from {', '.join(ENGINE_NAMES)})"
             )
         if self.shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")

@@ -14,7 +14,9 @@ coalescing engine against a non-coalescing one event for event.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.check.trace import EventTrace
 from repro.pdes.engine import Engine
+from repro.pdes.flatcore import FlatEngine
 from repro.pdes.requests import Advance
 
 # One VP program: a sequence of (dt, busy) advances.  dt=0 is a legal
@@ -126,6 +128,95 @@ def test_failures_activate_at_or_after_their_scheduled_time(programs, failures):
     for rank in earliest:
         if rank not in failed_ranks:
             assert result.end_times[rank] <= earliest[rank]
+
+
+# ----------------------------------------------------------------------
+# heap core vs flat slab-pool core (repro.pdes.flatcore)
+# ----------------------------------------------------------------------
+def _run_core(engine_cls, programs, failures, coalesce, trace=False):
+    engine = engine_cls(coalesce_advances=coalesce)
+    if trace:
+        engine.event_trace = EventTrace()
+    for program in programs:
+        engine.spawn(_vp_main(program))
+    for rank, time in failures:
+        engine.schedule_failure(rank % len(programs), time)
+    return engine, engine.run()
+
+
+@given(
+    programs=programs_strategy,
+    failures=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+        ),
+        max_size=3,
+    ),
+    coalesce=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_flat_core_preserves_simulation_semantics(programs, failures, coalesce):
+    """The flat slab-pool core must be observationally identical to the
+    heap core on every schedule: same SimulationResult fields, same
+    per-event dispatch trace (time, seq, rank, kind), same hot-path
+    counters — with and without advance coalescing, with failures."""
+    heap_engine, heap = _run_core(Engine, programs, failures, coalesce, trace=True)
+    flat_engine, flat = _run_core(FlatEngine, programs, failures, coalesce, trace=True)
+
+    assert flat.exit_time == heap.exit_time
+    assert flat.event_count == heap.event_count
+    assert flat.failures == heap.failures
+    assert flat.end_times == heap.end_times
+    assert flat.busy_times == heap.busy_times
+    assert flat.states == heap.states
+    assert flat.aborted == heap.aborted
+    assert flat_engine.stale_skipped == heap_engine.stale_skipped
+    assert flat_engine.coalesced_advances == heap_engine.coalesced_advances
+    assert flat_engine.event_trace.digest() == heap_engine.event_trace.digest()
+
+
+@given(
+    programs=programs_strategy,
+    failures=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_flat_core_abort_runs_match_heap_core(programs, failures):
+    """Abort/failure paths (epoch bumps, stale skips, kill sweeps) agree
+    between the cores on the uninstrumented fast path as well."""
+    _, heap = _run_core(Engine, programs, failures, coalesce=True)
+    _, flat = _run_core(FlatEngine, programs, failures, coalesce=True)
+    assert flat.exit_time == heap.exit_time
+    assert flat.event_count == heap.event_count
+    assert flat.failures == heap.failures
+    assert flat.states == heap.states
+    assert flat.aborted == heap.aborted
+
+
+@given(programs=programs_strategy)
+@settings(max_examples=40, deadline=None)
+def test_flat_core_pool_gauges_are_consistent(programs):
+    """Slab-pool accounting invariants on arbitrary workloads: every
+    allocation is a reuse or part of a slab grow, and the peak never
+    exceeds the capacity implied by the grow count."""
+    from repro.pdes import flatcore
+
+    engine, result = _run_core(FlatEngine, programs, failures=[], coalesce=True)
+    assert result.exit_time >= 0.0
+    # Each slab grow serves exactly one allocation directly; every other
+    # allocation pops the free list.
+    assert engine.pool_allocs == engine.pool_reuses + engine.slab_grows
+    assert engine.pool_peak <= engine.slab_grows * flatcore._SLAB
+    assert engine.batch_max <= result.event_count + engine.stale_skipped
+    # Steady state: every slot released, free list holds the whole pool.
+    assert len(engine._free) == engine._pool_cap
 
 
 def test_stale_events_are_skipped_not_executed():

@@ -440,16 +440,19 @@ class TestEnvVarDocs:
     def test_env_var_docs_match_code(self):
         """Every XSIM_* variable the source reads is in the registry, and
         every registry entry is documented in the INTERNALS table."""
+        from repro.run.envvars import XSIM_ENV_SWITCHES
+
+        registered = set(XSIM_ENV_VARS) | set(XSIM_ENV_SWITCHES)
         read_in_source = set()
         for path in SRC.rglob("*.py"):
             for name in re.findall(r"\bXSIM_[A-Z_]+\b", path.read_text()):
-                if name != "XSIM_ENV_VARS":  # the registry itself
+                if name not in ("XSIM_ENV_VARS", "XSIM_ENV_SWITCHES"):
                     read_in_source.add(name)
-        assert read_in_source == set(XSIM_ENV_VARS)
+        assert read_in_source == registered
 
         table = (DOCS / "INTERNALS.md").read_text()
         documented = set(re.findall(r"^\| `(XSIM_[A-Z_]+)` \|", table, re.M))
-        assert documented == set(XSIM_ENV_VARS)
+        assert documented == registered
 
     def test_registry_flags_exist_in_cli(self):
         from repro.cli import build_parser

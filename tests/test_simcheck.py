@@ -287,6 +287,7 @@ class TestDifferentialHarness:
             "sharded-parity",
             "obs-parity",
             "scenario-parity",
+            "flat-parity",
         ]
         failed = [r for r in results if not r.passed]
         assert not failed, "\n".join(str(r) for r in failed)
