@@ -389,11 +389,27 @@ def check_sharded_parity(
             False,
             f"fork-shard digest {d_forked} != serial {d_serial}",
         )
+    _, shm = _heat_sim(
+        nranks,
+        iterations,
+        10,
+        failure=failure,
+        shards=shards,
+        shard_transport="shm",
+        paper_timing=True,
+    )
+    d_shm = result_digest(shm)
+    if d_shm != d_serial:
+        return CheckResult(
+            "sharded-parity",
+            False,
+            f"shm-shard digest {d_shm} != serial {d_serial}",
+        )
     return CheckResult(
         "sharded-parity",
         True,
         f"{shards} shards == serial at {nranks} ranks with injected failure "
-        f"({serial.event_count} events; inline trace + fork digest)",
+        f"({serial.event_count} events; inline trace + fork/shm digests)",
     )
 
 
@@ -498,7 +514,11 @@ def check_scenario_parity(
     for name in backend_names():
         scenario = round_tripped.with_(
             shards=1 if name == "serial" else shards,
-            shard_transport={"sharded-inline": "inline", "sharded-fork": "fork"}.get(name),
+            shard_transport={
+                "sharded-inline": "inline",
+                "sharded-fork": "fork",
+                "sharded-shm": "shm",
+            }.get(name),
         )
         digests[name] = run_scenario(scenario).digest()
     if len(set(digests.values())) != 1:

@@ -21,9 +21,9 @@ Every ``app``/``arch``/``sweep`` invocation resolves one
 :class:`~repro.run.scenario.Scenario` through the layered precedence
 chain — library defaults < ``--scenario`` TOML file < ``XSIM_*``
 environment < explicit flags — and executes it on its registered backend
-(``serial``, ``sharded-inline``, ``sharded-fork``; pick with ``--shards``
-/ ``--shard-transport`` or the scenario's ``execution`` table).  Results
-and traces are bit-identical across backends.
+(``serial``, ``sharded-inline``, ``sharded-fork``, ``sharded-shm``; pick
+with ``--shards`` / ``--shard-transport`` or the scenario's ``execution``
+table).  Results and traces are bit-identical across backends.
 
 Debugging aids on ``app``: ``--check`` enables the runtime invariant
 sanitizer (equivalent to ``XSIM_CHECK=1``); ``--record-trace FILE`` saves
@@ -73,11 +73,13 @@ def _add_shards_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--shard-transport",
-        choices=["fork", "inline"],
+        choices=["fork", "inline", "shm"],
         default=None,
-        help="shard worker transport: fork (default; one process per shard) "
-        "or inline (all shards in-process — same schedule, for debugging "
-        "and single-core hosts)",
+        help="shard worker transport (default: XSIM_SHARD_TRANSPORT or fork): "
+        "fork (one process per shard, pickled pipes), shm (forked workers "
+        "with shared-memory envelope rings — lowest overhead), or inline "
+        "(all shards in-process — same schedule, for debugging and "
+        "single-core hosts); results are bit-identical across all three",
     )
     p.add_argument(
         "--engine",
@@ -387,7 +389,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f"{r['windows']:,} windows, imbalance {r['imbalance']:.2f}")
         print(f"  serial {rec['serial_s']:.3f}s -> wall speedup {rec['speedup_wall']:.2f}x "
               f"(host has {rec['host_cpus']} CPUs), projected on >= {shards} cores: "
-              f"{rec['projected_speedup']:.2f}x")
+              f"{rec['projected_speedup']:.2f}x, measured/projected "
+              f"{rec['measured_vs_projected']:.2f}")
     bench.merge_bench(update, out)
     print(f"wrote {out}")
     return 0

@@ -269,6 +269,9 @@ class RestartDriver:
             for rank, t_abs in to_inject:
                 sim.inject_failure(rank, t_abs)
             result = sim.run(self.app, args=self.make_args(store))
+            # Execution facts of the most recent segment (actual shard
+            # transport, fallback flag) for ScenarioOutcome.metadata.
+            self.shard_stats = getattr(sim, "shard_stats", None)
             if self.observer is not None:
                 self.observer.span(
                     start, result.exit_time, "segment", track="simulator",

@@ -17,11 +17,18 @@ modes:
 
 * **NORMAL** windows, used while the simulation is failure-free.  Let
   ``m_k`` be shard *k*'s next local event time, adjusted for envelopes
-  queued toward it, and ``m = min_k m_k``.  Every worker dispatches all
-  events in ``[m, min(m + L, h_min))`` where ``L`` is the lookahead and
-  ``h_min`` the earliest armed failure time.  A message posted at time
-  ``t >= m`` arrives at ``t + wire_latency >= m + L``, i.e. at or after the
-  window end, so exchanging envelopes only at window barriers is safe.
+  queued toward it, and ``L[j][k]`` the per-shard-pair lookahead matrix
+  (:func:`derive_lookahead_matrix`: the minimum wire latency between the
+  two shards' rank blocks, closed under min-plus so relayed reactions are
+  covered).  Shard *k* dispatches every event strictly before
+  ``min(h_min, min_{j != k}(m_j + L[j][k]))`` where ``h_min`` is the
+  earliest armed failure time: a message shard *j* might still send is
+  posted at ``t >= m_j`` and reaches *k* no earlier than ``t + L[j][k]``,
+  i.e. at or after *k*'s window end, so exchanging envelopes only at
+  window barriers is safe.  (The pre-matrix scheme bounded every shard by
+  the single *global* minimum latency, which collapses window widths to
+  the machine-wide worst case even between shards that are many hops
+  apart.)
 * **LOCKSTEP**, entered permanently once ``m`` reaches ``h_min``.  Shards
   with the minimum timestamp run exactly that timestamp one shard at a
   time; failure kills and aborts they produce are relayed to every other
@@ -66,9 +73,17 @@ Transports
 ``fork`` (default where available): workers are forked from the launched
 parent simulation, so construction cost is paid once and copy-on-write
 shares the launch state; envelopes travel over ``multiprocessing`` pipes.
+``shm``: forked workers exchanging envelopes through shared-memory ring
+buffers with a fixed packed encoding (:mod:`repro.pdes.shmring`) — the
+pipe carries only small control headers, so the per-envelope pickle and
+syscall costs of the fork transport disappear.
 ``inline``: every shard is an independently constructed replica driven in
 one process — no parallelism, but bit-exact and debuggable, and the
 mechanism the property tests use.
+
+All three transports produce bit-identical digests; a worker process that
+dies mid-protocol raises :class:`~repro.util.errors.ShardWorkerDied`
+(liveness polling) instead of blocking the coordinator forever.
 """
 
 from __future__ import annotations
@@ -88,12 +103,20 @@ from repro.mpi.communicator import Communicator
 from repro.mpi.constants import ERR_REVOKED
 from repro.mpi.messages import EAGER, RTS, Msg, Request
 from repro.models.network.model import NetworkModel, NetworkTier
+from repro.models.network.topology import (
+    CrossbarTopology,
+    FatTreeTopology,
+    StarTopology,
+    _GridTopology,
+)
 from repro.mpi.world import MpiWorld
 from repro.pdes.context import VirtualProcess, VpState
 from repro.pdes.engine import Engine, SimulationResult
+from repro.pdes.shmring import RingPeerDead, ShmRing, pack_envelope, unpack_envelope
 from repro.util.errors import (
     ConfigurationError,
     DeadlockError,
+    ShardWorkerDied,
     ShardedParityError,
     SimulationError,
 )
@@ -106,7 +129,9 @@ __all__ = [
     "ShardedMpiWorld",
     "WindowedEngine",
     "derive_lookahead",
+    "derive_lookahead_matrix",
     "partition_ranks",
+    "partition_ranks_topology",
     "run_sharded",
 ]
 
@@ -177,6 +202,228 @@ def derive_lookahead(network: NetworkModel, parts: list[range]) -> float:
     return lookahead
 
 
+def _arc_of(lo: int, hi: int, stride: int, dim: int) -> tuple[int, int] | None:
+    """The wrapped coordinate arc one axis of a contiguous node range spans.
+
+    For row-major ids, ``(i // stride) % dim`` increases weakly (mod wrap)
+    over ``[lo, hi]``, so the touched coordinates form a wrapped inclusive
+    arc ``(c0, c1)`` — or the full axis (``None``) once the unwrapped
+    interval covers ``dim`` steps.
+    """
+    if hi // stride - lo // stride + 1 >= dim:
+        return None
+    return ((lo // stride) % dim, (hi // stride) % dim)
+
+
+def _arc_distance(
+    a: tuple[int, int] | None, b: tuple[int, int] | None, dim: int, wrap: bool
+) -> int:
+    """Minimum per-axis distance between two wrapped coordinate arcs."""
+    if a is None or b is None:
+        return 0
+    a0, a1 = a
+    b0, b1 = b
+    # Arcs on a circle intersect iff an endpoint of one lies in the other.
+    if (b0 - a0) % dim <= (a1 - a0) % dim or (a0 - b0) % dim <= (b1 - b0) % dim:
+        return 0
+    # Disjoint arcs: the closest points are endpoints.
+    best = dim
+    for u in (a0, a1):
+        for v in (b0, b1):
+            d = abs(u - v)
+            if wrap:
+                d = min(d, dim - d)
+            best = min(best, d)
+    return best
+
+
+def _min_cross_hops(topology, nodes_a: tuple[int, int], nodes_b: tuple[int, int]) -> int:
+    """A safe lower bound on hops between two contiguous node-id ranges.
+
+    ``nodes_a``/``nodes_b`` are inclusive ``(lo, hi)`` ranges from the
+    block rank placement.  Grids get the per-axis arc distance sum (exact
+    for dimension-order routing between arcs), fat trees the boundary pair
+    (contiguous leaf blocks minimize the common-ancestor climb at their
+    facing edge), star/crossbar any pair (all pairs are equidistant).
+    Unknown topologies fall back to 1 hop — any lower bound is safe, a
+    loose one merely costs window width.
+    """
+    if isinstance(topology, _GridTopology):
+        total = 0
+        for stride, dim in zip(topology._strides, topology.dims):
+            total += _arc_distance(
+                _arc_of(nodes_a[0], nodes_a[1], stride, dim),
+                _arc_of(nodes_b[0], nodes_b[1], stride, dim),
+                dim,
+                topology.wrap,
+            )
+        return max(1, total)
+    if isinstance(topology, FatTreeTopology):
+        if nodes_a[0] > nodes_b[0]:
+            nodes_a, nodes_b = nodes_b, nodes_a
+        return max(1, topology.hops(nodes_a[1], nodes_b[0]))
+    if isinstance(topology, (StarTopology, CrossbarTopology)):
+        return max(1, topology.hops(nodes_a[1], nodes_b[0]))
+    return 1
+
+
+def derive_lookahead_matrix(
+    network: NetworkModel, parts: list[range]
+) -> list[list[float]]:
+    """Per-shard-pair safe lookahead: ``L[j][k]`` lower-bounds the wire
+    latency of every message from shard ``j`` to shard ``k``.
+
+    Built in two steps:
+
+    1. *Pairwise bound.*  Block placement is monotone in the rank index,
+       so the tier of the closest pair between blocks ``j < k`` is the
+       tier of ``(parts[j][-1], parts[k][0])`` — the same boundary-pair
+       argument :func:`derive_lookahead` makes per boundary.  For pairs
+       whose closest tier is the system network, the bound is
+       ``system latency x min-hops`` between the two shards' node ranges
+       (:func:`_min_cross_hops`), not just one hop: distant shards get
+       proportionally wider windows.
+    2. *Min-plus closure* (Floyd-Warshall).  A shard can react to an
+       envelope *indirectly* — ``j`` wakes ``i``, ``i`` sends to ``k`` —
+       so the matrix must satisfy the triangle inequality
+       ``L[j][k] <= L[j][i] + L[i][k]``; closing it only ever lowers
+       entries, and every closed entry still dominates the global
+       :func:`derive_lookahead` bound (each summand does).
+
+    The diagonal is ``inf`` (a shard never bounds itself).
+    """
+    n = len(parts)
+    if n < 2:
+        raise ConfigurationError("lookahead is only defined for >= 2 shards")
+    sys_lat = network.system.latency
+    node_lat = network.on_node.latency
+    chip_lat = network.on_chip.latency
+    topology = network.topology
+    la = [[math.inf] * n for _ in range(n)]
+    for j in range(n):
+        for k in range(j + 1, n):
+            a_hi, b_lo = parts[j][-1], parts[k][0]
+            tier = network.tier(a_hi, b_lo)
+            if tier is NetworkTier.SYSTEM:
+                hops = _min_cross_hops(
+                    topology,
+                    (network.node_of(parts[j][0]), network.node_of(a_hi)),
+                    (network.node_of(b_lo), network.node_of(parts[k][-1])),
+                )
+                bound = sys_lat * max(1, hops)
+            elif tier is NetworkTier.ON_NODE:
+                bound = min(node_lat, sys_lat)
+            else:
+                bound = min(chip_lat, node_lat, sys_lat)
+            la[j][k] = la[k][j] = bound
+    for mid in range(n):
+        row_m = la[mid]
+        for i in range(n):
+            if i == mid:
+                continue
+            via = la[i][mid]
+            if math.isinf(via):
+                continue
+            row_i = la[i]
+            for j in range(n):
+                if j == i or j == mid:
+                    continue
+                alt = via + row_m[j]
+                if alt < row_i[j]:
+                    row_i[j] = alt
+    floor = min(la[j][k] for j in range(n) for k in range(n) if j != k)
+    if floor <= 0.0:
+        raise ConfigurationError(
+            "sharded execution requires a positive minimum cross-shard wire "
+            f"latency; this network derives a lookahead of {floor!r}"
+        )
+    return la
+
+
+# ----------------------------------------------------------------------
+# topology-aware partitioning
+# ----------------------------------------------------------------------
+#: Cost charged to a candidate boundary that splits the ranks of one
+#: compute node across shards (every such split turns loopback traffic
+#: into network traffic and voids the node-boundary link count).
+_INTRA_NODE_CUT = 1 << 30
+
+
+def _boundary_cut_costs(network: NetworkModel, nranks: int) -> list[int] | None:
+    """Cross-shard link count for every candidate rank boundary.
+
+    ``costs[b]`` is the number of direct topology links joining nodes on
+    either side of a cut between ranks ``b-1`` and ``b`` (valid for
+    ``1 <= b < nranks``).  Computed with a difference array over
+    ``topology.neighbors``: a link ``{u, v}`` with ``u < v`` is cut by
+    exactly the node boundaries in ``(u, v]`` — which counts wrap links
+    correctly (a torus ring's wrap edge is cut by *every* interior
+    boundary, matching contiguous-block reality).  Returns ``None`` when
+    the topology carries no placement signal (all-pairs graphs like
+    star/crossbar, where every balanced cut is equivalent) or would be
+    quadratic to scan.
+    """
+    topology = network.topology
+    rpn = network.ranks_per_node
+    nnodes = (nranks + rpn - 1) // rpn
+    if nnodes < 2:
+        return None
+    degree = len(topology.neighbors(0))
+    if degree >= nnodes - 1 or nnodes * degree > 4_000_000:
+        return None
+    diff = [0] * (nnodes + 1)
+    for u in range(nnodes):
+        for v in topology.neighbors(u):
+            if v <= u or v >= nnodes:
+                continue  # counted from the lower endpoint; unused nodes hold no ranks
+            diff[u + 1] += 1
+            diff[v + 1] -= 1
+    node_cuts = [0] * (nnodes + 1)
+    acc = 0
+    for b in range(1, nnodes):
+        acc += diff[b]
+        node_cuts[b] = acc
+    costs = [0] * nranks
+    for b in range(1, nranks):
+        costs[b] = node_cuts[b // rpn] if b % rpn == 0 else _INTRA_NODE_CUT
+    return costs
+
+
+def partition_ranks_topology(
+    nranks: int, nshards: int, network: NetworkModel, slack: float = 0.125
+) -> list[range]:
+    """Contiguous partition whose cuts minimize cross-shard wire count.
+
+    Starts from the balanced :func:`partition_ranks` split and slides each
+    boundary independently within ``+- floor(base_size * slack)`` ranks to
+    the position cutting the fewest topology links (ties broken toward
+    balance, then the lower index — so a featureless topology degenerates
+    to the equal split exactly).  The slide windows are disjoint
+    (``slack < 0.5``), which preserves ordering and the contiguity
+    invariant the lookahead derivation relies on, and bounds the imbalance
+    at ``1 + 2*slack``.
+    """
+    parts = partition_ranks(nranks, nshards)
+    if len(parts) < 2:
+        return parts
+    costs = _boundary_cut_costs(network, nranks)
+    if costs is None:
+        return parts
+    width = int((nranks // len(parts)) * slack)
+    if width <= 0:
+        return parts
+    edges = [0]
+    for part in parts[1:]:
+        b0 = part[0]
+        lo = max(edges[-1] + 1, b0 - width)
+        hi = min(nranks - 1, b0 + width)
+        edges.append(
+            min(range(lo, hi + 1), key=lambda b: (costs[b], abs(b - b0), b))
+        )
+    edges.append(nranks)
+    return [range(a, b) for a, b in zip(edges, edges[1:])]
+
+
 class _RemoteSendRef:
     """Stand-in for a rendezvous send request living in another shard.
 
@@ -222,6 +469,16 @@ class ShardStats:
     shard_events: list[int] = field(default_factory=list)
     #: Messages that crossed a shard boundary, summed over shards.
     cross_shard_messages: int = 0
+    #: Largest entry of the per-pair lookahead matrix (``lookahead`` holds
+    #: the smallest — the old global bound every pair dominates).
+    lookahead_max: float = 0.0
+    #: Transport the caller asked for (``None`` = auto-select).
+    requested_transport: str | None = None
+    #: True when an unavailable fork start method forced the requested
+    #: fork/shm transport down to inline (surfaced via SimLog/obs too).
+    transport_fallback: bool = False
+    #: Shard sizes of the (possibly topology-slid) partition.
+    partition: list[int] = field(default_factory=list)
 
     @property
     def imbalance(self) -> float:
@@ -375,9 +632,14 @@ class ShardedMpiWorld(MpiWorld):
         super().__init__(*args, **kwargs)
         self.shard_id: int | None = None
         self.owned: frozenset[int] = frozenset()
-        #: Conservative lookahead (min cross-boundary wire latency); bounds
-        #: how soon another shard can react to an emitted envelope.
+        #: Conservative lookahead floor (min cross-shard wire latency);
+        #: bounds how soon another shard can react to an emitted envelope.
         self.lookahead = 0.0
+        #: Per-destination-shard lookahead (this shard's row of the closed
+        #: matrix) and the rank -> shard map backing it; ``None`` falls
+        #: back to the scalar floor for every destination.
+        self._la_row: tuple[float, ...] | None = None
+        self._owner: tuple[int, ...] | None = None
         #: Envelopes produced since the last barrier (drained per round).
         self.outbox: list[tuple] = []
         #: Per-source message counters backing the tuple sequence numbers.
@@ -388,25 +650,37 @@ class ShardedMpiWorld(MpiWorld):
         self.cross_shard_msgs = 0
 
     def configure_shard(
-        self, shard_id: int, owned: frozenset[int], lookahead: float = 0.0
+        self,
+        shard_id: int,
+        owned: frozenset[int],
+        lookahead: float = 0.0,
+        la_row: tuple[float, ...] | None = None,
+        owner: tuple[int, ...] | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.owned = frozenset(owned)
         self.lookahead = lookahead
+        self._la_row = la_row
+        self._owner = owner
 
-    def _tighten_window(self, t_effective: float) -> None:
+    def _tighten_window(self, t_effective: float, dst: int) -> None:
         """Cap the running window after revealing ``t_effective`` to a peer.
 
-        Once an envelope leaves this shard, its destination can react at
-        the envelope's effective time (arrival for a delivery, completion
-        time for a rendezvous ack) and send something back that reaches us
-        ``lookahead`` later — so events at or beyond that are only safe to
-        dispatch in a *later* window, after the coordinator has routed the
-        reply.  Tightening only ever lowers the bound; lockstep exact steps
-        are unaffected (their inclusive bound is the step time itself).
+        Once an envelope leaves this shard, its destination's shard can
+        react at the envelope's effective time (arrival for a delivery,
+        completion time for a rendezvous ack) and send something back that
+        reaches us that shard's lookahead-row entry later (closure covers
+        reactions relayed through third shards) — so events at or beyond
+        that are only safe to dispatch in a *later* window, after the
+        coordinator has routed the reply.  Tightening only ever lowers the
+        bound; lockstep exact steps are unaffected (their inclusive bound
+        is the step time itself).
         """
         engine = self.engine
-        cap = t_effective + self.lookahead
+        if self._la_row is not None and self._owner is not None:
+            cap = t_effective + self._la_row[self._owner[dst]]
+        else:
+            cap = t_effective + self.lookahead
         if cap < engine._window_end:
             engine._window_end = cap
 
@@ -487,7 +761,7 @@ class ShardedMpiWorld(MpiWorld):
                     EAGER if eager else RTS, req_id,
                 )
             )
-            self._tighten_window(arrival)
+            self._tighten_window(arrival, dst)
         return req
 
     # -- rendezvous across the boundary --------------------------------
@@ -501,7 +775,7 @@ class ShardedMpiWorld(MpiWorld):
             # The sender's completion travels back as an envelope; it is
             # window-safe because t_send_done >= t_match + lookahead.
             self.outbox.append(("r", src, ref.req_id, t_send_done))
-            self._tighten_window(t_send_done)
+            self._tighten_window(t_send_done, src)
             req.complete(t_recv_done, result=rts)
             if req.waiting:
                 self.engine.wake(req.vp, t_recv_done)
@@ -586,12 +860,22 @@ class ShardedMpiWorld(MpiWorld):
 class ShardWorker:
     """Drives one shard's engine under the coordinator protocol."""
 
-    def __init__(self, sim: "XSim", shard_id: int, owned: range, lookahead: float = 0.0):
+    def __init__(
+        self,
+        sim: "XSim",
+        shard_id: int,
+        owned: range,
+        lookahead: float = 0.0,
+        la_row: tuple[float, ...] | None = None,
+        owner: tuple[int, ...] | None = None,
+    ):
         self.sim = sim
         self.engine: WindowedEngine = sim.engine  # type: ignore[assignment]
         self.world: ShardedMpiWorld = sim.world  # type: ignore[assignment]
         self.shard_id = shard_id
         self.lookahead = lookahead
+        self.la_row = la_row
+        self.owner = owner
         self.owned = frozenset(owned)
         self.owned_sorted = sorted(owned)
         self._fail_base = 0
@@ -616,7 +900,9 @@ class ShardWorker:
         if self._obs is not None:
             engine.obs = self._obs
             self.world.obs = self._obs
-        self.world.configure_shard(self.shard_id, self.owned, self.lookahead)
+        self.world.configure_shard(
+            self.shard_id, self.owned, self.lookahead, self.la_row, self.owner
+        )
         engine.configure_shard(self.shard_id, self.owned)
         engine.begin_windowed_run()
         if store is not None:
@@ -777,6 +1063,72 @@ def _forked_worker_main(conn, worker: ShardWorker, store: CheckpointStore | None
         os._exit(status)
 
 
+def _shm_worker_main(
+    conn,
+    worker: ShardWorker,
+    store: CheckpointStore | None,
+    ring_in: ShmRing,
+    ring_out: ShmRing,
+) -> None:
+    """Child-process loop of the shm transport.
+
+    The pipe carries only control headers (op, window end, record counts,
+    fail/abort summaries); envelopes stream through the rings in the packed
+    encoding.  Headers always precede ring traffic in both directions, so
+    neither side ever blocks on a ring the other has not started draining.
+    """
+    status = 0
+    parent = mp.parent_process()
+    alive = parent.is_alive if parent is not None else None
+    try:
+        try:
+            conn.send(("ok", worker.setup(store=store)))
+            while True:
+                msg = conn.recv()
+                op = msg[0]
+                if op == "close":
+                    break
+                if op == "window":
+                    envs = [
+                        unpack_envelope(ring_in.read(alive=alive))
+                        for _ in range(msg[2])
+                    ]
+                    worker.apply(envs, ())
+                    m_next, out, fails, abort, wall = worker.run_window(msg[1])
+                elif op == "exact":
+                    m_next, out, fails, abort, wall = worker.run_exact(msg[1])
+                elif op == "apply":
+                    envs = [
+                        unpack_envelope(ring_in.read(alive=alive))
+                        for _ in range(msg[1])
+                    ]
+                    worker.apply(envs, msg[2])
+                    conn.send(("ok", worker.engine.next_event_time()))
+                    continue
+                elif op == "finish":
+                    conn.send(("ok", worker.finish()))
+                    continue
+                else:
+                    raise SimulationError(f"unknown shard op {op!r}")
+                conn.send(("ok", (m_next, len(out), fails, abort, wall)))
+                for env in out:
+                    ring_out.write(pack_envelope(env), alive=alive)
+        except EOFError:
+            pass
+        except BaseException as err:
+            status = 1
+            try:
+                conn.send(("error", f"{type(err).__name__}: {err}"))
+            except Exception:
+                pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        os._exit(status)
+
+
 # ----------------------------------------------------------------------
 # transports
 # ----------------------------------------------------------------------
@@ -798,28 +1150,124 @@ class _InlineConn:
         return _handle_op(self.worker, msg)
 
 
-class _ForkConn:
-    """Pipe to a forked worker process."""
+class _ProcConn:
+    """Shared liveness machinery of the process-backed transports.
+
+    Replies are awaited with bounded ``conn.poll`` + ``proc.is_alive``
+    checks: a worker that dies mid-window raises
+    :class:`~repro.util.errors.ShardWorkerDied` (naming the shard and its
+    last completed protocol round) instead of blocking the coordinator on
+    ``Conn.recv`` forever.
+    """
+
+    #: Seconds between liveness checks while waiting on the pipe.
+    poll_interval = 0.05
 
     def __init__(self, conn, proc, shard_id: int):
         self.conn = conn
         self.proc = proc
         self.shard_id = shard_id
         self.initial_min = math.inf
+        #: Protocol rounds (setup/window/lockstep/apply replies) completed.
+        self.completed_rounds = 0
 
-    def send(self, msg: tuple) -> None:
-        self.conn.send(msg)
+    def _alive(self) -> bool:
+        return self.proc.is_alive()
 
-    def recv_payload(self) -> Any:
+    def _worker_died(self):
+        raise ShardWorkerDied(self.shard_id, self.completed_rounds)
+
+    def _send(self, msg: tuple) -> None:
         try:
-            reply = self.conn.recv()
-        except EOFError:
-            raise SimulationError(
-                f"shard {self.shard_id} worker exited unexpectedly"
-            ) from None
+            self.conn.send(msg)
+        except (BrokenPipeError, OSError):
+            self._worker_died()
+
+    def _recv(self) -> tuple:
+        conn = self.conn
+        while True:
+            try:
+                if conn.poll(self.poll_interval):
+                    return conn.recv()
+            except (EOFError, OSError):
+                self._worker_died()
+            if not self.proc.is_alive():
+                # Drain a reply the worker may have written just before
+                # exiting (e.g. its final error report).
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                self._worker_died()
+
+    def _checked_reply(self) -> Any:
+        reply = self._recv()
         if reply[0] == "error":
             raise SimulationError(f"shard {self.shard_id} worker failed: {reply[1]}")
         return reply[1]
+
+
+class _ForkConn(_ProcConn):
+    """Pipe to a forked worker process (envelopes pickled in-band)."""
+
+    def send(self, msg: tuple) -> None:
+        self._send(msg)
+
+    def recv_payload(self) -> Any:
+        payload = self._checked_reply()
+        self.completed_rounds += 1
+        return payload
+
+
+class _ShmConn(_ProcConn):
+    """Pipe for control + shared-memory rings for envelope payloads.
+
+    Both directions announce the record count on the pipe first, then
+    stream packed envelopes through the ring — the announced side is
+    already draining by the time the ring could fill, so streaming cannot
+    deadlock even for batches larger than the ring.
+    """
+
+    def __init__(self, conn, proc, shard_id: int, ring_out: ShmRing, ring_in: ShmRing):
+        super().__init__(conn, proc, shard_id)
+        self.ring_out = ring_out
+        self.ring_in = ring_in
+        self._last_op: str | None = None
+
+    def _stream(self, envelopes: list[tuple]) -> None:
+        try:
+            for env in envelopes:
+                self.ring_out.write(pack_envelope(env), alive=self._alive)
+        except RingPeerDead:
+            self._worker_died()
+
+    def send(self, msg: tuple) -> None:
+        op = msg[0]
+        self._last_op = op
+        if op == "window":
+            self._send(("window", msg[1], len(msg[2])))
+            self._stream(msg[2])
+        elif op == "apply":
+            self._send(("apply", len(msg[1]), msg[2]))
+            self._stream(msg[1])
+        else:
+            self._send(msg)
+
+    def recv_payload(self) -> Any:
+        payload = self._checked_reply()
+        if self._last_op in ("window", "exact"):
+            m_next, n_out, fails, abort, wall = payload
+            try:
+                out = [
+                    unpack_envelope(self.ring_in.read(alive=self._alive))
+                    for _ in range(n_out)
+                ]
+            except RingPeerDead:
+                self._worker_died()
+            payload = (m_next, out, fails, abort, wall)
+        self.completed_rounds += 1
+        return payload
 
 
 def _build_replica(sim: "XSim", app, args: tuple, nranks: int) -> "XSim":
@@ -850,6 +1298,11 @@ def _build_replica(sim: "XSim", app, args: tuple, nranks: int) -> "XSim":
     return replica
 
 
+#: Per-direction shared-memory ring capacity of the shm transport.  Rings
+#: stream, so this bounds memory, not batch or envelope size.
+_SHM_RING_BYTES = 1 << 20
+
+
 def _make_transport(
     transport: str,
     sim: "XSim",
@@ -859,29 +1312,54 @@ def _make_transport(
     parts: list[range],
     store: CheckpointStore | None,
     lookahead: float,
+    matrix: list[list[float]],
+    owner: list[int],
 ):
     """Returns ``(conns, cleanup)``; every conn has ``initial_min`` set."""
+    owner_t = tuple(owner)
+
+    def make_worker(shard_sim: "XSim", k: int, part: range) -> ShardWorker:
+        return ShardWorker(
+            shard_sim, k, part, lookahead, la_row=tuple(matrix[k]), owner=owner_t
+        )
+
     if transport == "inline":
         conns: list = []
         for k, part in enumerate(parts):
             shard_sim = sim if k == 0 else _build_replica(sim, app, args, nranks)
             # Inline replicas share the parent's CheckpointStore object via
             # the app args, so file state needs no merging (store=None).
-            conns.append(_InlineConn(ShardWorker(shard_sim, k, part, lookahead), None))
+            conns.append(_InlineConn(make_worker(shard_sim, k, part), None))
         return conns, lambda: None
 
     ctx = mp.get_context("fork")
     conns = []
     procs = []
+    rings: list[ShmRing] = []
     for k, part in enumerate(parts):
         parent_conn, child_conn = ctx.Pipe()
-        worker = ShardWorker(sim, k, part, lookahead)
-        proc = ctx.Process(
-            target=_forked_worker_main, args=(child_conn, worker, store), daemon=True
-        )
+        worker = make_worker(sim, k, part)
+        if transport == "shm":
+            # Created before the fork so the child inherits the mappings.
+            c2w, w2c = ShmRing(_SHM_RING_BYTES), ShmRing(_SHM_RING_BYTES)
+            rings += [c2w, w2c]
+            proc = ctx.Process(
+                target=_shm_worker_main,
+                args=(child_conn, worker, store, c2w, w2c),
+                daemon=True,
+            )
+        else:
+            proc = ctx.Process(
+                target=_forked_worker_main,
+                args=(child_conn, worker, store),
+                daemon=True,
+            )
         proc.start()  # forks the fully launched, not-yet-run simulation
         child_conn.close()
-        conns.append(_ForkConn(parent_conn, proc, k))
+        if transport == "shm":
+            conns.append(_ShmConn(parent_conn, proc, k, ring_out=c2w, ring_in=w2c))
+        else:
+            conns.append(_ForkConn(parent_conn, proc, k))
         procs.append(proc)
     # The parent engine is consumed by the forked workers; mark it run so a
     # stray Engine.run() cannot double-execute the launch state.  (Set only
@@ -893,7 +1371,7 @@ def _make_transport(
     def cleanup() -> None:
         for conn in conns:
             try:
-                conn.send(("close",))
+                conn.conn.send(("close",))
             except Exception:
                 pass
             try:
@@ -905,6 +1383,8 @@ def _make_transport(
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=10)
+        for ring in rings:  # after the children are gone: unlink the segments
+            ring.destroy()
 
     return conns, cleanup
 
@@ -919,7 +1399,7 @@ class _Coordinator:
         self,
         conns: list,
         owner: list[int],
-        lookahead: float,
+        la: list[list[float]],
         h_min: float,
         armed: list[tuple[int, float]],
         stats: ShardStats,
@@ -928,7 +1408,8 @@ class _Coordinator:
         self.conns = conns
         self.n = len(conns)
         self.owner = owner
-        self.lookahead = lookahead
+        #: Closed per-shard-pair lookahead matrix (inf diagonal).
+        self.la = la
         self.h_min = h_min
         self.armed = armed
         self.stats = stats
@@ -978,26 +1459,26 @@ class _Coordinator:
 
     def _window_round(self, eff: list[float]) -> None:
         # Per-shard conservative bound: shard k can safely dispatch every
-        # event strictly before  min over the OTHER shards of their next
-        # possible dispatch time, plus the lookahead — any message another
-        # shard might still send arrives no earlier than that.  (Bounding
-        # everyone by the single global minimum instead would serialize
-        # phases where one shard is the only active one, e.g. the root of a
-        # linear barrier: each of its sends would need its own round.)
-        # Shards with nothing to do before their bound skip the round
-        # entirely; their pending envelopes stay queued here and keep
-        # counting toward ``eff`` until they participate.
-        lo1 = lo2 = math.inf  # two smallest eff values
-        arg1 = -1
-        for k, e in enumerate(eff):
-            if e < lo1:
-                lo1, lo2, arg1 = e, lo1, k
-            elif e < lo2:
-                lo2 = e
+        # event strictly before  min over the OTHER shards j of their next
+        # possible dispatch time plus the pair lookahead L[j][k] — any
+        # message shard j might still send (directly or relayed; the
+        # matrix is min-plus closed) arrives no earlier than that.
+        # (Bounding everyone by the single global minimum latency instead
+        # collapses every window to the machine-wide worst case: each send
+        # of a barrier root would need its own round even toward shards
+        # many hops away.)  Shards with nothing to do before their bound
+        # skip the round entirely; their pending envelopes stay queued
+        # here and keep counting toward ``eff`` until they participate.
         targets = []
         for k in range(self.n):
-            others = lo2 if k == arg1 else lo1
-            end = min(others + self.lookahead, self.h_min)
+            row = self.la[k]
+            end = self.h_min
+            for j in range(self.n):
+                if j == k:
+                    continue
+                bound = eff[j] + row[j]
+                if bound < end:
+                    end = bound
             if eff[k] < end:
                 targets.append((k, end))
         t0 = perf_counter()
@@ -1110,45 +1591,86 @@ def run_sharded(sim: "XSim", app, args: tuple, nranks: int) -> SimulationResult:
         raise ConfigurationError(
             "soft-error injection is not supported with --shards > 1"
         )
-    parts = partition_ranks(nranks, nshards)
+    parts = partition_ranks_topology(nranks, nshards, world.network)
+    nshards = len(parts)
     owner = [0] * nranks
     for k, part in enumerate(parts):
         for rank in part:
             owner[rank] = k
-    lookahead = derive_lookahead(world.network, parts)
+    matrix = derive_lookahead_matrix(world.network, parts)
+    pairs = [matrix[j][k] for j in range(nshards) for k in range(nshards) if j != k]
+    lookahead = min(pairs)
     if sim.shard_lookahead is not None:
         if not 0.0 < sim.shard_lookahead <= lookahead:
             raise ConfigurationError(
                 f"lookahead override {sim.shard_lookahead!r} outside "
                 f"(0, {lookahead!r}] (the derived safe bound)"
             )
+        # The override collapses the matrix to a uniform (global) bound —
+        # the pre-matrix window scheme, kept for narrowed-window property
+        # testing and old-vs-new window-count comparisons.
         lookahead = sim.shard_lookahead
+        matrix = [
+            [lookahead if j != k else math.inf for j in range(nshards)]
+            for k in range(nshards)
+        ]
     armed = list(sim._armed_failures)
     h_min = min((t for _, t in armed), default=math.inf)
     store = next((a for a in args if isinstance(a, CheckpointStore)), None)
     orig_stream = engine.log.stream
 
-    transport = sim.shard_transport
+    requested = sim.shard_transport
+    transport = requested
     if transport is None:
         transport = "fork" if "fork" in mp.get_all_start_methods() else "inline"
-    elif transport not in ("fork", "inline"):
+    elif transport not in ("fork", "inline", "shm"):
         raise ConfigurationError(f"unknown shard transport {transport!r}")
-    if transport == "fork" and "fork" not in mp.get_all_start_methods():
-        warnings.warn(
-            "fork start method unavailable; sharded run falling back to the "
-            "inline (single-process) transport",
-            RuntimeWarning,
-            stacklevel=2,
+    fallback = False
+    if transport in ("fork", "shm") and "fork" not in mp.get_all_start_methods():
+        fallback = True
+        message = (
+            f"{transport!r} shard transport needs the fork start method "
+            "(unavailable on this host); falling back to the inline "
+            "single-process transport"
         )
         transport = "inline"
+        # Surfaced once through every channel the run exposes: a Python
+        # warning for API callers, a SimLog line (merged into the run's
+        # log via the shard-0 report), and a host-domain obs instant.
+        # Never in the digest — SimulationResult carries none of these.
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        engine.log.log(engine.now, "shards", message)
+        if sim.observer is not None:
+            sim.observer.host_instant(
+                perf_counter(), "shard-transport-fallback", track="coordinator",
+                args={"requested": requested, "actual": transport},
+            )
 
-    stats = ShardStats(nshards=nshards, lookahead=lookahead, transport=transport)
+    stats = ShardStats(
+        nshards=nshards,
+        lookahead=lookahead,
+        transport=transport,
+        lookahead_max=max(pairs) if sim.shard_lookahead is None else lookahead,
+        requested_transport=requested,
+        transport_fallback=fallback,
+        partition=[len(part) for part in parts],
+    )
+    if sim.observer is not None:
+        sim.observer.host_instant(
+            perf_counter(), "shard-plan", track="coordinator",
+            args={
+                "nshards": nshards,
+                "transport": transport,
+                "lookahead_min": stats.lookahead,
+                "lookahead_max": stats.lookahead_max,
+            },
+        )
     conns, cleanup = _make_transport(
-        transport, sim, app, args, nranks, parts, store, lookahead
+        transport, sim, app, args, nranks, parts, store, lookahead, matrix, owner
     )
     try:
         coordinator = _Coordinator(
-            conns, owner, lookahead, h_min, armed, stats, obs=sim.observer
+            conns, owner, matrix, h_min, armed, stats, obs=sim.observer
         )
         reports = coordinator.drive()
     finally:
@@ -1246,7 +1768,7 @@ def _merge_reports(
             key=lambda entry: entry[0],
         )
         sim.event_trace.entries = merged_trace
-    if store is not None and transport == "fork":
+    if store is not None and transport in ("fork", "shm"):
         # Owned-rank checkpoint files replace the parent's pre-fork view;
         # counters advance by the per-shard deltas.
         for report, part in zip(reports, parts):

@@ -7,7 +7,10 @@ SimulationResult`` — and is registered by name:
 * ``serial`` — the single-process PDES engine;
 * ``sharded-inline`` — the conservative-parallel engine with every shard
   replica driven in one process (bit-exact, debuggable, no extra cores);
-* ``sharded-fork`` — one forked worker process per shard.
+* ``sharded-fork`` — one forked worker process per shard;
+* ``sharded-shm`` — forked workers exchanging envelopes through
+  shared-memory rings (:mod:`repro.pdes.shmring`) instead of pickled
+  pipes.
 
 The jobs x shards CPU-capping guard (:func:`capped_shards`) lives here,
 so campaigns and direct API calls get the same oversubscription
@@ -21,7 +24,7 @@ from __future__ import annotations
 
 import os
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
@@ -64,15 +67,17 @@ def get_backend(name: str) -> "Backend":
 def capped_shards(
     shards: int, jobs: int = 1, transport: str | None = None, quiet: bool = False
 ) -> int:
-    """Cap ``jobs * shards`` at the host's CPU count (fork transport only).
+    """Cap ``jobs * shards`` at the host's CPU count (process transports).
 
-    Every forked shard worker is a full process; running ``jobs`` pool
+    Every forked/shm shard worker is a full process; running ``jobs`` pool
     workers that each fork ``shards`` engine workers silently oversubscribes
     the host and makes *everything* slower.  The inline transport stays in
     one process and is never capped.
     """
     if shards <= 1 or transport == "inline":
         return shards
+    # os.cpu_count() may return None (undeterminable); treat that as one
+    # core — capping hard beats silently oversubscribing an unknown host.
     ncpu = os.cpu_count() or 1
     jobs = max(1, jobs)
     if jobs * shards > ncpu:
@@ -199,6 +204,14 @@ class ShardedForkBackend(_ShardedBackend):
     transport = "fork"
 
 
+@register_backend
+class ShardedShmBackend(_ShardedBackend):
+    """Conservative-parallel shards over shared-memory envelope rings."""
+
+    name = "sharded-shm"
+    transport = "shm"
+
+
 def backend_for(shards: int, shard_transport: str | None) -> Backend:
     """The backend a legacy ``(shards, shard_transport)`` pair selects —
     the dispatch rule every pre-registry launcher hand-coded."""
@@ -227,6 +240,10 @@ class ScenarioOutcome:
     run: "FailureRunResult | None" = None
     sim: "XSim | None" = None
     observer: Any = None
+    #: Execution facts that are *not* part of the result (and therefore
+    #: never of the digest): the transport the run actually used, whether
+    #: an unavailable fork start method forced a fallback, etc.
+    metadata: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> bool:
@@ -269,6 +286,20 @@ class ScenarioOutcome:
         return out
 
 
+def _execution_metadata(stats) -> dict:
+    """:attr:`ScenarioOutcome.metadata` from a run's
+    :class:`~repro.pdes.sharded.ShardStats` (``{}`` for serial runs).
+    Pure execution facts — deliberately excluded from the digest."""
+    if stats is None:
+        return {}
+    return {
+        "shard_transport": stats.transport,
+        "requested_transport": stats.requested_transport,
+        "transport_fallback": stats.transport_fallback,
+        "nshards": stats.nshards,
+    }
+
+
 def run_scenario(
     scenario: Scenario,
     *,
@@ -295,7 +326,8 @@ def run_scenario(
         )
         run = driver.run()
         return ScenarioOutcome(
-            scenario=scenario, mode="restart", run=run, observer=driver.observer
+            scenario=scenario, mode="restart", run=run, observer=driver.observer,
+            metadata=_execution_metadata(getattr(driver, "shard_stats", None)),
         )
     from repro.core.checkpoint.store import CheckpointStore
 
@@ -308,4 +340,5 @@ def run_scenario(
     return ScenarioOutcome(
         scenario=scenario, mode="single", result=result, sim=sim,
         observer=sim.observer,
+        metadata=_execution_metadata(getattr(sim, "shard_stats", None)),
     )

@@ -58,6 +58,14 @@ XSIM_ENV_VARS: dict[str, EnvVar] = {
             "(1 = serial)",
         ),
         EnvVar(
+            "XSIM_SHARD_TRANSPORT",
+            field="shard_transport",
+            cli_flag="--shard-transport",
+            description='shard worker transport: "fork" (pickled pipes), '
+            '"shm" (shared-memory envelope rings), or "inline" '
+            "(single-process); digests are transport-independent",
+        ),
+        EnvVar(
             "XSIM_JOBS",
             field="jobs",
             cli_flag="--jobs",
@@ -113,6 +121,13 @@ def read_environment(environ=None) -> dict[str, object]:
         if value < 1:
             raise ConfigurationError(f"{name} must be >= 1, got {value}")
         out[field] = value
+    raw = env.get("XSIM_SHARD_TRANSPORT", "").strip()
+    if raw:
+        if raw not in ("fork", "inline", "shm"):
+            raise ConfigurationError(
+                f"XSIM_SHARD_TRANSPORT must be 'fork', 'inline' or 'shm', got {raw!r}"
+            )
+        out["shard_transport"] = raw
     raw = env.get("XSIM_ENGINE", "").strip()
     if raw:
         if raw not in ("heap", "flat"):

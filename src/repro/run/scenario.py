@@ -174,7 +174,7 @@ class Scenario:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
-        if self.shard_transport not in (None, "fork", "inline"):
+        if self.shard_transport not in (None, "fork", "inline", "shm"):
             raise ConfigurationError(
                 f"unknown shard transport {self.shard_transport!r}"
             )
@@ -293,9 +293,11 @@ class Scenario:
         ``shard_transport`` exactly as the pre-registry launchers did.
         """
         if self.backend is not None:
-            implied = {"sharded-fork": "fork", "sharded-inline": "inline"}.get(
-                self.backend
-            )
+            implied = {
+                "sharded-fork": "fork",
+                "sharded-inline": "inline",
+                "sharded-shm": "shm",
+            }.get(self.backend)
             if (
                 self.shard_transport is not None
                 and implied is not None
@@ -310,6 +312,8 @@ class Scenario:
             return "serial"
         if self.shard_transport == "inline":
             return "sharded-inline"
+        if self.shard_transport == "shm":
+            return "sharded-shm"
         return "sharded-fork"
 
     def system_config(self) -> SystemConfig:

@@ -103,6 +103,17 @@ class TestResolutionPrecedence:
         with pytest.raises(ConfigurationError, match="XSIM_SHARDS"):
             Scenario.resolve(environ={"XSIM_SHARDS": "many"})
 
+    def test_shard_transport_from_environment(self):
+        s = Scenario.resolve(
+            environ={"XSIM_SHARDS": "2", "XSIM_SHARD_TRANSPORT": "shm"}
+        )
+        assert s.shard_transport == "shm"
+        assert s.backend_name() == "sharded-shm"
+
+    def test_bad_env_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="XSIM_SHARD_TRANSPORT"):
+            Scenario.resolve(environ={"XSIM_SHARD_TRANSPORT": "morse"})
+
 
 # ----------------------------------------------------------------------
 # serialization & digest
@@ -157,7 +168,9 @@ class TestSerialization:
 # ----------------------------------------------------------------------
 class TestBackends:
     def test_registry_names(self):
-        assert set(backend_names()) == {"serial", "sharded-inline", "sharded-fork"}
+        assert set(backend_names()) == {
+            "serial", "sharded-inline", "sharded-fork", "sharded-shm",
+        }
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown backend"):
@@ -167,7 +180,12 @@ class TestBackends:
         assert tiny().backend_name() == "serial"
         assert tiny(shards=2).backend_name() == "sharded-fork"
         assert tiny(shards=2, shard_transport="inline").backend_name() == "sharded-inline"
+        assert tiny(shards=2, shard_transport="shm").backend_name() == "sharded-shm"
         assert tiny(backend="serial").backend_name() == "serial"
+
+    def test_unknown_transport_rejected_at_resolution(self):
+        with pytest.raises(ConfigurationError, match="unknown shard transport"):
+            tiny(shards=2, shard_transport="carrier-pigeon")
 
     def test_backend_transport_conflict(self):
         with pytest.raises(ConfigurationError, match="conflicts"):
@@ -198,6 +216,28 @@ class TestBackends:
     def test_backend_execute_single_run(self):
         result = get_backend("serial").execute(tiny())
         assert result.completed
+
+    def test_outcome_metadata_records_actual_transport(self):
+        outcome = run_scenario(tiny(shards=2, shard_transport="inline"))
+        assert outcome.metadata == {
+            "shard_transport": "inline",
+            "requested_transport": "inline",
+            "transport_fallback": False,
+            "nshards": 2,
+        }
+        # Execution facts stay out of the result digest: a serial run of
+        # the same workload (empty metadata) produces the same digest.
+        serial = run_scenario(tiny())
+        assert serial.metadata == {}
+        assert serial.digest() == outcome.digest()
+
+    def test_outcome_metadata_in_restart_mode(self):
+        outcome = run_scenario(
+            tiny(iterations=40, failures="3@50s", shards=2, shard_transport="inline")
+        )
+        assert outcome.mode == "restart"
+        assert outcome.metadata["shard_transport"] == "inline"
+        assert outcome.metadata["transport_fallback"] is False
 
     def test_xsim_from_scenario_backend_described(self):
         from repro.core.simulator import XSim
@@ -230,6 +270,25 @@ class TestCappedShards:
         monkeypatch.setattr(backends.os, "cpu_count", lambda: 4)
         assert capped_shards(2, jobs=8, transport="fork", quiet=True) == 1
         assert capsys.readouterr().err == ""  # quiet suppresses the warning
+
+    def test_undeterminable_cpu_count_caps_hard(self, monkeypatch, capsys):
+        """os.cpu_count() may return None; the cap must neither crash nor
+        oversubscribe — an unknown host is treated as one core."""
+        import repro.run.backends as backends
+
+        monkeypatch.setattr(backends.os, "cpu_count", lambda: None)
+        for transport in ("fork", "shm"):
+            assert capped_shards(4, jobs=1, transport=transport) == 1
+            assert capped_shards(4, jobs=3, transport=transport) == 1
+        assert "oversubscribe" in capsys.readouterr().err
+        # The inline transport needs no extra processes, so it is exempt.
+        assert capped_shards(4, jobs=3, transport="inline") == 4
+
+    def test_single_shard_skips_the_cap(self, monkeypatch):
+        import repro.run.backends as backends
+
+        monkeypatch.setattr(backends.os, "cpu_count", lambda: None)
+        assert capped_shards(1, jobs=64, transport="fork") == 1
 
     def test_cli_reexport_is_registry_function(self):
         from repro import cli

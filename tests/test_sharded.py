@@ -11,8 +11,13 @@ and exercises the integration seams (restart driver, tree collectives,
 fork-transport pickling, CLI capping).
 """
 
+import math
+import multiprocessing as mp
+import os
 import pickle
+import threading
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -25,12 +30,30 @@ from repro.core.harness.experiment import result_digest
 from repro.core.restart import RestartDriver
 from repro.core.simulator import XSim
 from repro.mpi.errhandler import ERRORS_ARE_FATAL, ERRORS_RETURN
-from repro.pdes.sharded import derive_lookahead, partition_ranks
-from repro.util.errors import ConfigurationError
+from repro.mpi.messages import EAGER, RTS
+from repro.pdes.sharded import (
+    ShardWorker,
+    derive_lookahead,
+    derive_lookahead_matrix,
+    partition_ranks,
+    partition_ranks_topology,
+)
+from repro.pdes.shmring import RingPeerDead, ShmRing, pack_envelope, unpack_envelope
+from repro.util.errors import ConfigurationError, ShardWorkerDied
 
 NRANKS = 16
 ITERATIONS = 12
 INTERVAL = 5
+
+fork_required = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="fork start method unavailable on this platform",
+)
+
+
+def paper_network(nranks, **overrides):
+    """The NetworkModel of a paper system (optionally reconfigured)."""
+    return XSim(SystemConfig.paper_system(nranks=nranks, **overrides)).world.network
 
 
 def build_sim(nranks=NRANKS, collective="linear", **xsim_kwargs):
@@ -105,6 +128,266 @@ class TestPartition:
                 for src in part:
                     for dst in other:
                         assert net.wire_latency(src, dst) >= la
+
+
+class TestLookaheadMatrix:
+    """The per-shard-pair lookahead matrix: safety and window economy.
+
+    ``derive_lookahead_matrix`` must dominate the global bound (every
+    entry is a *wider* window than ``derive_lookahead`` would grant),
+    stay symmetric, satisfy the triangle inequality (a reaction relayed
+    through a third shard is still covered), and — run against the same
+    workload — never need *more* coordination windows than the uniform
+    global scheme while keeping digests bit-identical on every transport.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nranks=st.integers(min_value=8, max_value=96),
+        nshards=st.integers(min_value=2, max_value=6),
+        rpn=st.sampled_from([1, 2, 4]),
+    )
+    def test_dominates_global_bound_symmetric_triangular(self, nranks, nshards, rpn):
+        network = paper_network(nranks, ranks_per_node=rpn)
+        parts = partition_ranks(nranks, nshards)
+        if len(parts) < 2:
+            return
+        la = derive_lookahead(network, parts)
+        matrix = derive_lookahead_matrix(network, parts)
+        n = len(parts)
+        for j in range(n):
+            assert math.isinf(matrix[j][j])
+            for k in range(n):
+                if j == k:
+                    continue
+                assert matrix[j][k] >= la
+                assert matrix[j][k] == matrix[k][j]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    if len({i, j, k}) == 3:
+                        assert matrix[i][k] <= matrix[i][j] + matrix[j][k] + 1e-15
+
+    def test_distant_shards_get_wider_windows(self):
+        """On a torus the matrix is genuinely non-uniform: some pair's
+        bound exceeds the global minimum (that is the whole point)."""
+        network = paper_network(64)
+        parts = partition_ranks(64, 4)
+        matrix = derive_lookahead_matrix(network, parts)
+        la = derive_lookahead(network, parts)
+        off = [matrix[j][k] for j in range(4) for k in range(4) if j != k]
+        assert min(off) == pytest.approx(la)
+        assert max(off) > la
+
+    def test_matrix_never_needs_more_windows_than_global(self):
+        """Same run, matrix windows vs the uniform-global override."""
+        sim_m, res_m = run_heat(nranks=64, shards=4, shard_transport="inline")
+        sim_g, res_g = run_heat(
+            nranks=64, shards=4, shard_transport="inline", la_frac=1.0
+        )
+        assert result_digest(res_m) == result_digest(res_g)
+        assert sim_m.shard_stats.windows <= sim_g.shard_stats.windows
+        assert sim_m.shard_stats.lookahead_max > sim_m.shard_stats.lookahead
+        # The override collapses the matrix to the uniform global bound.
+        assert sim_g.shard_stats.lookahead_max == sim_g.shard_stats.lookahead
+
+    @pytest.mark.parametrize(
+        "transport",
+        [
+            "inline",
+            pytest.param("fork", marks=fork_required),
+            pytest.param("shm", marks=fork_required),
+        ],
+    )
+    @pytest.mark.parametrize("scheme", ["matrix", "global"])
+    def test_digest_parity_across_schemes_and_transports(
+        self, serial_digests, transport, scheme
+    ):
+        _, res = run_heat(
+            shards=3,
+            shard_transport=transport,
+            la_frac=1.0 if scheme == "global" else None,
+        )
+        assert result_digest(res) == serial_digests[False]
+
+
+class TestTopologyPartition:
+    """Topology-aware shard cuts: contiguity, balance, wire awareness."""
+
+    def test_contiguous_and_covering(self):
+        network = paper_network(64)
+        for nshards in (2, 3, 4, 7):
+            parts = partition_ranks_topology(64, nshards, network)
+            assert len(parts) == nshards
+            assert [r for part in parts for r in part] == list(range(64))
+
+    def test_balance_bounded_by_slack(self):
+        for nranks, nshards in ((64, 4), (65, 4), (96, 5)):
+            network = paper_network(nranks)
+            parts = partition_ranks_topology(nranks, nshards, network)
+            base = nranks // nshards
+            width = int(base * 0.125)
+            sizes = [len(p) for p in parts]
+            assert sum(sizes) == nranks
+            assert max(sizes) - min(sizes) <= 1 + 2 * width
+
+    def test_cuts_land_on_node_boundaries(self):
+        """With several ranks per node, splitting a node across shards
+        costs more than any link cut — boundaries snap to node edges."""
+        network = paper_network(64, ranks_per_node=4)
+        parts = partition_ranks_topology(64, 4, network)
+        for part in parts[1:]:
+            assert part[0] % 4 == 0
+
+    def test_featureless_topology_keeps_equal_split(self):
+        network = paper_network(64, topology_kind="crossbar")
+        assert partition_ranks_topology(64, 4, network) == partition_ranks(64, 4)
+
+    def test_parity_with_packed_nodes(self):
+        """Node-aligned cuts + per-pair lookahead on a multi-rank-per-node
+        machine still reproduce the serial digest."""
+
+        def run(**kw):
+            system = SystemConfig.paper_system(nranks=32, ranks_per_node=4)
+            workload = HeatConfig.paper_workload(
+                checkpoint_interval=INTERVAL, nranks=32, iterations=ITERATIONS
+            )
+            sim = XSim(system, **kw)
+            return sim.run(heat3d, args=(workload, CheckpointStore()))
+
+        serial = run()
+        sharded = run(shards=4, shard_transport="inline")
+        assert result_digest(sharded) == result_digest(serial)
+
+
+class TestShmRing:
+    """The SPSC shared-memory ring and the packed envelope codec."""
+
+    def test_records_round_trip_through_wraparound(self):
+        ring = ShmRing(capacity=64)
+        try:
+            for i in range(40):  # total bytes written >> capacity
+                payload = bytes([i % 251]) * (i % 23)
+                ring.write(payload)
+                assert ring.read() == payload
+        finally:
+            ring.destroy()
+
+    def test_record_larger_than_capacity_streams(self):
+        ring = ShmRing(capacity=64)
+        blob = os.urandom(1500)
+        try:
+            writer = threading.Thread(target=ring.write, args=(blob,))
+            writer.start()
+            out = ring.read()
+            writer.join()
+            assert out == blob
+        finally:
+            ring.destroy()
+
+    def test_blocked_read_detects_dead_peer(self):
+        ring = ShmRing(capacity=64)
+        try:
+            with pytest.raises(RingPeerDead):
+                ring.read(alive=lambda: False)
+        finally:
+            ring.destroy()
+
+    PAYLOADS = [
+        None,
+        True,
+        False,
+        7,
+        -(1 << 62),
+        1 << 80,  # beyond i64: pickle fallback
+        3.141592653589793,
+        b"\x00raw bytes\xff",
+        "unicodé ☃",
+        np.arange(6, dtype=np.float64).reshape(2, 3),
+        np.array([1, -2, 3], dtype=np.int32),
+        np.array(2.5),  # 0-d array
+        {"pickle": ["fallback", 1]},
+    ]
+
+    @pytest.mark.parametrize(
+        "payload", PAYLOADS, ids=[f"p{i}" for i in range(len(PAYLOADS))]
+    )
+    def test_eager_envelope_round_trips_exactly(self, payload):
+        env = ("a", 1.5, 0, 3, 4, 7, 64, payload, (0.25, 3, 9), EAGER, None)
+        out = unpack_envelope(pack_envelope(env))
+        assert out[:7] == env[:7]
+        assert out[8:] == env[8:]
+        got = out[7]
+        if isinstance(payload, np.ndarray):
+            assert isinstance(got, np.ndarray)
+            assert got.dtype == payload.dtype
+            assert got.shape == payload.shape
+            assert np.array_equal(got, payload)
+            assert got.flags.writeable  # serial path hands out a copy
+        else:
+            assert type(got) is type(payload)
+            assert got == payload
+
+    def test_rts_envelope_keeps_protocol_and_req_id(self):
+        env = ("a", 2.25, 1, 8, 9, 42, 1 << 20, None, (2.0, 8, 77), RTS, 12)
+        assert unpack_envelope(pack_envelope(env)) == env
+
+    def test_rendezvous_completion_round_trips(self):
+        env = ("r", 5, 42, 1.25)
+        assert unpack_envelope(pack_envelope(env)) == env
+
+
+@fork_required
+class TestWorkerLiveness:
+    """A dying worker must raise ShardWorkerDied, not hang the run."""
+
+    @pytest.mark.parametrize("transport", ["fork", "shm"])
+    def test_dead_worker_is_detected_and_named(self, transport, monkeypatch):
+        original = ShardWorker.run_window
+
+        def dying(self, end):
+            if self.shard_id == 1:
+                os._exit(1)  # simulates an OOM-killed / crashed worker
+            return original(self, end)
+
+        monkeypatch.setattr(ShardWorker, "run_window", dying)
+        with pytest.raises(ShardWorkerDied, match="shard 1") as excinfo:
+            run_heat(shards=3, shard_transport=transport)
+        assert excinfo.value.shard_id == 1
+        # The setup reply completed (round 1) but no window ever did.
+        assert excinfo.value.last_round >= 1
+        assert "last completed" in str(excinfo.value)
+
+
+class TestTransportFallback:
+    """fork/shm on a fork-less host: fall back loudly, never silently."""
+
+    @pytest.mark.parametrize("requested", ["fork", "shm"])
+    def test_fallback_is_surfaced_once_everywhere(
+        self, serial_digests, monkeypatch, requested
+    ):
+        import repro.pdes.sharded as sharded_mod
+
+        monkeypatch.setattr(
+            sharded_mod.mp, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            sim, res = run_heat(shards=2, shard_transport=requested)
+        stats = sim.shard_stats
+        assert stats.transport == "inline"
+        assert stats.requested_transport == requested
+        assert stats.transport_fallback is True
+        entries = [e for e in sim.engine.log.entries if e.category == "shards"]
+        assert len(entries) == 1
+        assert "falling back" in entries[0].message
+        # The fallback is an execution fact, never a result fact.
+        assert result_digest(res) == serial_digests[False]
+
+    def test_no_fallback_flags_on_a_normal_run(self):
+        sim, _ = run_heat(shards=2, shard_transport="inline")
+        assert sim.shard_stats.transport_fallback is False
+        assert sim.shard_stats.requested_transport == "inline"
+        assert [e for e in sim.engine.log.entries if e.category == "shards"] == []
 
 
 class TestParityProperty:
