@@ -31,6 +31,9 @@ they do, bit-for-bit where the promise is bit-identity:
 * **flat parity** — the slab-pool flat event core vs. the heap core:
   identical result digests, event counts, dispatch traces, and obs export
   bytes, serially and sharded, including a failure + restart cycle.
+* **cache parity** — a :mod:`repro.cache` hit vs. recomputation: identical
+  result digest, summary, and obs export bytes on a cold/warm pair, with
+  serial-computed entries serving sharded requests and vice versa.
 
 :func:`run_all` executes every check and (optionally) writes failure
 artifacts — traces, digests, divergence reports — into a directory for CI
@@ -659,6 +662,122 @@ def check_flat_parity(
     )
 
 
+def check_cache_parity(
+    nranks: int = 16, iterations: int = 20, shards: int = 2
+) -> CheckResult:
+    """A result-cache hit must be bit-identical to recomputation.
+
+    The content-addressed store (:mod:`repro.cache`) promises that a warm
+    lookup is observationally indistinguishable from running the
+    scenario: same result digest, same summary, byte-identical
+    :mod:`repro.obs` exports.  Checks, on an observed failure + restart
+    scenario:
+
+    * cold compute-and-store, then warm lookup — digest, summary, and
+      Chrome-JSON/JSONL export bytes all equal, and the store's counters
+      read exactly one miss, one store, one hit;
+    * the same cell requested on a ``shards``-shard backend — the key
+      normalizes execution parallelism away, so the serial-computed entry
+      must hit and serve the identical digest;
+    * the reverse direction in a fresh cache — sharded-cold, serial-warm.
+    """
+    import tempfile
+
+    from repro.cache.store import ResultCache, cache_key
+    from repro.obs import to_chrome, to_jsonl
+    from repro.run.backends import run_scenario
+    from repro.run.scenario import Scenario
+
+    _, clean = _heat_sim(nranks, iterations, 10, paper_timing=True)
+    base = Scenario(
+        ranks=nranks,
+        iterations=iterations,
+        interval=10,
+        failures=f"{nranks // 3}@{0.4 * clean.exit_time}s",
+        observe=True,
+    )
+    sharded = base.with_(shards=shards, shard_transport="inline")
+    if cache_key(sharded) != cache_key(base):
+        return CheckResult(
+            "cache-parity",
+            False,
+            "cache key differs between serial and sharded requests for one cell",
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultCache(tmp)
+        cold = run_scenario(base, cache=store)
+        warm = run_scenario(base, cache=store)
+        if cold.metadata.get("cache_hit") or not warm.metadata.get("cache_hit"):
+            return CheckResult(
+                "cache-parity",
+                False,
+                f"hit flags wrong: cold {cold.metadata.get('cache_hit')}, "
+                f"warm {warm.metadata.get('cache_hit')}",
+            )
+        if cold.digest() != warm.digest() or cold.summary() != warm.summary():
+            return CheckResult(
+                "cache-parity",
+                False,
+                f"warm hit differs from cold compute: digest "
+                f"{cold.digest()[:16]} vs {warm.digest()[:16]}",
+                artifacts={
+                    "cache-summaries.txt": f"cold {cold.summary()}\nwarm {warm.summary()}\n"
+                },
+            )
+        chrome_c, chrome_w = to_chrome(cold.observer), to_chrome(warm.observer)
+        jsonl_c, jsonl_w = to_jsonl(cold.observer), to_jsonl(warm.observer)
+        if chrome_c != chrome_w or jsonl_c != jsonl_w:
+            which = "chrome" if chrome_c != chrome_w else "jsonl"
+            return CheckResult(
+                "cache-parity",
+                False,
+                f"{which} export differs between cold compute and warm hit",
+                artifacts={
+                    "cache-obs-cold.json": chrome_c,
+                    "cache-obs-warm.json": chrome_w,
+                },
+            )
+        st = store.stats
+        if (st.hits, st.misses, st.stores, st.corrupt) != (1, 1, 1, 0):
+            return CheckResult(
+                "cache-parity",
+                False,
+                f"unexpected counters after cold+warm: {st.as_record()}",
+            )
+        warm_sharded = run_scenario(sharded, cache=store)
+        if not warm_sharded.metadata.get("cache_hit") or (
+            warm_sharded.digest() != cold.digest()
+        ):
+            return CheckResult(
+                "cache-parity",
+                False,
+                f"serial-computed entry did not serve the {shards}-shard request "
+                f"(hit={warm_sharded.metadata.get('cache_hit')}, digest "
+                f"{warm_sharded.digest()[:16]} vs {cold.digest()[:16]})",
+            )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultCache(tmp)
+        cold_sharded = run_scenario(sharded, cache=store)
+        warm_serial = run_scenario(base, cache=store)
+        if not warm_serial.metadata.get("cache_hit") or (
+            warm_serial.digest() != cold_sharded.digest()
+        ):
+            return CheckResult(
+                "cache-parity",
+                False,
+                f"sharded-computed entry did not serve the serial request "
+                f"(hit={warm_serial.metadata.get('cache_hit')}, digest "
+                f"{warm_serial.digest()[:16]} vs {cold_sharded.digest()[:16]})",
+            )
+    return CheckResult(
+        "cache-parity",
+        True,
+        f"warm hits bit-identical to cold computes at {nranks} ranks "
+        f"(restart run; digest, summary, obs bytes; serial<->{shards}-shard "
+        "sharing both directions)",
+    )
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -689,6 +808,7 @@ def run_all(
         check_obs_parity,
         check_scenario_parity,
         check_flat_parity,
+        check_cache_parity,
     ]
     names = [
         "rerun",
@@ -701,6 +821,7 @@ def run_all(
         "obs-parity",
         "scenario-parity",
         "flat-parity",
+        "cache-parity",
     ]
     if only is not None:
         if only not in names:

@@ -51,6 +51,46 @@ from repro.run.sweep import parse_set, run_sweep
 from repro.util.errors import ConfigurationError
 
 
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_mutually_exclusive_group()
+    g.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=None,
+        help="consult/write the content-addressed result cache (same as "
+        "XSIM_CACHE=1); previously computed scenarios are served by lookup, "
+        "bit-identical to recomputation",
+    )
+    g.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable the result cache for this invocation even when "
+        "XSIM_CACHE is set",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache directory (default: XSIM_CACHE_DIR or ~/.cache/xsim); "
+        "safe to share between parallel workers and concurrent invocations",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """The ResultCache this invocation uses, or None (caching off):
+    ``--cache``/``--no-cache`` override the ``XSIM_CACHE`` environment
+    policy; ``--cache-dir`` overrides ``XSIM_CACHE_DIR``."""
+    from repro import cache as cache_mod
+
+    flag = getattr(args, "cache", None)
+    enabled = cache_mod.cache_enabled() if flag is None else flag
+    if not enabled:
+        return None
+    return cache_mod.open_cache(getattr(args, "cache_dir", None))
+
+
 def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "-j",
@@ -206,7 +246,13 @@ def _cmd_app(args: argparse.Namespace) -> int:
         )
         return 2
 
-    outcome = run_scenario(scenario, log_stream=sys.stdout, force_single=tracing)
+    cache = _cache_from_args(args)
+    outcome = run_scenario(
+        scenario,
+        log_stream=sys.stdout,
+        force_single=tracing,
+        cache=cache if cache is not None else False,
+    )
     if outcome.mode == "restart":
         run = outcome.run
         print(run.segments[-1].result.timing_report())
@@ -237,6 +283,17 @@ def _cmd_app(args: argparse.Namespace) -> int:
             outcome.observer, scenario.trace_out, include_host=args.trace_host
         )
         print(f"exported {count} events to {scenario.trace_out}")
+    if cache is not None:
+        if outcome.metadata.get("cache_hit"):
+            saved = float(outcome.metadata.get("cache_wall_s") or 0.0)
+            print(
+                f"cache: hit {str(outcome.metadata.get('cache_key'))[:16]} "
+                f"(~{saved:.2f}s of compute served by lookup)"
+            )
+        elif tracing:
+            print("cache: bypassed (event-trace recording is not cacheable)")
+        else:
+            print("cache: miss (stored for the next identical run)")
     return 0
 
 
@@ -255,16 +312,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        pairs = run_sweep(base, grid)
+        cache = _cache_from_args(args)
+        pairs = run_sweep(base, grid, cache=cache if cache is not None else False)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     axes = list(grid)
+    cache_on = cache is not None
     header = axes + ["mode", "completed", "time", "failures", "restarts", "digest"]
+    if cache_on:
+        # Last column so tooling that diffs cold-vs-warm tables can strip
+        # it (everything to its left is byte-stable across reruns).
+        header.append("source")
     rows = []
     for scenario, summary in pairs:
         time_s = summary.get("e2", summary["exit_time"])
-        rows.append(
+        row = (
             tuple(str(getattr(scenario, a)) for a in axes)
             + (
                 summary["mode"],
@@ -275,9 +338,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 summary["result_digest"][:12],
             )
         )
+        if cache_on:
+            row += ("cached" if summary.get("cached") else "computed",)
+        rows.append(row)
     print(f"{len(pairs)} scenarios ({' x '.join(axes)}) on backend "
           f"{base.backend_name()}:")
     print(format_table(header, rows))
+    if cache_on:
+        hits = sum(1 for _, s in pairs if s.get("cached"))
+        saved = sum(float(s.get("saved_s") or 0.0) for _, s in pairs)
+        print(
+            f"cache: {hits}/{len(pairs)} cells served from cache "
+            f"({hits / len(pairs):.0%} hit rate), ~{saved:.2f}s of compute saved"
+        )
     return 0
 
 
@@ -350,6 +423,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{fp['pool_peak']:,} slots, {fp['slab_grows']} slab grows, "
               f"free-list reuse {fp['free_reuse_ratio']:.1%}, "
               f"max batch {fp['batch_max']:,}")
+    if not args.skip_cache:
+        print("cold vs warm sweep through the result cache ...")
+        rec = bench.measure_cache()
+        update["cache"] = rec
+        print(f"  {rec['cells']} cells: cold {rec['cold_s']:.3f}s -> warm "
+              f"{rec['warm_s']:.3f}s ({rec['speedup']}x, hit rate "
+              f"{rec['hit_rate']:.0%}, mean lookup "
+              f"{rec['lookup']['lookup_mean_s'] * 1e3:.2f}ms, digests "
+              f"{'match' if rec['digests_equal'] else 'DIFFER'})")
     if os.environ.get("XSIM_FULL_SCALE", "").strip() not in ("", "0"):
         print("paper-exact 32,768-rank run (XSIM_FULL_SCALE=1) ...")
         fs = bench.full_scale_record()
@@ -393,6 +475,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{rec['measured_vs_projected']:.2f}")
     bench.merge_bench(update, out)
     print(f"wrote {out}")
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.cache import open_cache
+    from repro.util.units import format_size
+
+    cache = open_cache(args.cache_dir)
+    st = cache.index_stats()
+    print(f"result cache at {st['root']}")
+    if st["disabled"]:
+        print(f"  disabled: {st['disabled']}")
+        return 1
+    modes = ", ".join(f"{n} {m}" for m, n in sorted(st["modes"].items())) or "empty"
+    print(f"  entries:  {st['entries']:,} ({modes})")
+    print(f"  size:     {format_size(st['bytes'])}")
+    print(f"  hits:     {st['hits']:,} lifetime "
+          f"(~{st['saved_s']:,.1f}s of compute served by lookup)")
+    print(f"  salt:     {st['salt']}")
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from repro.cache import open_cache
+
+    cache = open_cache(args.cache_dir)
+    if cache.disabled_reason:
+        print(f"error: {cache.disabled_reason}", file=sys.stderr)
+        return 1
+    total = cache.index_stats()["entries"]
+    issues = cache.verify(prune=args.prune)
+    if not issues:
+        print(f"verified {total:,} entries: all servable")
+        return 0
+    for issue in issues:
+        action = "pruned" if args.prune else "unservable"
+        print(f"{issue.key[:16]} {action}: {issue.problem}")
+    print(f"{len(issues)}/{total} entries "
+          f"{'pruned' if args.prune else 'unservable (re-run with --prune to delete)'}")
+    return 0 if args.prune else 1
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from repro.cache import open_cache
+    from repro.util.units import format_size, parse_size, parse_time
+
+    if args.max_bytes is None and args.max_age is None:
+        print("error: pass --max-bytes and/or --max-age", file=sys.stderr)
+        return 2
+    cache = open_cache(args.cache_dir)
+    if cache.disabled_reason:
+        print(f"error: {cache.disabled_reason}", file=sys.stderr)
+        return 1
+    try:
+        max_bytes = None if args.max_bytes is None else parse_size(args.max_bytes)
+        max_age = None if args.max_age is None else parse_time(args.max_age)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    res = cache.gc(max_bytes=max_bytes, max_age=max_age)
+    by_age = sum(1 for _, reason in res.removed if reason == "age")
+    by_bytes = len(res.removed) - by_age
+    print(
+        f"evicted {len(res.removed)} entries ({format_size(res.freed_bytes)} freed: "
+        f"{by_age} by age, {by_bytes} by size); "
+        f"kept {res.kept} ({format_size(res.kept_bytes)})"
+    )
     return 0
 
 
@@ -463,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="include host-domain (wall clock) events in --trace-out; these "
         "are nondeterministic, so exports are no longer byte-comparable",
     )
+    _add_cache_args(p_app)
     p_app.set_defaults(fn=_cmd_app)
 
     p_sw = sub.add_parser(
@@ -489,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the campaign (default: XSIM_JOBS or 1); "
         "results are identical to a serial sweep",
     )
+    _add_cache_args(p_sw)
     p_sw.set_defaults(fn=_cmd_sweep)
 
     p_tl = sub.add_parser(
@@ -553,9 +704,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the serial-vs-sharded comparison")
     p_bench.add_argument("--skip-cores", action="store_true",
                          help="skip the paired heap-vs-flat event-core comparison")
+    p_bench.add_argument("--skip-cache", action="store_true",
+                         help="skip the cold-vs-warm result-cache sweep comparison")
     p_bench.add_argument("--out", default=None, metavar="FILE",
                          help="output path (default: BENCH_pdes.json at the repo root)")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed result cache "
+        "(stats, verify, gc)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    def _cache_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            default=None,
+            help="cache directory (default: XSIM_CACHE_DIR or ~/.cache/xsim)",
+        )
+
+    p_cs = cache_sub.add_parser("stats", help="entry count, size, lifetime hit totals")
+    _cache_dir_arg(p_cs)
+    p_cs.set_defaults(fn=_cmd_cache_stats)
+
+    p_cv = cache_sub.add_parser(
+        "verify",
+        help="audit every entry (blob present, decodable, digest matches "
+        "the index); exit 1 when any entry is unservable",
+    )
+    _cache_dir_arg(p_cv)
+    p_cv.add_argument(
+        "--prune", action="store_true", help="delete the entries that fail the audit"
+    )
+    p_cv.set_defaults(fn=_cmd_cache_verify)
+
+    p_cg = cache_sub.add_parser(
+        "gc",
+        help="evict entries: everything idle longer than --max-age first, "
+        "then least-recently-hit entries until under --max-bytes",
+    )
+    _cache_dir_arg(p_cg)
+    p_cg.add_argument(
+        "--max-bytes",
+        metavar="SIZE",
+        default=None,
+        help='target cache size with unit suffix, e.g. "256MB" or "1GB"',
+    )
+    p_cg.add_argument(
+        "--max-age",
+        metavar="TIME",
+        default=None,
+        help='evict entries whose last hit is older than this, e.g. "7d", "12h"',
+    )
+    p_cg.set_defaults(fn=_cmd_cache_gc)
 
     p_chk = sub.add_parser(
         "simcheck", help="differential determinism harness (serial vs pool, "

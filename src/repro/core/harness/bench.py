@@ -322,6 +322,71 @@ def measure_sharded(
     return record
 
 
+def measure_cache(
+    nranks: int = 64,
+    iterations: int = 400,
+    grid: "dict | None" = None,
+    cache_dir: "str | None" = None,
+) -> dict:
+    """Cold-vs-warm A/B of one sweep through the content-addressed result
+    cache (``repro.cache``): the cold pass computes and stores every cell,
+    the warm pass re-runs the identical matrix and must answer every cell
+    by lookup with bit-identical digests.  The figure of merit is
+    ``speedup`` (cold wall / warm wall) and the warm pass's 100% hit
+    rate; ``lookup`` carries the per-process cache counters so the warm
+    cost (mean lookup latency) is visible next to the win.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache.store import ResultCache
+    from repro.run.scenario import Scenario
+    from repro.run.sweep import run_sweep
+
+    # Direct construction (not .resolve): the benchmark cell set must not
+    # shift with ambient XSIM_* variables.
+    base = Scenario(ranks=nranks, iterations=iterations, interval=100)
+    grid = {"interval": [50, 100, 200], "seed": [0, 1]} if grid is None else grid
+    root = Path(tempfile.mkdtemp(prefix="xsim-cache-bench-")) if cache_dir is None else Path(cache_dir)
+    try:
+        cold_cache = ResultCache(root)
+        t0 = time.perf_counter()
+        cold = run_sweep(base, grid, cache=cold_cache)
+        cold_s = time.perf_counter() - t0
+        # Fresh handle on the same store: warm counters start at zero.
+        warm_cache = ResultCache(root)
+        t0 = time.perf_counter()
+        warm = run_sweep(base, grid, cache=warm_cache)
+        warm_s = time.perf_counter() - t0
+        digests_equal = [s["result_digest"] for _, s in cold] == [
+            s["result_digest"] for _, s in warm
+        ]
+        hits = sum(1 for _, s in warm if s.get("cached"))
+        cells = len(cold)
+        return {
+            "benchmark": "result-cache",
+            "workload": f"heat3d sweep, {cells} cells at {nranks} ranks",
+            "cells": cells,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,
+            "hit_rate": round(hits / cells, 4) if cells else 0.0,
+            "digests_equal": digests_equal,
+            "cache_bytes": cold_cache.index_stats()["bytes"],
+            "lookup": warm_cache.stats.as_record(),
+            "note": (
+                "cold computes and stores every cell, warm re-runs the "
+                "identical matrix; every warm cell must be a lookup "
+                "(hit_rate 1.0) with digests byte-equal to the cold pass — "
+                "the cache-parity simcheck enforces the same property per "
+                "scenario, including across serial/sharded backends"
+            ),
+        }
+    finally:
+        if cache_dir is None:
+            shutil.rmtree(root, ignore_errors=True)
+
+
 def merge_bench(update: dict, path: Path = BENCH_PATH) -> dict:
     """Merge ``update`` keys into the existing BENCH_pdes.json (if any)."""
     record = {}

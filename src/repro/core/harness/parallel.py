@@ -60,15 +60,26 @@ class RunSpec:
     params: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
-    def from_scenario(cls, scenario, key: tuple = ()) -> "RunSpec":
+    def from_scenario(
+        cls, scenario, key: tuple = (), cache_dir: str | None = None
+    ) -> "RunSpec":
         """A spec executing one :class:`~repro.run.scenario.Scenario` via
         the ``scenario`` task: the spec carries only the scenario's
         primitive dict form, workers rebuild and run it on its resolved
-        backend and return :meth:`~repro.run.backends.ScenarioOutcome.summary`."""
+        backend and return :meth:`~repro.run.backends.ScenarioOutcome.summary`.
+
+        ``cache_dir`` (optional) names a shared content-addressed result
+        store: the worker consults it before running and memoizes what it
+        computes (see :mod:`repro.cache`).  Omitted from ``params`` when
+        unset so pre-cache specs pickle and digest identically.
+        """
+        params: dict[str, Any] = {"scenario": scenario.to_dict()}
+        if cache_dir is not None:
+            params["cache_dir"] = cache_dir
         return cls(
             "scenario",
             key=key if key else ("scenario", scenario.scenario_digest()[:12]),
-            params={"scenario": scenario.to_dict()},
+            params=params,
         )
 
 
@@ -263,13 +274,24 @@ def _task_selftest(
 
 
 @task("scenario")
-def _task_scenario(*, scenario: dict) -> dict[str, Any]:
+def _task_scenario(*, scenario: dict, cache_dir: str | None = None) -> dict[str, Any]:
     """One declarative :class:`~repro.run.scenario.Scenario`, executed on
-    its resolved backend; sweeps (``xsim-run sweep``) fan these out."""
+    its resolved backend; sweeps (``xsim-run sweep``) fan these out.
+
+    ``cache_dir`` routes the run through the shared content-addressed
+    result store at that path (lookup before compute, write-through
+    after); without it the worker falls back to the ``XSIM_CACHE``
+    environment policy.
+    """
     from repro.run.backends import run_scenario
     from repro.run.scenario import Scenario
 
-    return run_scenario(Scenario.from_dict(scenario)).summary()
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import open_cache
+
+        cache = open_cache(cache_dir)
+    return run_scenario(Scenario.from_dict(scenario), cache=cache).summary()
 
 
 @task("table2-e1")

@@ -306,6 +306,7 @@ def run_scenario(
     log_stream=None,
     observe: Any = None,
     force_single: bool = False,
+    cache: Any = None,
 ) -> ScenarioOutcome:
     """Execute a scenario end to end on its resolved backend.
 
@@ -315,7 +316,33 @@ def run_scenario(
     across segments; otherwise (or with ``force_single=True``, the
     trace-record/replay path) it is one engine run via
     :meth:`Backend.execute`.
+
+    ``cache`` selects the content-addressed result store consulted
+    *before* dispatching to any backend (and written through after a
+    computed run): ``None`` defers to the ``XSIM_CACHE`` /
+    ``XSIM_CACHE_DIR`` environment policy, ``False`` disables caching
+    for this call, and a :class:`~repro.cache.ResultCache` is used
+    directly.  A hit is bit-identical to recomputation (result digest,
+    summary, sim-domain exporter bytes — the ``cache-parity`` simcheck)
+    and is marked in :attr:`ScenarioOutcome.metadata` as ``cache_hit``.
+    Trace-recording runs (``record_events`` / ``force_single``) and
+    calls with a caller-supplied observer bypass the cache, because a
+    hit cannot repopulate live instrumentation objects.
     """
+    from repro.cache import cacheable, resolve_cache
+
+    store = resolve_cache(cache)
+    use_cache = (
+        store is not None
+        and not force_single
+        and observe is None
+        and cacheable(scenario)
+    )
+    if use_cache:
+        hit = store.lookup(scenario)
+        if hit is not None:
+            return hit
+    t0 = perf_counter()
     backend = get_backend(scenario.backend_name())
     wants_driver = scenario.mttf is not None or bool(scenario.schedule())
     if wants_driver and not force_single:
@@ -325,20 +352,34 @@ def run_scenario(
             scenario, log_stream=log_stream, observe=observe
         )
         run = driver.run()
-        return ScenarioOutcome(
+        outcome = ScenarioOutcome(
             scenario=scenario, mode="restart", run=run, observer=driver.observer,
             metadata=_execution_metadata(getattr(driver, "shard_stats", None)),
         )
-    from repro.core.checkpoint.store import CheckpointStore
+    else:
+        from repro.core.checkpoint.store import CheckpointStore
 
-    sim = backend.make_sim(scenario, log_stream=log_stream, observe=observe)
-    schedule = scenario.schedule()
-    if schedule:
-        sim.inject_schedule(schedule)
-    app, make_args = scenario.make_app()
-    result = sim.run(app, args=make_args(CheckpointStore()))
-    return ScenarioOutcome(
-        scenario=scenario, mode="single", result=result, sim=sim,
-        observer=sim.observer,
-        metadata=_execution_metadata(getattr(sim, "shard_stats", None)),
-    )
+        sim = backend.make_sim(scenario, log_stream=log_stream, observe=observe)
+        schedule = scenario.schedule()
+        if schedule:
+            sim.inject_schedule(schedule)
+        app, make_args = scenario.make_app()
+        result = sim.run(app, args=make_args(CheckpointStore()))
+        outcome = ScenarioOutcome(
+            scenario=scenario, mode="single", result=result, sim=sim,
+            observer=sim.observer,
+            metadata=_execution_metadata(getattr(sim, "shard_stats", None)),
+        )
+    if use_cache:
+        if outcome.observer is not None:
+            outcome.observer.host_instant(
+                perf_counter(), "cache-miss", track="cache",
+                args={"stored": True},
+            )
+        store.store(scenario, outcome, wall_s=perf_counter() - t0)
+        note = store.pop_warning()
+        if note is not None:
+            # Surface the corruption/disable fallback in the run's own
+            # SimLog (the recomputation the warning promised happened).
+            outcome.last_result.log.log(0.0, "cache", note, level="warning")
+    return outcome

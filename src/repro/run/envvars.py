@@ -91,6 +91,16 @@ XSIM_ENV_SWITCHES: dict[str, str] = {
         "any value other than empty/0 adds the paper-exact 32,768-rank "
         "measurement to ``xsim-run bench`` (tens of seconds)"
     ),
+    "XSIM_CACHE": (
+        "any value other than empty/0 enables the content-addressed "
+        "result cache on every run and sweep (``--cache``/``--no-cache`` "
+        "override per invocation); hits are bit-identical to recomputation"
+    ),
+    "XSIM_CACHE_DIR": (
+        "directory of the result cache (``--cache-dir``; default "
+        "``~/.cache/xsim``) — safe to share between parallel workers and "
+        "concurrent invocations"
+    ),
 }
 
 

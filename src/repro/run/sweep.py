@@ -85,23 +85,76 @@ def _coerce(name: str, value: str) -> Any:
     return value
 
 
-def sweep_specs(scenarios: list[Scenario]) -> list:
-    """Scenario-backed run specs for a campaign executor."""
+def sweep_specs(scenarios: list[Scenario], cache_dir: str | None = None) -> list:
+    """Scenario-backed run specs for a campaign executor.  ``cache_dir``
+    makes every worker write/read the shared result cache at that path."""
     from repro.core.harness.parallel import RunSpec
 
-    return [RunSpec.from_scenario(s, key=("sweep", i)) for i, s in enumerate(scenarios)]
+    return [
+        RunSpec.from_scenario(s, key=("sweep", i), cache_dir=cache_dir)
+        for i, s in enumerate(scenarios)
+    ]
 
 
 def run_sweep(
-    base: Scenario, grid: dict[str, list], jobs: int | None = None
+    base: Scenario,
+    grid: dict[str, list],
+    jobs: int | None = None,
+    cache: Any = None,
 ) -> list[tuple[Scenario, dict[str, Any]]]:
     """Expand and execute the matrix; returns ``(scenario, summary)``
     pairs in grid order.  ``jobs`` defaults to the base scenario's
     ``jobs`` field; every cell is an independent deterministic run, so
-    pool results are identical to serial ones."""
+    pool results are identical to serial ones.
+
+    ``cache`` (``None`` = environment policy, ``False`` = off, or a
+    :class:`~repro.cache.ResultCache`) partitions the matrix up front:
+    cells already in the content-addressed store are answered by lookup
+    — their summaries are identical to recomputation — and only the
+    misses fan out to the campaign executor (whose workers write the
+    same store, so a rerun of the sweep is pure lookups).  With a cache
+    active every summary gains presentation keys ``cached`` (served
+    from the store?) and ``saved_s`` (the original compute wall time a
+    hit avoided); the result values themselves are unchanged.
+    """
+    from repro.cache import resolve_cache
     from repro.core.harness.parallel import CampaignExecutor
 
     scenarios = expand_matrix(base, grid)
-    executor = CampaignExecutor(max_workers=base.jobs if jobs is None else jobs)
-    summaries = executor.run(sweep_specs(scenarios))
+    store = resolve_cache(cache)
+    summaries: list[dict[str, Any] | None] = [None] * len(scenarios)
+    if store is not None:
+        for i, scenario in enumerate(scenarios):
+            outcome = store.lookup(scenario)
+            if outcome is not None:
+                summary = outcome.summary()
+                summary["cached"] = True
+                summary["saved_s"] = float(outcome.metadata.get("cache_wall_s") or 0.0)
+                summaries[i] = summary
+    todo = [i for i, s in enumerate(summaries) if s is None]
+    if todo:
+        executor = CampaignExecutor(max_workers=base.jobs if jobs is None else jobs)
+        specs = sweep_specs(
+            [scenarios[i] for i in todo],
+            cache_dir=str(store.root) if store is not None else None,
+        )
+        # Re-key the misses with their position in the *full* matrix so
+        # error messages and observers name the original cell.
+        specs = [
+            replace_spec_key(spec, ("sweep", i)) for spec, i in zip(specs, todo)
+        ]
+        for i, summary in zip(todo, executor.run(specs)):
+            if store is not None:
+                summary = dict(summary)
+                summary["cached"] = False
+                summary["saved_s"] = 0.0
+            summaries[i] = summary
     return list(zip(scenarios, summaries))
+
+
+def replace_spec_key(spec, key: tuple):
+    """A copy of a :class:`~repro.core.harness.parallel.RunSpec` under a
+    different campaign key."""
+    from dataclasses import replace
+
+    return replace(spec, key=key)

@@ -288,6 +288,7 @@ class TestDifferentialHarness:
             "obs-parity",
             "scenario-parity",
             "flat-parity",
+            "cache-parity",
         ]
         failed = [r for r in results if not r.passed]
         assert not failed, "\n".join(str(r) for r in failed)
