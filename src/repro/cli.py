@@ -354,6 +354,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import (
+        ExploreSpec,
+        load_explore_file,
+        read_explore_environment,
+        render_scorecard,
+        run_explore,
+        scorecard_json,
+    )
+
+    explore_flags = dict(
+        ci_width=args.ci_width,
+        batch=args.batch,
+        max_cells=args.max_cells,
+        seed=args.explore_seed,
+    )
+    try:
+        if args.scenario:
+            spec = load_explore_file(
+                args.scenario,
+                scenario_overrides=_scenario_overrides(args),
+                **explore_flags,
+            )
+        else:
+            layers = read_explore_environment()
+            layers.update({k: v for k, v in explore_flags.items() if v is not None})
+            spec = ExploreSpec(
+                scenario=Scenario.resolve(**_scenario_overrides(args)), **layers
+            )
+        cache = _cache_from_args(args)
+        observer = None
+        if spec.scenario.trace_out:
+            from repro.obs import Observer
+
+            observer = Observer()
+        result = run_explore(
+            spec,
+            cache=cache if cache is not None else False,
+            jobs=args.jobs,
+            observer=observer,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_scorecard(result), end="")
+    if args.out:
+        payload = scorecard_json(result)
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        print(f"wrote scorecard to {args.out} ({len(payload)} bytes)")
+    if observer is not None:
+        from repro.obs import write_export
+
+        count = write_export(observer, spec.scenario.trace_out, include_host=True)
+        print(f"exported {count} events to {spec.scenario.trace_out}")
+    if cache is not None:
+        total = result.spent + 1  # + the baseline cell
+        print(
+            f"cache: {result.cache_hits}/{total} cells served from cache "
+            f"({result.cache_hits / total:.0%} hit rate), "
+            f"~{result.cache_saved_s:.2f}s of compute saved"
+        )
+    return 0
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.obs import TimelineReport, load_events
 
@@ -641,6 +706,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(p_sw)
     p_sw.set_defaults(fn=_cmd_sweep)
+
+    p_ex = sub.add_parser(
+        "explore",
+        help="adaptive fault-space exploration: stratified sampling over "
+        "(kind x rank x time x magnitude) with CI-driven stopping, "
+        "emitting a deterministic resilience scorecard",
+    )
+    _add_system_args(p_ex)
+    _add_shards_args(p_ex)
+    p_ex.add_argument("--app", default=None,
+                      choices=["heat3d", "cg", "stencil2d", "ring"],
+                      help="simulated application (default heat3d)")
+    p_ex.add_argument("--iterations", type=int, default=None,
+                      help="application iterations (default 1000)")
+    p_ex.add_argument("--interval", type=int, default=None,
+                      help="checkpoint interval (default 1000)")
+    p_ex.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="scenario TOML file; its [explore] table configures the "
+        "campaign (kinds, bins, stopping rule)",
+    )
+    p_ex.add_argument(
+        "--ci-width",
+        type=float,
+        default=None,
+        help="stop when every stratum's Wilson half-width is within this "
+        "(default 0.15; also XSIM_EXPLORE_CI)",
+    )
+    p_ex.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="cells per refinement batch (default 16; also XSIM_EXPLORE_BATCH)",
+    )
+    p_ex.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="simulation budget (default 1024; also XSIM_EXPLORE_MAX_CELLS)",
+    )
+    p_ex.add_argument(
+        "--explore-seed",
+        type=int,
+        default=None,
+        help="sampler root seed (independent of the scenario seed; default 0)",
+    )
+    p_ex.add_argument(
+        "--out",
+        metavar="FILE",
+        default="",
+        help="also write the scorecard as canonical JSON (byte-identical "
+        "across reruns of the same spec)",
+    )
+    p_ex.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default="",
+        help="export the campaign's host-domain timeline (one instant per "
+        "batch: cells, budget spent, widest CI)",
+    )
+    p_ex.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help="worker processes for each batch (default: XSIM_JOBS or 1); "
+        "the scorecard is identical at any -j",
+    )
+    _add_cache_args(p_ex)
+    p_ex.set_defaults(fn=_cmd_explore)
 
     p_tl = sub.add_parser(
         "timeline", help="summarize an exported observability trace "

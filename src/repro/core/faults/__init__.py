@@ -25,14 +25,28 @@ from repro.core.faults.reliability import (
     SystemReliability,
     WeibullReliability,
 )
-from repro.core.faults.schedule import FailureSchedule
+from repro.core.faults.overlay import FaultOverlay
+from repro.core.faults.schedule import (
+    CorrelatedFailure,
+    FailureSchedule,
+    LinkDegradeFault,
+    ScheduledFailure,
+    StragglerFault,
+    expand_correlated,
+)
 from repro.core.faults.softerror import SoftErrorInjector, SoftErrorOutcome
 from repro.core.faults.finject import FinjectCampaign, VictimModel
 
 __all__ = [
+    "CorrelatedFailure",
     "ExponentialReliability",
     "FailureSchedule",
+    "FaultOverlay",
     "FinjectCampaign",
+    "LinkDegradeFault",
+    "ScheduledFailure",
+    "StragglerFault",
+    "expand_correlated",
     "InjectionPolicy",
     "MttfInjectionPolicy",
     "ReliabilityInjectionPolicy",

@@ -1,0 +1,122 @@
+"""Performance-degradation fault overlay (stragglers and degraded links).
+
+Fail-stop faults go through the engine's failure machinery; the degraded-
+performance kinds (:class:`~repro.core.faults.schedule.StragglerFault`,
+:class:`~repro.core.faults.schedule.LinkDegradeFault`) instead scale
+*costs* while active.  The overlay is the one place those windows live:
+
+* :meth:`stretch_compute` — consulted by the MPI compute calls; the
+  wall-clock cost of a compute advance is the piecewise integral of the
+  compound slowdown over the advance's extent, so a window that opens or
+  closes mid-advance degrades exactly the overlapping portion (coarse
+  compute phases — e.g. an app batching many iterations into one advance
+  — still feel a short window).  Overlapping windows compound
+  multiplicatively.  The stretch is a pure function of (rank, start
+  clock, duration), evaluated once at the compute call, so serial and
+  sharded engines agree bit for bit.
+* :meth:`link_factor` — consulted at message-cost sites (eager transfer,
+  rendezvous handshake); the factor multiplies the whole per-message
+  network cost, evaluated once at the initiating timestamp so serial and
+  sharded engines see identical arrival times.
+
+Factors are >= 1 by construction (enforced at parse/build time), so every
+scaled cost is >= the undegraded cost the sharded engine's conservative
+lookahead was derived from — the lookahead stays a valid lower bound.
+
+The empty overlay is the hot path: ``active_compute``/``active_links``
+are plain bools, so undegraded runs pay one attribute check per site.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.faults.schedule import LinkDegradeFault, StragglerFault
+
+
+class FaultOverlay:
+    """Armed straggler/link-degrade windows, queryable by time."""
+
+    __slots__ = ("_stragglers", "_links", "active_compute", "active_links")
+
+    def __init__(self) -> None:
+        # rank -> [(start, end, factor)], pair -> [(start, end, factor)]
+        self._stragglers: dict[int, list[tuple[float, float, float]]] = {}
+        self._links: dict[tuple[int, int], list[tuple[float, float, float]]] = {}
+        self.active_compute = False
+        self.active_links = False
+
+    def arm(self, fault: StragglerFault | LinkDegradeFault) -> None:
+        if isinstance(fault, StragglerFault):
+            windows = self._stragglers.setdefault(fault.rank, [])
+            windows.append((fault.time, fault.end, fault.factor))
+            windows.sort()
+            self.active_compute = True
+        elif isinstance(fault, LinkDegradeFault):
+            pair = (fault.rank_a, fault.rank_b)
+            windows = self._links.setdefault(pair, [])
+            windows.append((fault.time, fault.end, fault.factor))
+            windows.sort()
+            self.active_links = True
+        else:
+            raise TypeError(f"overlay cannot arm {type(fault).__name__}")
+
+    def compute_factor(self, rank: int, now: float) -> float:
+        """Compound slowdown factor for ``rank`` at simulated time ``now``
+        (1.0 when no straggler window is active)."""
+        windows = self._stragglers.get(rank)
+        if not windows:
+            return 1.0
+        factor = 1.0
+        for start, end, f in windows:
+            if start <= now < end:
+                factor *= f
+        return factor
+
+    def stretch_compute(self, rank: int, start: float, duration: float) -> float:
+        """Wall-clock cost of ``duration`` seconds of work starting at
+        ``start`` on ``rank``: each piecewise-constant slowdown segment the
+        work crosses stretches the portion done inside it.  Exactly
+        ``duration`` when the rank has no windows (IEEE-exact: no
+        arithmetic on the no-window path, so an armed-but-elsewhere
+        overlay can never perturb digests)."""
+        windows = self._stragglers.get(rank)
+        if not windows or duration <= 0.0:
+            return duration
+        # Factor-change instants after the work begins, in order; the
+        # compound factor is constant between consecutive bounds.
+        bounds = sorted(
+            {b for w in windows for b in (w[0], w[1]) if start < b < math.inf}
+        )
+        remaining = duration  # natural (undegraded) seconds of work left
+        clock = start
+        wall = 0.0
+        for bound in bounds:
+            if remaining <= 0.0:
+                break
+            factor = self.compute_factor(rank, clock)
+            segment = bound - clock
+            needed = remaining * factor
+            if needed <= segment:
+                wall += needed
+                remaining = 0.0
+                break
+            wall += segment
+            remaining -= segment / factor
+            clock = bound
+        if remaining > 0.0:
+            wall += remaining * self.compute_factor(rank, clock)
+        return wall
+
+    def link_factor(self, src: int, dst: int, now: float) -> float:
+        """Compound degradation factor for the undirected ``src <-> dst``
+        link at simulated time ``now`` (1.0 when undegraded)."""
+        pair = (src, dst) if src < dst else (dst, src)
+        windows = self._links.get(pair)
+        if not windows:
+            return 1.0
+        factor = 1.0
+        for start, end, f in windows:
+            if start <= now < end:
+                factor *= f
+        return factor

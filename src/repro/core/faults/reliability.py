@@ -127,9 +127,14 @@ class SystemReliability:
         return scaled.mttf
 
     def draw_first_failure(self, rng: np.random.Generator) -> tuple[int, float]:
-        """(failing component index, failure time) of the earliest failure."""
-        ttfs = np.array([self.component.draw_ttf(rng) for _ in range(self.ncomponents)])
-        idx = int(np.argmin(ttfs))
+        """(failing component index, failure time) of the earliest failure.
+
+        Ties on the minimum TTF break to the *lowest* component index —
+        explicitly, so the winner does not depend on any numpy version's
+        ``argmin`` scan order.
+        """
+        ttfs = [self.component.draw_ttf(rng) for _ in range(self.ncomponents)]
+        idx = min(range(self.ncomponents), key=lambda i: (ttfs[i], i))
         return idx, float(ttfs[idx])
 
 

@@ -31,7 +31,14 @@ import numpy as np
 
 from repro.check.sanitizer import Sanitizer
 from repro.check.trace import EventTrace
-from repro.core.faults.schedule import FailureSchedule
+from repro.core.faults.schedule import (
+    CorrelatedFailure,
+    FailureSchedule,
+    LinkDegradeFault,
+    ScheduledFailure,
+    StragglerFault,
+    expand_correlated,
+)
 from repro.core.faults.softerror import SoftErrorInjector
 from repro.core.harness.config import SystemConfig
 from repro.mpi.world import MpiWorld
@@ -144,6 +151,10 @@ class XSim:
         #: Snapshot of the failures armed before :meth:`run`; the sharded
         #: coordinator derives its lockstep horizon from it.
         self._armed_failures: list[tuple[int, float]] = []
+        #: Degraded-performance faults (stragglers, link degradation)
+        #: armed on the world's fault overlay; shard replicas re-arm them
+        #: (see :func:`repro.pdes.sharded._build_replica`).
+        self._armed_perturbations: list[StragglerFault | LinkDegradeFault] = []
         self._ran = False
         #: Filled by a sharded run (``repro.pdes.sharded.ShardStats``).
         self.shard_stats = None
@@ -164,10 +175,36 @@ class XSim:
             self._pending_failures.append((rank, time))
 
     def inject_schedule(self, schedule: FailureSchedule) -> None:
-        """Arm every rank/time pair of a schedule."""
+        """Arm every entry of a schedule, dispatching by fault kind:
+        fail-stops go to the engine's failure machinery, correlated
+        failures expand over the topology neighborhood into fail-stops,
+        and degraded-performance faults arm the world's fault overlay."""
         schedule.validate(self.system.nranks)
         for entry in schedule:
-            self.inject_failure(entry.rank, entry.time)
+            if isinstance(entry, ScheduledFailure):
+                self.inject_failure(entry.rank, entry.time)
+            elif isinstance(entry, CorrelatedFailure):
+                for rank, time in expand_correlated(
+                    entry, self.world.network, self.system.nranks
+                ):
+                    self.inject_failure(rank, time)
+            else:
+                self.inject_perturbation(entry)
+
+    def inject_perturbation(self, fault: "StragglerFault | LinkDegradeFault") -> None:
+        """Arm a degraded-performance fault (straggler or link degrade) on
+        the world's cost overlay."""
+        if isinstance(fault, StragglerFault):
+            self._check_rank(fault.rank)
+        elif isinstance(fault, LinkDegradeFault):
+            self._check_rank(fault.rank_a)
+            self._check_rank(fault.rank_b)
+        else:
+            raise SimulationError(
+                f"not a degraded-performance fault: {type(fault).__name__}"
+            )
+        self._armed_perturbations.append(fault)
+        self.world.faults.arm(fault)
 
     def inject_from_environment(self) -> FailureSchedule:
         """Arm the ``XSIM_FAILURES`` environment schedule; returns it."""

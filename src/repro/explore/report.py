@@ -1,0 +1,176 @@
+"""The resilience scorecard: deterministic export of an exploration.
+
+:func:`scorecard` reduces an :class:`~repro.explore.sampler.ExploreResult`
+to a primitive dict whose JSON serialisation is byte-identical across
+reruns of the same spec — it contains estimates, intervals, and budgets,
+never wall-clock or cache facts (those are execution accidents, printed
+to stdout by the CLI instead).  :func:`render_scorecard` is the
+human-facing table view of the same data.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.harness.report import format_table
+from repro.explore.sampler import (
+    ExploreResult,
+    StratumState,
+    bootstrap_mean_ci,
+    wilson_halfwidth,
+    wilson_interval,
+)
+from repro.util.stats import summarize
+
+#: Seed-material tag separating bootstrap draws from the sampler's cell
+#: draws (arbitrary constant, stable forever).
+_BOOT_TAG = 0xB007
+
+
+def _stratum_record(result: ExploreResult, state: StratumState) -> dict[str, Any]:
+    s = state.stratum
+    lo, hi = wilson_interval(state.impacted, state.n, result.z)
+    d_lo, d_hi = bootstrap_mean_ci(
+        state.deltas, (result.spec.seed, _BOOT_TAG, s.index)
+    )
+    deltas = summarize(state.deltas)
+    record: dict[str, Any] = {
+        "index": s.index,
+        "kind": s.kind,
+        "label": s.label(),
+        "rank_lo": s.rank_lo,
+        "rank_hi": s.rank_hi,
+        "time_lo": s.time_lo,
+        "time_hi": s.time_hi,
+        "n": state.n,
+        "impacted": state.impacted,
+        "died": state.died,
+        "impact_p": (state.impacted / state.n) if state.n else None,
+        "impact_ci": [lo, hi],
+        "impact_halfwidth": wilson_halfwidth(state.impacted, state.n, result.z),
+        "delta_mean": deltas.mean,
+        "delta_stddev": deltas.stddev,
+        "delta_ci": [d_lo, d_hi],
+    }
+    if s.kind in ("straggler", "link_degrade"):
+        record["mag_lo"], record["mag_hi"] = s.mag_lo, s.mag_hi
+    if s.kind == "correlated":
+        record["radius"] = s.radius
+    return record
+
+
+def _kind_record(result: ExploreResult, kind: str) -> dict[str, Any]:
+    states = [s for s in result.strata if s.stratum.kind == kind]
+    n = sum(s.n for s in states)
+    impacted = sum(s.impacted for s in states)
+    died = sum(s.died for s in states)
+    deltas = [d for s in states for d in s.deltas]
+    e2s = [t for s in states for t in s.e2s]
+    mttfs = [m for s in states for m in s.mttfs]
+    dsum = summarize(deltas)
+    esum = summarize(e2s)
+    msum = summarize(mttfs)
+    return {
+        "kind": kind,
+        "n": n,
+        "impacted": impacted,
+        "died": died,
+        "impact_p": (impacted / n) if n else None,
+        # E1 is the fault-free completion time; delta_* measures the
+        # relative E2/E1 stretch this kind inflicts.
+        "delta_mean": dsum.mean,
+        "delta_max": dsum.maximum,
+        "e2_mean": esum.mean,
+        "e2_delta_mean": (esum.mean - result.e1) / result.e1 if n else 0.0,
+        "mttf_a_mean": msum.mean if msum.count else None,
+        "mttf_samples": msum.count,
+    }
+
+
+def scorecard(result: ExploreResult) -> dict[str, Any]:
+    """The deterministic scorecard dict (JSON-stable across reruns)."""
+    return {
+        "explore": result.spec.describe(),
+        "z": result.z,
+        "baseline": {
+            "e1": result.e1,
+            "result_digest": result.baseline_digest,
+            "time_hi": result.time_hi,
+        },
+        "budget": {
+            "cells": result.spent,
+            "batches": len(result.batches),
+            "grid_equivalent_cells": result.grid_cells,
+            "cells_ratio": result.cells_ratio,
+            "stopped": result.stopped,
+        },
+        "kinds": [
+            _kind_record(result, kind) for kind in result.spec.kinds
+        ],
+        "strata": [_stratum_record(result, s) for s in result.strata],
+        "batches": result.batches,
+    }
+
+
+def scorecard_json(result: ExploreResult) -> str:
+    """Canonical JSON bytes of the scorecard (sorted keys, 2-space
+    indent, trailing newline) — the thing CI diffs for byte-identity."""
+    return json.dumps(scorecard(result), sort_keys=True, indent=2) + "\n"
+
+
+def _pct(p: float | None) -> str:
+    return "-" if p is None else f"{100 * p:.1f}%"
+
+
+def render_scorecard(result: ExploreResult) -> str:
+    """Human-facing report: per-kind summary + per-stratum table."""
+    card = scorecard(result)
+    lines = [
+        "resilience scorecard",
+        f"  baseline E1       : {result.e1:.6g} s "
+        f"(digest {result.baseline_digest[:12]})",
+        f"  cells spent       : {result.spent} in {len(result.batches)} batches "
+        f"({result.stopped})",
+        f"  grid equivalent   : {card['budget']['grid_equivalent_cells']} cells "
+        f"(ratio {card['budget']['cells_ratio']:.2f})",
+        f"  CI target         : half-width <= {result.spec.ci_width:g} "
+        f"at {100 * result.spec.confidence:g}% confidence",
+        "",
+    ]
+    kind_rows = [
+        [
+            k["kind"],
+            str(k["n"]),
+            _pct(k["impact_p"]),
+            str(k["died"]),
+            f"{k['delta_mean']:+.3f}",
+            f"{k['e2_mean']:.6g}" if k["n"] else "-",
+            f"{k['mttf_a_mean']:.6g}" if k["mttf_a_mean"] is not None else "-",
+        ]
+        for k in card["kinds"]
+    ]
+    lines.append(
+        format_table(
+            ["kind", "n", "impact", "died", "d(E2/E1)", "E2 mean", "MTTF_a"],
+            kind_rows,
+        )
+    )
+    lines.append("")
+    stratum_rows = [
+        [
+            r["label"],
+            str(r["n"]),
+            _pct(r["impact_p"]),
+            f"[{r['impact_ci'][0]:.2f},{r['impact_ci'][1]:.2f}]",
+            f"{r['impact_halfwidth']:.3f}",
+            f"{r['delta_mean']:+.3f}",
+        ]
+        for r in card["strata"]
+    ]
+    lines.append(
+        format_table(
+            ["stratum", "n", "impact", "CI", "hw", "d mean"], stratum_rows
+        )
+    )
+    return "\n".join(lines) + "\n"

@@ -130,20 +130,34 @@ class MpiApi:
     # ------------------------------------------------------------------
     # modeled computation, I/O, memory
     # ------------------------------------------------------------------
+    def _stretch(self, seconds: float) -> float:
+        """Wall-clock cost of ``seconds`` of work starting now: any
+        straggler windows this advance overlaps stretch the overlapping
+        portions (see :meth:`FaultOverlay.stretch_compute`).  ``seconds``
+        unchanged when the overlay is empty."""
+        faults = self.world.faults
+        if not faults.active_compute:
+            return seconds
+        return faults.stretch_compute(self.rank, self.vp.clock, seconds)
+
     def compute(self, seconds: float) -> Gen:
         """Advance this rank's clock by ``seconds`` of simulated work."""
         if seconds < 0:
             raise ConfigurationError(f"compute() needs seconds >= 0, got {seconds}")
-        yield Advance(seconds)
+        yield Advance(self._stretch(seconds))
 
     def compute_native(self, native_seconds: float) -> Gen:
         """Work that would take ``native_seconds`` on the reference core,
         scaled by the simulated node's slowdown."""
-        yield Advance(self.world.processor.time_for_native_seconds(native_seconds))
+        yield Advance(
+            self._stretch(self.world.processor.time_for_native_seconds(native_seconds))
+        )
 
     def compute_ops(self, nops: float, native_seconds_per_op: float) -> Gen:
         """``nops`` operations at a calibrated native per-op cost."""
-        yield Advance(self.world.processor.time_for_ops(nops, native_seconds_per_op))
+        yield Advance(
+            self._stretch(self.world.processor.time_for_ops(nops, native_seconds_per_op))
+        )
 
     def file_write(self, nbytes: int, concurrent_clients: int = 1) -> Gen:
         """Write ``nbytes`` to the simulated parallel file system."""

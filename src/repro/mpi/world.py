@@ -191,6 +191,20 @@ class MpiWorld:
         #: the MPI-layer boundaries (post/match/buffer/failure/sync); off
         #: by default at the cost of one attribute test per boundary.
         self.check = None
+        #: Degraded-performance fault windows (stragglers, link degrade);
+        #: consulted on the compute and message-cost paths.  Empty by
+        #: default at the cost of one attribute test per site.  Failure
+        #: *notification* propagation (:meth:`_failure_visible`, ``revoke``)
+        #: deliberately stays undegraded: notifications model an
+        #: out-of-band resilience channel, and keeping them a pure function
+        #: of the undegraded wire latency preserves serial/sharded parity.
+        # Imported here, not at module top: ``repro.core.faults`` sits
+        # under ``repro.core``, whose package init imports the simulator
+        # and hence this module — a top-level import would make
+        # ``import repro.mpi`` order-dependent.
+        from repro.core.faults.overlay import FaultOverlay
+
+        self.faults = FaultOverlay()
         #: Optional full communication trace (DUMPI-style; see
         #: :mod:`repro.mpi.trace`).
         self.trace = None
@@ -328,13 +342,18 @@ class MpiWorld:
         if isinstance(payload, np.ndarray):
             payload = payload.copy()  # eager/rendezvous buffering semantics
         engine = self.engine
+        link_f = (
+            self.faults.link_factor(vp.rank, dst, clock)
+            if self.faults.active_links
+            else 1.0
+        )
         if nbytes <= network.eager_threshold:
             msg = Msg(ctx, vp.rank, dst, tag, nbytes, payload, self._msg_seq, EAGER)
-            arrival = clock + network.transfer_time(nbytes, vp.rank, dst)
+            arrival = clock + link_f * network.transfer_time(nbytes, vp.rank, dst)
             req.complete(clock)
         else:
             msg = Msg(ctx, vp.rank, dst, tag, nbytes, payload, self._msg_seq, RTS, send_req=req)
-            arrival = clock + network.wire_latency(vp.rank, dst)
+            arrival = clock + link_f * network.wire_latency(vp.rank, dst)
             if failed_at is not None:
                 # Posted before the failure notification became visible
                 # (see :meth:`_failure_visible`): the request behaves as if
@@ -559,9 +578,16 @@ class MpiWorld:
         if send_req is None:
             raise SimulationError("rendezvous RTS without a send request")
         src, dst = rts.src, rts.dst
-        t_cts = t_match + self.network.wire_latency(dst, src)
-        t_send_done = t_cts + self.network.serialization_time(rts.nbytes, src, dst)
-        t_recv_done = t_cts + self.network.transfer_time(rts.nbytes, src, dst)
+        # Link degradation scales the whole hand-shake, evaluated once at
+        # the match instant so serial and sharded engines agree exactly.
+        link_f = (
+            self.faults.link_factor(src, dst, t_match)
+            if self.faults.active_links
+            else 1.0
+        )
+        t_cts = t_match + link_f * self.network.wire_latency(dst, src)
+        t_send_done = t_cts + link_f * self.network.serialization_time(rts.nbytes, src, dst)
+        t_recv_done = t_cts + link_f * self.network.transfer_time(rts.nbytes, src, dst)
         sender_state = self.states[src]
         if send_req in sender_state.rdv_sends:
             sender_state.rdv_sends.remove(send_req)

@@ -720,11 +720,18 @@ class ShardedMpiWorld(MpiWorld):
         seq = (clock, vp.rank, counter)
         engine = self.engine
         eager = nbytes <= network.eager_threshold
+        # Link degradation mirrors the serial cost computation exactly
+        # (factors >= 1, so the undegraded lookahead stays a lower bound).
+        link_f = (
+            self.faults.link_factor(vp.rank, dst, clock)
+            if self.faults.active_links
+            else 1.0
+        )
         if eager:
-            arrival = clock + network.transfer_time(nbytes, vp.rank, dst)
+            arrival = clock + link_f * network.transfer_time(nbytes, vp.rank, dst)
             req.complete(clock)
         else:
-            arrival = clock + network.wire_latency(vp.rank, dst)
+            arrival = clock + link_f * network.wire_latency(vp.rank, dst)
             if failed_at is not None:
                 # Posted before the notification became visible: behaves
                 # as pre-posted, paying the detection timeout (mirrors the
@@ -769,9 +776,18 @@ class ShardedMpiWorld(MpiWorld):
         ref = rts.send_req
         if self.shard_id is not None and isinstance(ref, _RemoteSendRef):
             src, dst = rts.src, rts.dst
-            t_cts = t_match + self.network.wire_latency(dst, src)
-            t_send_done = t_cts + self.network.serialization_time(rts.nbytes, src, dst)
-            t_recv_done = t_cts + self.network.transfer_time(rts.nbytes, src, dst)
+            link_f = (
+                self.faults.link_factor(src, dst, t_match)
+                if self.faults.active_links
+                else 1.0
+            )
+            t_cts = t_match + link_f * self.network.wire_latency(dst, src)
+            t_send_done = t_cts + link_f * self.network.serialization_time(
+                rts.nbytes, src, dst
+            )
+            t_recv_done = t_cts + link_f * self.network.transfer_time(
+                rts.nbytes, src, dst
+            )
             # The sender's completion travels back as an envelope; it is
             # window-safe because t_send_done >= t_match + lookahead.
             self.outbox.append(("r", src, ref.req_id, t_send_done))
@@ -1295,6 +1311,8 @@ def _build_replica(sim: "XSim", app, args: tuple, nranks: int) -> "XSim":
     replica.world.launch(app, nranks, args)
     for rank, time in sim._armed_failures:
         replica.engine.schedule_failure(rank, time)
+    for fault in sim._armed_perturbations:
+        replica.world.faults.arm(fault)
     return replica
 
 

@@ -101,6 +101,19 @@ XSIM_ENV_SWITCHES: dict[str, str] = {
         "``~/.cache/xsim``) — safe to share between parallel workers and "
         "concurrent invocations"
     ),
+    "XSIM_EXPLORE_CI": (
+        "``xsim-run explore`` stopping target: sample until every "
+        "stratum's Wilson half-width is within this (``--ci-width``; "
+        "default 0.15)"
+    ),
+    "XSIM_EXPLORE_BATCH": (
+        "cells per ``xsim-run explore`` refinement batch "
+        "(``--batch``; default 16)"
+    ),
+    "XSIM_EXPLORE_MAX_CELLS": (
+        "``xsim-run explore`` simulation budget: hard cap on cells "
+        "sampled per campaign (``--max-cells``; default 1024)"
+    ),
 }
 
 

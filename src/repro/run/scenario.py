@@ -387,12 +387,15 @@ def _toml_value(value: Any) -> str:
     return f'"{escaped}"'
 
 
-def _dict_fields(doc: dict[str, Any]) -> dict[str, Any]:
+def _dict_fields(
+    doc: dict[str, Any], ignore_tables: tuple[str, ...] = ()
+) -> dict[str, Any]:
     """Flatten a nested ``{table: {key: value}}`` document into Scenario
-    constructor kwargs, rejecting unknown tables/keys (except ``sweep``)."""
+    constructor kwargs, rejecting unknown tables/keys (except ``sweep``
+    and any ``ignore_tables`` a caller owns, e.g. ``explore``)."""
     out: dict[str, Any] = {}
     for table, body in doc.items():
-        if table == "sweep":
+        if table == "sweep" or table in ignore_tables:
             continue
         if table not in TOML_LAYOUT:
             raise ConfigurationError(
@@ -426,6 +429,7 @@ def load_scenario_file(
     path: "str | Path",
     environ: dict[str, str] | None = None,
     use_environment: bool = True,
+    ignore_tables: tuple[str, ...] = (),
     **overrides: Any,
 ) -> tuple[Scenario, dict[str, list]]:
     """Load a scenario file plus its optional ``[sweep]`` grid, resolving
@@ -433,6 +437,8 @@ def load_scenario_file(
 
     Returns ``(scenario, grid)`` where ``grid`` maps Scenario field names
     to value lists (empty when the file has no ``[sweep]`` table).
+    ``ignore_tables`` names tables owned by the caller (the explorer's
+    ``[explore]`` table rides in scenario files this way).
     """
     text = Path(path).read_text()
     doc = _parse_toml(text)
@@ -449,7 +455,7 @@ def load_scenario_file(
                 f"sweep field {key!r} must map to a non-empty list"
             )
         grid[key] = values
-    layers = _dict_fields(doc)
+    layers = _dict_fields(doc, ignore_tables=ignore_tables)
     if use_environment:
         layers.update(read_environment(environ))
     layers.update({k: v for k, v in overrides.items() if v is not None})

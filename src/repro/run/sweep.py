@@ -60,28 +60,65 @@ def parse_set(text: str, base: Scenario | None = None) -> tuple[str, list]:
     return name, [_coerce(name, v) for v in items]
 
 
-_INT_FIELDS = {"ranks", "iterations", "interval", "max_restarts", "seed", "shards", "jobs"}
-_FLOAT_FIELDS = {"slowdown", "mttf"}
-_BOOL_FIELDS = {"check", "record_events", "observe", "trace_detail"}
+def _field_kinds() -> dict[str, str]:
+    """Scenario field name -> coercion kind, derived from the dataclass
+    annotations so a new field can never silently fall through as ``str``
+    (the old hand-maintained sets did exactly that, and a stray string in
+    a numeric field changes the scenario digest)."""
+    kinds: dict[str, str] = {}
+    for f in fields(Scenario):
+        ann = f.type if isinstance(f.type, str) else getattr(f.type, "__name__", "")
+        if "tuple" in ann:
+            kinds[f.name] = "dims"
+        elif "bool" in ann:
+            kinds[f.name] = "bool"
+        elif "int" in ann:
+            kinds[f.name] = "int"
+        elif "float" in ann:
+            kinds[f.name] = "float"
+        else:
+            kinds[f.name] = "str"
+    return kinds
+
+
+_FIELD_KINDS = _field_kinds()
 
 
 def _coerce(name: str, value: str) -> Any:
-    try:
-        if name in _INT_FIELDS:
-            return int(value)
-        if name in _FLOAT_FIELDS:
-            return float(value)
-    except ValueError as exc:
-        raise ConfigurationError(f"bad value {value!r} for sweep field {name!r}") from exc
-    if name in _BOOL_FIELDS:
+    """Coerce one ``--set`` value to the scenario field's declared type.
+
+    Booleans are parsed from the usual spellings (``"False"`` is False,
+    not a truthy non-empty string), and integer fields accept scientific
+    notation for integral values (``"1e3"`` -> 1000) since that is how
+    sweep axes are often written.
+    """
+    kind = _FIELD_KINDS[name]
+    if kind == "bool":
         lowered = value.lower()
         if lowered in ("1", "true", "yes", "on"):
             return True
         if lowered in ("0", "false", "no", "off"):
             return False
         raise ConfigurationError(f"bad boolean {value!r} for sweep field {name!r}")
-    if name == "dims":
+    if kind == "dims":
         return parse_dims(value)
+    try:
+        if kind == "int":
+            try:
+                return int(value)
+            except ValueError:
+                as_float = float(value)
+                if not as_float.is_integer():
+                    raise ConfigurationError(
+                        f"bad value {value!r} for integer sweep field {name!r}"
+                    )
+                return int(as_float)
+        if kind == "float":
+            return float(value)
+    except (ValueError, OverflowError) as exc:
+        raise ConfigurationError(
+            f"bad value {value!r} for sweep field {name!r}"
+        ) from exc
     return value
 
 
@@ -117,10 +154,36 @@ def run_sweep(
     from the store?) and ``saved_s`` (the original compute wall time a
     hit avoided); the result values themselves are unchanged.
     """
-    from repro.cache import resolve_cache
-    from repro.core.harness.parallel import CampaignExecutor
-
     scenarios = expand_matrix(base, grid)
+    summaries = run_cells(
+        scenarios,
+        jobs=base.jobs if jobs is None else jobs,
+        cache=cache,
+        key_prefix="sweep",
+    )
+    return list(zip(scenarios, summaries))
+
+
+def run_cells(
+    scenarios: list[Scenario],
+    jobs: int = 1,
+    cache: Any = None,
+    key_prefix: str = "cells",
+) -> list[dict[str, Any]]:
+    """Execute an arbitrary list of scenarios as one cache-partitioned
+    campaign; returns summaries in input order.
+
+    This is the shared execution core of :func:`run_sweep` and the
+    adaptive explorer (:mod:`repro.explore`): cells already in the
+    content-addressed store are answered by lookup, the misses fan out to
+    a :class:`~repro.core.harness.parallel.CampaignExecutor` pool whose
+    workers write the same store.  With a cache active every summary
+    gains presentation keys ``cached``/``saved_s``; result values are
+    identical either way.
+    """
+    from repro.cache import resolve_cache
+    from repro.core.harness.parallel import CampaignExecutor, RunSpec
+
     store = resolve_cache(cache)
     summaries: list[dict[str, Any] | None] = [None] * len(scenarios)
     if store is not None:
@@ -133,15 +196,13 @@ def run_sweep(
                 summaries[i] = summary
     todo = [i for i, s in enumerate(summaries) if s is None]
     if todo:
-        executor = CampaignExecutor(max_workers=base.jobs if jobs is None else jobs)
-        specs = sweep_specs(
-            [scenarios[i] for i in todo],
-            cache_dir=str(store.root) if store is not None else None,
-        )
-        # Re-key the misses with their position in the *full* matrix so
-        # error messages and observers name the original cell.
+        executor = CampaignExecutor(max_workers=jobs)
+        cache_dir = str(store.root) if store is not None else None
+        # Keyed by position in the *full* list so error messages and
+        # observers name the original cell.
         specs = [
-            replace_spec_key(spec, ("sweep", i)) for spec, i in zip(specs, todo)
+            RunSpec.from_scenario(scenarios[i], key=(key_prefix, i), cache_dir=cache_dir)
+            for i in todo
         ]
         for i, summary in zip(todo, executor.run(specs)):
             if store is not None:
@@ -149,7 +210,7 @@ def run_sweep(
                 summary["cached"] = False
                 summary["saved_s"] = 0.0
             summaries[i] = summary
-    return list(zip(scenarios, summaries))
+    return summaries  # type: ignore[return-value]
 
 
 def replace_spec_key(spec, key: tuple):

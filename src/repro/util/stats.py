@@ -64,14 +64,24 @@ def summarize(samples: Iterable[float]) -> SummaryStats:
     ``mode`` is the smallest most-frequent value (deterministic tie-break).
     ``stddev`` is the population standard deviation, matching the paper's
     reported sigma for its 100-victim campaign.
+
+    Degenerate inputs yield well-defined zero-variance stats instead of
+    raising or propagating NaN (adaptive exploration batches routinely
+    produce empty and single-sample strata): an empty sample returns
+    all-zero fields with ``count=0``, and a single sample returns that
+    value for min/max/mean/median/mode with ``stddev=0.0``.
     """
     xs = sorted(float(x) for x in samples)
     if not xs:
-        raise ValueError("summarize() requires at least one sample")
+        return SummaryStats(
+            count=0, total=0.0, minimum=0.0, maximum=0.0,
+            mean=0.0, median=0.0, mode=0.0, stddev=0.0,
+        )
     n = len(xs)
     total = math.fsum(xs)
     mean = total / n
-    var = math.fsum((x - mean) ** 2 for x in xs) / n
+    # max(0.0, ...) guards the sqrt against tiny negative rounding residue.
+    var = max(0.0, math.fsum((x - mean) ** 2 for x in xs) / n)
     counts = Counter(xs)
     best = max(counts.values())
     mode = min(x for x, c in counts.items() if c == best)

@@ -74,6 +74,50 @@ class TestFailureSchedule:
         s.extend(FailureSchedule.of((3, 4.0)))
         assert len(s) == 2
 
+    def test_duplicates_collapse_and_entries_sort(self):
+        # Regression: parse/add/extend used to keep duplicates and input
+        # order, so merging two schedules that shared an entry injected
+        # the shared failure twice.
+        s = FailureSchedule.parse("3@5,1@2,3@5")
+        assert [(e.rank, e.time) for e in s] == [(1, 2.0), (3, 5.0)]
+        s.add(3, 5.0)  # idempotent
+        assert len(s) == 2
+        s.extend(FailureSchedule.parse("1@2,0@9"))
+        assert [(e.rank, e.time) for e in s] == [(1, 2.0), (3, 5.0), (0, 9.0)]
+
+    def test_validate_rejects_rank_failing_twice(self):
+        s = FailureSchedule.parse("3@5,3@9")
+        with pytest.raises(ConfigurationError, match="rank 3 is scheduled to fail twice"):
+            s.validate(8)
+
+
+class TestDrawFirstFailureTieBreak:
+    class _ConstantTtf:
+        """Reliability stub: every component draws the same TTF."""
+
+        def draw_ttf(self, rng):
+            rng.random()  # consume, like a real draw
+            return 42.0
+
+    def test_tie_breaks_to_lowest_rank(self):
+        system = SystemReliability(self._ConstantTtf(), 8)
+        rng = np.random.default_rng(1234)
+        idx, ttf = system.draw_first_failure(rng)
+        assert idx == 0
+        assert ttf == 42.0
+
+    def test_seeded_draw_unchanged(self):
+        # The explicit tie-break must not perturb the usual no-tie path:
+        # the winner and TTF match a straight (ttf, index) minimum over
+        # the same seeded stream.
+        system = SystemReliability(ExponentialReliability(mttf=100.0), 16)
+        rng = np.random.default_rng(77)
+        idx, ttf = system.draw_first_failure(rng)
+        rng2 = np.random.default_rng(77)
+        draws = [system.component.draw_ttf(rng2) for _ in range(16)]
+        expect = min(range(16), key=lambda i: (draws[i], i))
+        assert (idx, ttf) == (expect, draws[expect])
+
 
 class TestReliabilityModels:
     def test_exponential_fit_roundtrip(self):

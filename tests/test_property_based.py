@@ -110,9 +110,144 @@ schedule_strategy = st.lists(
 @given(schedule_strategy)
 @settings(max_examples=100)
 def test_failure_schedule_render_parse_roundtrip(pairs):
+    # Schedules are canonical: duplicates collapse (merging via extend
+    # cannot double-inject) and entries sort by (time, rank), so the
+    # round-trip preserves the canonical set, not the raw input list.
     s = FailureSchedule.of(*pairs)
+    canonical = sorted({(r, float(t)) for r, t in pairs}, key=lambda p: (p[1], p[0]))
+    assert [(e.rank, e.time) for e in s] == canonical
     back = FailureSchedule.parse(s.render())
-    assert [(e.rank, e.time) for e in back] == [(r, float(t)) for r, t in pairs]
+    assert [(e.rank, e.time) for e in back] == canonical
+
+
+# ----------------------------------------------------------------------
+# multi-kind fault schedules
+# ----------------------------------------------------------------------
+_time = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+_factor = st.floats(min_value=1.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+_window = st.one_of(
+    st.just(math.inf),
+    st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+_rank = st.integers(min_value=0, max_value=63)
+
+
+def _entry_strategy():
+    from repro.core.faults import (
+        CorrelatedFailure,
+        LinkDegradeFault,
+        ScheduledFailure,
+        StragglerFault,
+    )
+
+    failstop = st.builds(ScheduledFailure, _rank, _time)
+    straggler = st.builds(StragglerFault, _rank, _time, _factor, _window)
+    link = st.tuples(_rank, _rank, _time, _factor, _window).filter(
+        lambda t: t[0] != t[1]
+    ).map(lambda t: LinkDegradeFault(*t))
+    corr = st.builds(
+        CorrelatedFailure,
+        _rank,
+        _time,
+        st.integers(min_value=0, max_value=4),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    return st.one_of(failstop, straggler, link, corr)
+
+
+@given(st.lists(_entry_strategy(), max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_multi_kind_schedule_canonical_fixpoint(entries):
+    # Construction canonicalizes (dedupe + stable cross-kind sort); the
+    # textual form must round-trip that canonical schedule exactly, and
+    # re-parsing its own render must be a fixpoint.
+    s = FailureSchedule(list(entries))
+    assert s.entries == sorted(set(s.entries), key=lambda e: _canonical_key(e))
+    back = FailureSchedule.parse(s.render())
+    assert back.entries == s.entries
+    assert back.render() == s.render()
+
+
+def _canonical_key(entry):
+    from repro.core.faults.schedule import _sort_key
+
+    return _sort_key(entry)
+
+
+# ----------------------------------------------------------------------
+# correlated expansion == hop ball
+# ----------------------------------------------------------------------
+@given(
+    dims=dims_strategy,
+    ranks_per_node=st.integers(min_value=1, max_value=2),
+    radius=st.integers(min_value=0, max_value=3),
+    spread=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_correlated_expansion_is_exact_hop_ball(dims, ranks_per_node, radius, spread, data):
+    from repro.core.faults import CorrelatedFailure, expand_correlated
+    from repro.models.network.model import NetworkModel
+
+    net = NetworkModel(TorusTopology(dims), ranks_per_node=ranks_per_node)
+    nranks = net.topology.nnodes * ranks_per_node
+    seed = data.draw(st.integers(0, nranks - 1))
+    fault = CorrelatedFailure(seed, 50.0, radius, spread=spread)
+    expanded = expand_correlated(fault, net, nranks)
+    # sorted by rank, seed included, and exactly the <= radius hop ball
+    assert [r for r, _ in expanded] == sorted(r for r, _ in expanded)
+    assert dict(expanded).get(seed) == 50.0
+    for rank in range(nranks):
+        hops = net.hops(seed, rank)
+        if hops <= radius:
+            assert dict(expanded)[rank] == 50.0 + hops * spread
+        else:
+            assert rank not in dict(expanded)
+
+
+# ----------------------------------------------------------------------
+# adaptive explorer: spend is monotone in the CI target
+# ----------------------------------------------------------------------
+@given(
+    widths=st.tuples(
+        st.floats(min_value=0.08, max_value=0.45),
+        st.floats(min_value=0.08, max_value=0.45),
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_explorer_spend_monotone_in_ci_target(widths, seed):
+    from unittest import mock
+
+    from repro.explore import ExploreSpec, run_explore
+    from repro.run.scenario import Scenario
+
+    def fake_run_cells(scenarios, jobs=1, cache=None, key_prefix="cells"):
+        out = []
+        for s in scenarios:
+            if not s.failures:
+                out.append({"completed": True, "exit_time": 100.0,
+                            "result_digest": "base", "mode": "single"})
+            else:
+                h = hash((seed, s.failures)) % 1000 / 1000.0
+                out.append({"completed": True, "exit_time": 100.0 * (1.0 + h),
+                            "e2": 100.0 * (1.0 + h), "result_digest": f"d{h}",
+                            "mode": "restart", "mttf_a": 50.0})
+        return out
+
+    loose_w, tight_w = max(widths), min(widths)
+    base = ExploreSpec(
+        scenario=Scenario(ranks=8, app="heat3d", iterations=10),
+        rank_bins=2, time_bins=2, min_samples=2, batch=8,
+        max_cells=300, impact_threshold=0.5, seed=seed % 97,
+    )
+    with mock.patch("repro.explore.sampler.run_cells", fake_run_cells):
+        loose = run_explore(base.with_(ci_width=loose_w))
+        tight = run_explore(base.with_(ci_width=tight_w))
+    # The allocation policy never reads the stopping target, so a looser
+    # target can only stop earlier, along the identical trajectory.
+    assert loose.spent <= tight.spent
+    assert loose.batches == tight.batches[: len(loose.batches)]
 
 
 # ----------------------------------------------------------------------

@@ -368,6 +368,39 @@ class TestSweep:
             parse_set("warp=9")
         with pytest.raises(ConfigurationError, match="expected field="):
             parse_set("interval")
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            # Regression: booleans used to fall through as raw strings for
+            # any spelling outside a hand-maintained set, so "False" became
+            # a truthy non-empty string and silently changed the digest.
+            ("check=False,True", ("check", [False, True])),
+            ("observe=no,yes", ("observe", [False, True])),
+            ("record_events=off,on", ("record_events", [False, True])),
+            ("trace_detail=0,1", ("trace_detail", [False, True])),
+            # Scientific notation: floats parse, integral forms coerce to int.
+            ("mttf=1e-3,2.5e3", ("mttf", [0.001, 2500.0])),
+            ("slowdown=1e3", ("slowdown", [1000.0])),
+            ("iterations=1e3,250", ("iterations", [1000, 250])),
+            ("seed=2e1", ("seed", [20])),
+            # Strings and dims stay themselves.
+            ("app=ring,heat3d", ("app", ["ring", "heat3d"])),
+            ("failures=3@5s", ("failures", ["3@5s"])),
+            ("dims=4x2", ("dims", [(4, 2)])),
+        ],
+    )
+    def test_parse_set_coercion_table(self, text, expected):
+        name, values = parse_set(text)
+        assert (name, values) == expected
+        # types must be exact (True is not 1 for digest purposes)
+        assert [type(v) for v in values] == [type(v) for v in expected[1]]
+
+    def test_parse_set_rejects_non_integral_int(self):
+        with pytest.raises(ConfigurationError, match="integer sweep field"):
+            parse_set("iterations=2.5")
+        with pytest.raises(ConfigurationError, match="bad boolean"):
+            parse_set("check=maybe")
         with pytest.raises(ConfigurationError, match="bad value"):
             parse_set("interval=fast")
 

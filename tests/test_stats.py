@@ -33,9 +33,23 @@ class TestSummarize:
     def test_mode_tie_breaks_to_smallest(self):
         assert summarize([5, 5, 3, 3, 9]).mode == 3
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            summarize([])
+    def test_empty_gives_zero_variance_stats(self):
+        # Degenerate strata are routine in adaptive exploration batches:
+        # an empty sample must yield well-defined all-zero stats, not
+        # raise or NaN-propagate into report rows.
+        s = summarize([])
+        assert s.count == 0
+        assert (s.total, s.minimum, s.maximum) == (0.0, 0.0, 0.0)
+        assert (s.mean, s.median, s.mode, s.stddev) == (0.0, 0.0, 0.0, 0.0)
+        assert all(v == v for v in (s.mean, s.stddev))  # no NaN
+
+    def test_single_sample_zero_stddev_exact(self):
+        s = summarize([3.7])
+        assert s.count == 1
+        assert s.stddev == 0.0
+        assert (s.minimum, s.maximum, s.mean, s.median, s.mode) == (
+            3.7, 3.7, 3.7, 3.7, 3.7,
+        )
 
     def test_rows_render_like_table1(self):
         s = summarize([1, 98, 17, 4, 4])
