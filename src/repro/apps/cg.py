@@ -29,8 +29,7 @@ from typing import Any, Generator
 import numpy as np
 
 from repro.apps.heat3d import factor3, neighbor_ranks, rank_coords
-from repro.core.checkpoint.protocol import CheckpointProtocol
-from repro.core.checkpoint.store import CheckpointStore
+from repro.core.checkpoint.protocol import resolve_protocol
 from repro.mpi import ops
 from repro.mpi.api import MpiApi
 from repro.mpi.constants import PROC_NULL
@@ -219,7 +218,7 @@ def _halo(mpi: MpiApi, cfg: CgConfig, neighbors: dict, ghosted: np.ndarray | Non
 # ----------------------------------------------------------------------
 # the application
 # ----------------------------------------------------------------------
-def cg(mpi: MpiApi, cfg: CgConfig, store: CheckpointStore | None = None) -> Gen:
+def cg(mpi: MpiApi, cfg: CgConfig, store: Any = None) -> Gen:
     """Distributed conjugate-gradient solve (generator coroutine)."""
     yield from mpi.init()
     if cfg.nranks != mpi.size:
@@ -237,7 +236,7 @@ def cg(mpi: MpiApi, cfg: CgConfig, store: CheckpointStore | None = None) -> Gen:
         mpi.malloc("x", array=x)
         mpi.malloc("r", array=r)
 
-    proto = CheckpointProtocol(mpi, store) if store is not None else None
+    proto = resolve_protocol(mpi, store)
     start_iter = 0
     if proto is not None:
         cid, payload = yield from proto.restore_latest()

@@ -35,8 +35,7 @@ from typing import Any, Generator
 
 import numpy as np
 
-from repro.core.checkpoint.protocol import CheckpointProtocol
-from repro.core.checkpoint.store import CheckpointStore
+from repro.core.checkpoint.protocol import resolve_protocol
 from repro.mpi.api import MpiApi
 from repro.mpi.constants import PROC_NULL
 from repro.util.errors import ConfigurationError
@@ -341,7 +340,7 @@ def halo_exchange(
 # ----------------------------------------------------------------------
 # the application
 # ----------------------------------------------------------------------
-def heat3d(mpi: MpiApi, cfg: HeatConfig, store: CheckpointStore | None = None) -> Gen:
+def heat3d(mpi: MpiApi, cfg: HeatConfig, store: Any = None) -> Gen:
     """The paper's heat-equation application (generator coroutine).
 
     Per phase: compute up to the next exchange/checkpoint boundary, halo
@@ -359,7 +358,7 @@ def heat3d(mpi: MpiApi, cfg: HeatConfig, store: CheckpointStore | None = None) -
     else:
         mpi.malloc("grid", nbytes=cfg.points_per_rank * cfg.item_bytes)
 
-    proto = CheckpointProtocol(mpi, store) if store is not None else None
+    proto = resolve_protocol(mpi, store)
     start_iter = 0
     if proto is not None:
         cid, payload = yield from proto.restore_latest()

@@ -15,8 +15,7 @@ from typing import Any, Generator
 
 import numpy as np
 
-from repro.core.checkpoint.protocol import CheckpointProtocol
-from repro.core.checkpoint.store import CheckpointStore
+from repro.core.checkpoint.protocol import resolve_protocol
 from repro.mpi.api import MpiApi
 from repro.mpi.constants import PROC_NULL
 from repro.util.errors import ConfigurationError
@@ -127,7 +126,7 @@ def _halo(mpi: MpiApi, cfg: Stencil2dConfig, neighbors: dict, u: np.ndarray | No
                 u[1:-1, -1] = face
 
 
-def stencil2d(mpi: MpiApi, cfg: Stencil2dConfig, store: CheckpointStore | None = None) -> Gen:
+def stencil2d(mpi: MpiApi, cfg: Stencil2dConfig, store: Any = None) -> Gen:
     """Five-point 2-D stencil with checkpoint/restart (same discipline as
     :func:`repro.apps.heat3d.heat3d`)."""
     yield from mpi.init()
@@ -145,7 +144,7 @@ def stencil2d(mpi: MpiApi, cfg: Stencil2dConfig, store: CheckpointStore | None =
     else:
         mpi.malloc("grid", nbytes=cfg.points_per_rank * cfg.item_bytes)
 
-    proto = CheckpointProtocol(mpi, store) if store is not None else None
+    proto = resolve_protocol(mpi, store)
     start_iter = 0
     if proto is not None:
         cid, payload = yield from proto.restore_latest()

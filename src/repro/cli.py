@@ -45,8 +45,9 @@ from repro.core.harness.experiment import Table2Config, run_table2
 from repro.core.harness.parallel import default_jobs
 from repro.core.harness.report import format_table, render_table2
 from repro.core.simulator import XSim
+from repro.resilience import strategy_names
 from repro.run.backends import capped_shards, run_scenario  # noqa: F401 - capped_shards re-exported
-from repro.run.scenario import Scenario, load_scenario_file, parse_dims
+from repro.run.scenario import APP_NAMES, Scenario, load_scenario_file, parse_dims
 from repro.run.sweep import parse_set, run_sweep
 from repro.util.errors import ConfigurationError
 
@@ -162,12 +163,16 @@ def _add_system_args(p: argparse.ArgumentParser) -> None:
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--app", default=None, choices=["heat3d", "cg", "stencil2d", "ring"],
+    p.add_argument("--app", default=None, choices=list(APP_NAMES),
                    help="simulated application (default heat3d)")
     p.add_argument("--iterations", type=int, default=None,
                    help="application iterations (default 1000)")
     p.add_argument("--interval", type=int, default=None,
                    help="checkpoint interval (default 1000)")
+    p.add_argument("--strategy", default=None, choices=list(strategy_names()),
+                   help="resilience strategy (default ckpt; also: "
+                   "XSIM_STRATEGY env var); parameters come from the "
+                   "scenario file's [resilience] strategy table")
     p.add_argument("--mttf", type=float, default=None,
                    help="system MTTF for random injection (s)")
     p.add_argument(
@@ -210,6 +215,7 @@ def _scenario_overrides(args: argparse.Namespace) -> dict:
         iterations=getattr(args, "iterations", None),
         interval=getattr(args, "interval", None),
         mttf=getattr(args, "mttf", None),
+        strategy=getattr(args, "strategy", None),
         failures=getattr(args, "xsim_failures", None),
         # store_true flags: only an explicitly passed flag overrides.
         check=True if getattr(args, "check", False) else None,
@@ -344,6 +350,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"{len(pairs)} scenarios ({' x '.join(axes)}) on backend "
           f"{base.backend_name()}:")
     print(format_table(header, rows))
+    if "strategy" in axes:
+        from repro.resilience.study import render_strategy_study
+
+        print()
+        print("strategy head-to-head (E1 = fault-free, overhead vs none):")
+        print(
+            render_strategy_study(
+                pairs,
+                axes=tuple(axes),
+                jobs=base.jobs if args.jobs is None else args.jobs,
+                cache=cache if cache is not None else False,
+            )
+        )
     if cache_on:
         hits = sum(1 for _, s in pairs if s.get("cached"))
         saved = sum(float(s.get("saved_s") or 0.0) for _, s in pairs)
@@ -410,7 +429,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         count = write_export(observer, spec.scenario.trace_out, include_host=True)
         print(f"exported {count} events to {spec.scenario.trace_out}")
     if cache is not None:
-        total = result.spent + 1  # + the baseline cell
+        # + one fault-free baseline cell per campaign
+        total = result.spent + getattr(result, "baselines", 1)
         print(
             f"cache: {result.cache_hits}/{total} cells served from cache "
             f"({result.cache_hits / total:.0%} hit rate), "
@@ -716,12 +736,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_args(p_ex)
     _add_shards_args(p_ex)
     p_ex.add_argument("--app", default=None,
-                      choices=["heat3d", "cg", "stencil2d", "ring"],
+                      choices=list(APP_NAMES),
                       help="simulated application (default heat3d)")
     p_ex.add_argument("--iterations", type=int, default=None,
                       help="application iterations (default 1000)")
     p_ex.add_argument("--interval", type=int, default=None,
                       help="checkpoint interval (default 1000)")
+    p_ex.add_argument("--strategy", default=None,
+                      choices=list(strategy_names()),
+                      help="resilience strategy under test (default ckpt); "
+                      "the [explore] table's strategies list sweeps several")
     p_ex.add_argument(
         "--scenario",
         metavar="FILE",

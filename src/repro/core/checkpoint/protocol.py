@@ -28,6 +28,26 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 Gen = Generator[Any, Any, Any]
 
 
+def resolve_protocol(api: "MpiApi", store: Any) -> "CheckpointProtocol | Any | None":
+    """The checkpoint protocol driving ``store`` for this rank.
+
+    Applications call this with whatever store object rode in through
+    their args: ``None`` (checkpointing disabled) returns ``None``; a
+    store that knows its own discipline (e.g. the multi-level tier store,
+    via a ``make_protocol(api)`` method) returns that protocol; a plain
+    :class:`~repro.core.checkpoint.store.CheckpointStore` gets the
+    single-level :class:`CheckpointProtocol`.  Every protocol duck-types
+    the methods apps use: ``checkpoint``, ``restore_latest``,
+    ``previous_id``.
+    """
+    if store is None:
+        return None
+    factory = getattr(store, "make_protocol", None)
+    if factory is not None:
+        return factory(api)
+    return CheckpointProtocol(api, store)
+
+
 class CheckpointProtocol:
     """Per-rank view of the application checkpoint discipline."""
 

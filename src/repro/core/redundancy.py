@@ -36,6 +36,7 @@ from typing import Any, Generator
 
 import numpy as np
 
+from repro.mpi import ops
 from repro.mpi.api import MpiApi
 from repro.mpi.constants import ANY_SOURCE, PROC_NULL
 from repro.mpi.messages import Request
@@ -46,6 +47,9 @@ Gen = Generator[Any, Any, Any]
 #: Application tags must stay below this; the replica-hash side channel
 #: uses ``tag + HASH_TAG_OFFSET``.
 HASH_TAG_OFFSET = 2**19
+#: Internal tag base of the replicated collective implementation (beyond
+#: application tags, below the hash side channel).
+_COLL_TAG = 2**18
 #: Wire size of one hash message (redMPI ships a small digest).
 HASH_NBYTES = 16
 
@@ -264,6 +268,34 @@ class RedundantApi:
         """Blocking receive (replicated, hash-checked)."""
         req = self.irecv(source, tag)
         return (yield from self.wait(req))
+
+    def allreduce(
+        self, value: Any = None, nbytes: int | None = None, op: ops.Op = ops.SUM, comm=None
+    ) -> Gen:
+        """``MPI_Allreduce`` over the *logical* job.
+
+        redMPI replicates collectives as point-to-point exchanges, so the
+        reduction runs as a gather-fold-broadcast over the replicated
+        (hash-checked) channels: every contribution and the fanned-out
+        result cross the wire per replica pair, and each hop is compared
+        against its watcher hash like any other message.
+        """
+        if comm is not None:
+            raise ConfigurationError("custom communicators are not supported under redundancy")
+        n = self.logical_size
+        size = 8 if nbytes is None else nbytes
+        if n == 1:
+            return ops.fold(op, [value])
+        if self.rank == 0:
+            contributions = [value]
+            for src in range(1, n):
+                contributions.append((yield from self.recv(src, tag=_COLL_TAG)))
+            result = ops.fold(op, contributions)
+            for dst in range(1, n):
+                yield from self.send(dst, payload=result, nbytes=size, tag=_COLL_TAG + 1)
+            return result
+        yield from self.send(0, payload=value, nbytes=size, tag=_COLL_TAG)
+        return (yield from self.recv(0, tag=_COLL_TAG + 1))
 
     def _check(self, tag: int, comm) -> None:
         if comm is not None:

@@ -29,10 +29,14 @@ from dataclasses import dataclass, field
 from typing import IO, TYPE_CHECKING, Any, Callable
 
 from repro.check import checking_enabled
-from repro.check.sanitizer import verify_store_cleaned
 from repro.core.checkpoint.store import CheckpointStore
 from repro.core.faults.policies import InjectionPolicy, SingleUniformFailurePolicy
-from repro.core.faults.schedule import FailureSchedule
+from repro.core.faults.schedule import (
+    CorrelatedFailure,
+    FailureSchedule,
+    ScheduledFailure,
+    expand_correlated,
+)
 from repro.core.harness.config import SystemConfig
 from repro.core.simulator import XSim
 from repro.obs import Observer
@@ -71,8 +75,11 @@ class FailureRunResult:
     """Outcome of a complete run-with-restarts experiment."""
 
     segments: list[SegmentRecord]
-    store: CheckpointStore
+    store: CheckpointStore | None
     exit_values: dict[int, Any] = field(default_factory=dict)
+    #: Deterministic strategy-side counters (replica failovers, dropped
+    #: tier files, ...) — see :meth:`ResilienceStrategy.facts`.
+    strategy_facts: dict[str, Any] = field(default_factory=dict)
 
     @property
     def completed(self) -> bool:
@@ -154,9 +161,22 @@ class RestartDriver:
         shard_transport: str | None = None,
         observe: "bool | Observer | None" = None,
         scenario: "Scenario | None" = None,
+        strategy=None,
     ):
         if mttf is not None and policy is not None:
             raise SimulationError("pass either mttf or policy, not both")
+        if strategy is None:
+            if scenario is not None:
+                strategy = scenario.make_strategy()
+            else:
+                from repro.resilience.ckpt import SingleLevelCheckpoint
+
+                strategy = SingleLevelCheckpoint(None)
+        #: The resilience strategy driving recovery: supplies the
+        #: per-segment store, absorbs or passes through fail-stops
+        #: (replication's warm failover), and owns the pre-restart
+        #: cleanup.  Defaults to single-level checkpoint/restart.
+        self.strategy = strategy
         #: The one declarative spec every segment of this experiment runs
         #: under, when the driver was built via :meth:`from_scenario`.
         self.scenario = scenario
@@ -211,11 +231,16 @@ class RestartDriver:
         from repro.run.backends import get_backend
 
         backend = get_backend(scenario.backend_name())
-        app, make_args = scenario.make_app()
+        # One strategy instance serves the whole experiment: it wraps the
+        # app here and rides through every segment of run() (so e.g. the
+        # replication SDC monitor survives restarts).
+        strategy = scenario.make_strategy()
+        app, make_args = scenario.make_app(strategy=strategy)
         schedule = scenario.schedule()
         if observe is None and scenario.observe:
             observe = True
         kwargs: dict[str, Any] = dict(
+            strategy=strategy,
             mttf=scenario.mttf,
             schedule=schedule if schedule else None,
             seed=scenario.seed,
@@ -233,7 +258,8 @@ class RestartDriver:
     def run(self) -> FailureRunResult:
         """Execute segments until the application completes (or the restart
         budget is exhausted); see the module docstring for the loop."""
-        store = CheckpointStore()
+        strategy = self.strategy
+        strategy.begin_run()
         rng = RngStreams(self.seed).get("restart-failures")
         segments: list[SegmentRecord] = []
         start = 0.0
@@ -255,8 +281,22 @@ class RestartDriver:
                 observe=self.observer,
                 scenario=self.scenario,
             )
+            # Classify the explicit schedule (first segment only) so every
+            # fail-stop — scheduled or drawn — routes through the strategy,
+            # which may absorb it (replication's warm failover); degraded-
+            # performance faults arm the world overlay directly.
+            sched_failstops: list[tuple[int, float]] = []
             if self.schedule is not None and index == 0:
-                sim.inject_schedule(self.schedule)
+                self.schedule.validate(self.system.nranks)
+                for entry in self.schedule:
+                    if isinstance(entry, ScheduledFailure):
+                        sched_failstops.append((entry.rank, entry.time))
+                    elif isinstance(entry, CorrelatedFailure):
+                        sched_failstops.extend(
+                            expand_correlated(entry, sim.world.network, self.system.nranks)
+                        )
+                    else:
+                        sim.inject_perturbation(entry)
             drawn: list[tuple[int, float]] = []
             if self.policy is not None:
                 drawn = [
@@ -266,9 +306,12 @@ class RestartDriver:
                     )
                 ]
             to_inject = drawn if self.interceptor is None else self.interceptor(sim, drawn)
-            for rank, t_abs in to_inject:
+            failstops = strategy.transform_failures(
+                sim, sched_failstops + list(to_inject), observer=self.observer
+            )
+            for rank, t_abs in failstops:
                 sim.inject_failure(rank, t_abs)
-            result = sim.run(self.app, args=self.make_args(store))
+            result = sim.run(self.app, args=self.make_args(strategy.segment_store()))
             # Execution facts of the most recent segment (actual shard
             # transport, fallback flag) for ScenarioOutcome.metadata.
             self.shard_stats = getattr(sim, "shard_stats", None)
@@ -287,23 +330,25 @@ class RestartDriver:
             )
             if result.completed:
                 return FailureRunResult(
-                    segments=segments, store=store, exit_values=result.exit_values
+                    segments=segments,
+                    store=strategy.result_store(),
+                    exit_values=result.exit_values,
+                    strategy_facts=strategy.facts(),
                 )
             if not result.aborted:
                 raise SimulationError(
                     f"segment {index} ended without completing or aborting "
                     f"(states: {set(s.value for s in result.states.values())})"
                 )
-            # Pre-restart cleanup: "incomplete checkpoints (missing
-            # checkpoint files due to a failure during checkpointing) are
-            # deleted using a shell script."
-            store.cleanup_incomplete(self.system.nranks)
-            if self.check if self.check is not None else checking_enabled():
-                # Audit the surviving namespace independently of is_valid:
-                # every remaining set must hold exactly ranks 0..nranks-1,
-                # all COMPLETE — a regression to subset-match semantics
-                # (leftover wide/corrupt sets) is caught here.
-                verify_store_cleaned(store, self.system.nranks)
+            # Pre-restart recovery step — for single-level ckpt this is the
+            # paper's shell-script cleanup of incomplete checkpoint sets;
+            # multi-level additionally drops the tiers the failure destroyed.
+            strategy.on_abort(
+                result,
+                self.system.nranks,
+                check=self.check if self.check is not None else checking_enabled(),
+                observer=self.observer,
+            )
             start = result.exit_time
         raise SimulationError(
             f"application did not complete within {self.max_restarts} restarts"

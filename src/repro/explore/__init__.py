@@ -14,6 +14,7 @@ from repro.explore.report import render_scorecard, scorecard, scorecard_json
 from repro.explore.sampler import (
     ExploreResult,
     Explorer,
+    StrategyExploreResult,
     Stratum,
     StratumState,
     build_strata,
@@ -35,6 +36,7 @@ __all__ = [
     "ExploreSpec",
     "Explorer",
     "Stratum",
+    "StrategyExploreResult",
     "StratumState",
     "build_strata",
     "load_explore_file",

@@ -17,6 +17,7 @@ from repro.core.harness.report import format_table
 from repro.explore.sampler import (
     ExploreResult,
     StratumState,
+    StrategyExploreResult,
     bootstrap_mean_ci,
     wilson_halfwidth,
     wilson_interval,
@@ -88,8 +89,20 @@ def _kind_record(result: ExploreResult, kind: str) -> dict[str, Any]:
     }
 
 
-def scorecard(result: ExploreResult) -> dict[str, Any]:
-    """The deterministic scorecard dict (JSON-stable across reruns)."""
+def scorecard(result: "ExploreResult | StrategyExploreResult") -> dict[str, Any]:
+    """The deterministic scorecard dict (JSON-stable across reruns).  A
+    multi-strategy rollup nests one full scorecard per strategy under a
+    comparison summary."""
+    if isinstance(result, StrategyExploreResult):
+        return {
+            "explore": result.spec.describe(),
+            "comparison": [
+                _strategy_record(name, sub) for name, sub in result.results
+            ],
+            "strategies": {
+                name: scorecard(sub) for name, sub in result.results
+            },
+        }
     return {
         "explore": result.spec.describe(),
         "z": result.z,
@@ -113,7 +126,27 @@ def scorecard(result: ExploreResult) -> dict[str, Any]:
     }
 
 
-def scorecard_json(result: ExploreResult) -> str:
+def _strategy_record(name: str, result: ExploreResult) -> dict[str, Any]:
+    """One strategy's aggregate line of the head-to-head comparison."""
+    n = sum(s.n for s in result.strata)
+    impacted = sum(s.impacted for s in result.strata)
+    died = sum(s.died for s in result.strata)
+    deltas = [d for s in result.strata for d in s.deltas]
+    dsum = summarize(deltas)
+    return {
+        "strategy": name,
+        "e1": result.e1,
+        "cells": result.spent,
+        "impacted": impacted,
+        "died": died,
+        "impact_p": (impacted / n) if n else None,
+        "delta_mean": dsum.mean,
+        "delta_max": dsum.maximum,
+        "stopped": result.stopped,
+    }
+
+
+def scorecard_json(result: "ExploreResult | StrategyExploreResult") -> str:
     """Canonical JSON bytes of the scorecard (sorted keys, 2-space
     indent, trailing newline) — the thing CI diffs for byte-identity."""
     return json.dumps(scorecard(result), sort_keys=True, indent=2) + "\n"
@@ -123,8 +156,37 @@ def _pct(p: float | None) -> str:
     return "-" if p is None else f"{100 * p:.1f}%"
 
 
-def render_scorecard(result: ExploreResult) -> str:
-    """Human-facing report: per-kind summary + per-stratum table."""
+def render_scorecard(result: "ExploreResult | StrategyExploreResult") -> str:
+    """Human-facing report: per-kind summary + per-stratum table.  A
+    multi-strategy rollup leads with the head-to-head comparison, then
+    each strategy's full scorecard."""
+    if isinstance(result, StrategyExploreResult):
+        records = [_strategy_record(name, sub) for name, sub in result.results]
+        rows = [
+            [
+                r["strategy"],
+                f"{r['e1']:.6g}",
+                str(r["cells"]),
+                _pct(r["impact_p"]),
+                str(r["died"]),
+                f"{r['delta_mean']:+.3f}",
+                r["stopped"],
+            ]
+            for r in records
+        ]
+        lines = [
+            "strategy head-to-head (identical fault draws per campaign)",
+            format_table(
+                ["strategy", "E1", "cells", "impact", "died", "d(E2/E1)", "stopped"],
+                rows,
+            ),
+            "",
+        ]
+        for name, sub in result.results:
+            lines.append(f"--- strategy: {name} ---")
+            lines.append(render_scorecard(sub).rstrip("\n"))
+            lines.append("")
+        return "\n".join(lines).rstrip("\n") + "\n"
     card = scorecard(result)
     lines = [
         "resilience scorecard",

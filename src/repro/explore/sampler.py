@@ -470,11 +470,55 @@ class Explorer:
         )
 
 
+@dataclass
+class StrategyExploreResult:
+    """Rollup of one exploration per resilience strategy (the spec's
+    ``strategies`` list).  Every campaign uses the same root seed, hence
+    identical fault draws per stratum — the per-strategy scorecards are
+    directly comparable."""
+
+    spec: ExploreSpec
+    #: ``(strategy name, result)`` in the spec's ``strategies`` order.
+    results: tuple[tuple[str, ExploreResult], ...]
+
+    @property
+    def baselines(self) -> int:
+        return len(self.results)
+
+    @property
+    def spent(self) -> int:
+        return sum(r.spent for _, r in self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for _, r in self.results)
+
+    @property
+    def cache_saved_s(self) -> float:
+        return sum(r.cache_saved_s for _, r in self.results)
+
+
 def run_explore(
     spec: ExploreSpec,
     cache: Any = None,
     jobs: int | None = None,
     observer: Any = None,
-) -> ExploreResult:
-    """Run one adaptive exploration campaign end to end."""
-    return Explorer(spec, cache=cache, jobs=jobs, observer=observer).run()
+) -> "ExploreResult | StrategyExploreResult":
+    """Run one adaptive exploration campaign end to end.  A spec with a
+    ``strategies`` list runs one full campaign per strategy (same fault
+    draws) and returns the :class:`StrategyExploreResult` rollup."""
+    if not spec.strategies:
+        return Explorer(spec, cache=cache, jobs=jobs, observer=observer).run()
+    results = []
+    for name in spec.strategies:
+        # The base scenario's params only apply to its own strategy;
+        # every other one runs at its defaults.
+        params = spec.scenario.strategy_params if name == spec.scenario.strategy else ()
+        sub = spec.with_(
+            strategies=(),
+            scenario=spec.scenario.with_(strategy=name, strategy_params=params),
+        )
+        results.append(
+            (name, Explorer(sub, cache=cache, jobs=jobs, observer=observer).run())
+        )
+    return StrategyExploreResult(spec=spec, results=tuple(results))

@@ -84,8 +84,22 @@ class ExploreSpec:
     #: Root seed of the sampler's ``SeedSequence.spawn`` chain (separate
     #: from the scenario's simulation seed).
     seed: int = 0
+    #: Resilience strategies to explore head-to-head: empty = just the
+    #: base scenario's strategy; otherwise one full campaign per name
+    #: (identical fault draws — same seed chain — so the scorecards are
+    #: directly comparable).
+    strategies: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.strategies:
+            from repro.resilience import strategy_names
+
+            for name in self.strategies:
+                if name not in strategy_names():
+                    raise ConfigurationError(
+                        f"unknown explore strategy {name!r} (expected one "
+                        f"of {', '.join(strategy_names())})"
+                    )
         for kind in self.kinds:
             if kind not in KINDS:
                 raise ConfigurationError(
@@ -189,7 +203,7 @@ def read_explore_environment(environ=None) -> dict[str, Any]:
 
 def _coerce_explore(key: str, value: Any) -> Any:
     """TOML value -> ExploreSpec field value (lists become tuples)."""
-    if key in ("kinds", "radii"):
+    if key in ("kinds", "radii", "strategies"):
         if not isinstance(value, list):
             raise ConfigurationError(f"explore.{key} must be a list")
         return tuple(value)

@@ -100,6 +100,23 @@ import numpy as np
 
 from repro.core.checkpoint.store import CheckpointStore
 from repro.mpi.communicator import Communicator
+
+
+def _extract_stores(args: tuple) -> tuple[CheckpointStore, ...]:
+    """Every checkpoint namespace riding in the app args: plain
+    :class:`CheckpointStore` instances, plus the component namespaces of
+    composite stores (e.g. the multi-level tier store) advertised via a
+    ``component_stores()`` method.  Each shard's file-state deltas are
+    merged back per namespace after a windowed run."""
+    stores: list[CheckpointStore] = []
+    for a in args:
+        if isinstance(a, CheckpointStore):
+            stores.append(a)
+        else:
+            components = getattr(a, "component_stores", None)
+            if callable(components):
+                stores.extend(s for s in components() if isinstance(s, CheckpointStore))
+    return tuple(stores)
 from repro.mpi.constants import ERR_REVOKED
 from repro.mpi.messages import EAGER, RTS, Msg, Request
 from repro.models.network.model import NetworkModel, NetworkTier
@@ -896,11 +913,11 @@ class ShardWorker:
         self.owned_sorted = sorted(owned)
         self._fail_base = 0
         self._abort_reported = False
-        self._store: CheckpointStore | None = None
-        self._store_base = (0, 0)
+        self._stores: tuple[CheckpointStore, ...] = ()
+        self._store_bases: tuple[tuple[int, int], ...] = ()
         self._obs = None
 
-    def setup(self, store: CheckpointStore | None = None) -> float:
+    def setup(self, stores: tuple[CheckpointStore, ...] = ()) -> float:
         engine = self.engine
         # Workers record log entries only; the coordinator echoes the
         # merged, time-ordered stream once.
@@ -921,9 +938,8 @@ class ShardWorker:
         )
         engine.configure_shard(self.shard_id, self.owned)
         engine.begin_windowed_run()
-        if store is not None:
-            self._store = store
-            self._store_base = (store.writes, store.deletes)
+        self._stores = tuple(stores)
+        self._store_bases = tuple((s.writes, s.deletes) for s in self._stores)
         return engine.next_event_time()
 
     def apply(self, envelopes: list[tuple], directives: tuple | list) -> None:
@@ -1002,14 +1018,14 @@ class ShardWorker:
                 str(vp.wait_tag),
             )
         store_delta = None
-        if self._store is not None:
-            files = {
-                key: f for key, f in self._store._files.items() if key[1] in self.owned
-            }
-            store_delta = (
-                files,
-                self._store.writes - self._store_base[0],
-                self._store.deletes - self._store_base[1],
+        if self._stores:
+            store_delta = tuple(
+                (
+                    {key: f for key, f in s._files.items() if key[1] in self.owned},
+                    s.writes - base[0],
+                    s.deletes - base[1],
+                )
+                for s, base in zip(self._stores, self._store_bases)
             )
         world = self.world
         trace = engine.event_trace
@@ -1050,12 +1066,14 @@ def _handle_op(worker: ShardWorker, msg: tuple) -> Any:
     raise SimulationError(f"unknown shard op {op!r}")
 
 
-def _forked_worker_main(conn, worker: ShardWorker, store: CheckpointStore | None) -> None:
+def _forked_worker_main(
+    conn, worker: ShardWorker, stores: tuple[CheckpointStore, ...]
+) -> None:
     """Child-process loop of the fork transport."""
     status = 0
     try:
         try:
-            conn.send(("ok", worker.setup(store=store)))
+            conn.send(("ok", worker.setup(stores=stores)))
             while True:
                 msg = conn.recv()
                 if msg[0] == "close":
@@ -1082,7 +1100,7 @@ def _forked_worker_main(conn, worker: ShardWorker, store: CheckpointStore | None
 def _shm_worker_main(
     conn,
     worker: ShardWorker,
-    store: CheckpointStore | None,
+    stores: tuple[CheckpointStore, ...],
     ring_in: ShmRing,
     ring_out: ShmRing,
 ) -> None:
@@ -1098,7 +1116,7 @@ def _shm_worker_main(
     alive = parent.is_alive if parent is not None else None
     try:
         try:
-            conn.send(("ok", worker.setup(store=store)))
+            conn.send(("ok", worker.setup(stores=stores)))
             while True:
                 msg = conn.recv()
                 op = msg[0]
@@ -1151,9 +1169,9 @@ def _shm_worker_main(
 class _InlineConn:
     """Worker driven directly in the coordinator process."""
 
-    def __init__(self, worker: ShardWorker, store: CheckpointStore | None):
+    def __init__(self, worker: ShardWorker, stores: tuple[CheckpointStore, ...]):
         self.worker = worker
-        self.initial_min = worker.setup(store=store)
+        self.initial_min = worker.setup(stores=stores)
         self._pending: tuple | None = None
 
     def send(self, msg: tuple) -> None:
@@ -1328,7 +1346,7 @@ def _make_transport(
     args: tuple,
     nranks: int,
     parts: list[range],
-    store: CheckpointStore | None,
+    stores: tuple[CheckpointStore, ...],
     lookahead: float,
     matrix: list[list[float]],
     owner: list[int],
@@ -1345,9 +1363,9 @@ def _make_transport(
         conns: list = []
         for k, part in enumerate(parts):
             shard_sim = sim if k == 0 else _build_replica(sim, app, args, nranks)
-            # Inline replicas share the parent's CheckpointStore object via
-            # the app args, so file state needs no merging (store=None).
-            conns.append(_InlineConn(make_worker(shard_sim, k, part), None))
+            # Inline replicas share the parent's store objects via the
+            # app args, so file state needs no merging (no stores).
+            conns.append(_InlineConn(make_worker(shard_sim, k, part), ()))
         return conns, lambda: None
 
     ctx = mp.get_context("fork")
@@ -1363,13 +1381,13 @@ def _make_transport(
             rings += [c2w, w2c]
             proc = ctx.Process(
                 target=_shm_worker_main,
-                args=(child_conn, worker, store, c2w, w2c),
+                args=(child_conn, worker, stores, c2w, w2c),
                 daemon=True,
             )
         else:
             proc = ctx.Process(
                 target=_forked_worker_main,
-                args=(child_conn, worker, store),
+                args=(child_conn, worker, stores),
                 daemon=True,
             )
         proc.start()  # forks the fully launched, not-yet-run simulation
@@ -1634,7 +1652,7 @@ def run_sharded(sim: "XSim", app, args: tuple, nranks: int) -> SimulationResult:
         ]
     armed = list(sim._armed_failures)
     h_min = min((t for _, t in armed), default=math.inf)
-    store = next((a for a in args if isinstance(a, CheckpointStore)), None)
+    stores = _extract_stores(args)
     orig_stream = engine.log.stream
 
     requested = sim.shard_transport
@@ -1684,7 +1702,7 @@ def run_sharded(sim: "XSim", app, args: tuple, nranks: int) -> SimulationResult:
             },
         )
     conns, cleanup = _make_transport(
-        transport, sim, app, args, nranks, parts, store, lookahead, matrix, owner
+        transport, sim, app, args, nranks, parts, stores, lookahead, matrix, owner
     )
     try:
         coordinator = _Coordinator(
@@ -1694,7 +1712,7 @@ def run_sharded(sim: "XSim", app, args: tuple, nranks: int) -> SimulationResult:
     finally:
         cleanup()
 
-    _merge_reports(sim, reports, parts, store, transport, orig_stream, stats)
+    _merge_reports(sim, reports, parts, stores, transport, orig_stream, stats)
     blocked = [
         (vp.rank, str(vp.wait_tag), vp.state.value) for vp in engine.vps if vp.alive
     ]
@@ -1709,7 +1727,7 @@ def _merge_reports(
     sim: "XSim",
     reports: list[ShardReport],
     parts: list[range],
-    store: CheckpointStore | None,
+    stores: tuple[CheckpointStore, ...],
     transport: str,
     orig_stream,
     stats: ShardStats,
@@ -1786,14 +1804,17 @@ def _merge_reports(
             key=lambda entry: entry[0],
         )
         sim.event_trace.entries = merged_trace
-    if store is not None and transport in ("fork", "shm"):
+    if stores and transport in ("fork", "shm"):
         # Owned-rank checkpoint files replace the parent's pre-fork view;
-        # counters advance by the per-shard deltas.
+        # counters advance by the per-shard deltas — per component
+        # namespace (a multi-level store ships one delta per tier).
         for report, part in zip(reports, parts):
             owned = set(part)
-            for key in [k for k in store._files if k[1] in owned]:
-                del store._files[key]
-            files, writes_delta, deletes_delta = report.store_delta
-            store._files.update(files)
-            store.writes += writes_delta
-            store.deletes += deletes_delta
+            for store, (files, writes_delta, deletes_delta) in zip(
+                stores, report.store_delta
+            ):
+                for key in [k for k in store._files if k[1] in owned]:
+                    del store._files[key]
+                store._files.update(files)
+                store.writes += writes_delta
+                store.deletes += deletes_delta

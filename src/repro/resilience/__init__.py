@@ -1,0 +1,26 @@
+"""Pluggable resilience strategies (see :mod:`repro.resilience.strategy`).
+
+Importing the package registers the built-in strategies: ``ckpt``
+(single-level checkpoint/restart), ``ckpt-multilevel`` (local +
+partner-copy + PFS tiers), ``replication`` (factor-R warm failover with
+SDC hash compare), and ``none`` (restart from scratch).
+"""
+
+from repro.resilience import ckpt as _ckpt  # noqa: F401  (registers)
+from repro.resilience import multilevel as _multilevel  # noqa: F401
+from repro.resilience import replication as _replication  # noqa: F401
+from repro.resilience.strategy import (
+    STRATEGIES,
+    ResilienceStrategy,
+    make_strategy,
+    register,
+    strategy_names,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "ResilienceStrategy",
+    "make_strategy",
+    "register",
+    "strategy_names",
+]

@@ -1,0 +1,184 @@
+"""Pluggable resilience strategies: one protocol, a registry, four plans.
+
+The paper's co-design loop compares *resilience plans* — how a job
+prepares for and recovers from fail-stop faults — under one performance
+model.  A :class:`ResilienceStrategy` packages everything one plan needs
+to thread through the stack:
+
+* **geometry** — how many physical ranks a logical job needs
+  (:meth:`physical_ranks`) and the checkpoint cadence the application
+  should run at (:meth:`app_interval`);
+* **arming** — wrapping the application (:meth:`wrap_app`, e.g. the
+  redMPI replication facade) and supplying the per-run store object that
+  rides through the app args (:meth:`segment_store`);
+* **failure handling** — :meth:`transform_failures` sees every fail-stop
+  before it is armed on the engine and may absorb it (replication's warm
+  failover), and :meth:`on_abort` is the pre-restart recovery step
+  (cleanup of unsurvivable checkpoint tiers);
+* **accounting** — :meth:`facts` reports deterministic, parent-side
+  counters (failovers, dropped tier files) for run summaries.
+
+Strategies register by name via :func:`register`;
+:func:`make_strategy` instantiates the one a
+:class:`~repro.run.scenario.Scenario` names (its ``strategy`` /
+``strategy_params`` fields), validating parameter spellings eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.checkpoint.store import CheckpointStore
+    from repro.core.restart import FailureRunResult
+    from repro.core.simulator import XSim
+    from repro.obs import Observer
+    from repro.run.scenario import Scenario
+
+
+class ResilienceStrategy:
+    """One resilience plan, instantiated per run from a scenario.
+
+    Subclasses override the hooks they need; the defaults describe the
+    plain restart-from-scratch behaviour (no store, nothing to clean,
+    failures pass through untouched).
+    """
+
+    #: Registry name (``Scenario.strategy`` value).
+    name: str = "?"
+    #: Parameter spellings the strategy accepts in ``strategy_params``.
+    PARAM_KEYS: tuple[str, ...] = ()
+
+    def __init__(self, scenario: "Scenario | None" = None):
+        self.scenario = scenario
+        self.params: dict[str, Any] = (
+            dict(scenario.strategy_params) if scenario is not None else {}
+        )
+        unknown = sorted(set(self.params) - set(self.PARAM_KEYS))
+        if unknown:
+            expected = ", ".join(self.PARAM_KEYS) or "none"
+            raise ConfigurationError(
+                f"unknown parameter(s) for resilience strategy {self.name!r}: "
+                f"{', '.join(unknown)} (expected: {expected})"
+            )
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # parameter helpers
+    # ------------------------------------------------------------------
+    def _int_param(self, key: str, default: int, minimum: int) -> int:
+        value = self.params.get(key, default)
+        if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+            raise ConfigurationError(
+                f"strategy {self.name!r} parameter {key!r} must be an "
+                f"integer >= {minimum}, got {value!r}"
+            )
+        return value
+
+    def _float_param(self, key: str, default: float, minimum: float) -> float:
+        value = self.params.get(key, default)
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or value < minimum:
+            raise ConfigurationError(
+                f"strategy {self.name!r} parameter {key!r} must be a "
+                f"number >= {minimum}, got {value!r}"
+            )
+        return float(value)
+
+    def _validate(self) -> None:
+        """Parameter validation hook (raise ConfigurationError)."""
+
+    # ------------------------------------------------------------------
+    # geometry (pure; safe to call on a throwaway instance)
+    # ------------------------------------------------------------------
+    def physical_ranks(self, logical_ranks: int) -> int:
+        """Simulated ranks needed to host ``logical_ranks`` app ranks."""
+        return logical_ranks
+
+    def app_interval(self, interval: int) -> int:
+        """Checkpoint cadence the application should run at, given the
+        scenario's nominal interval (multi-level checkpointing inserts
+        cheap local checkpoints between the nominal global ones)."""
+        return interval
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Reset per-run state (stores, monitors) before segment 0."""
+
+    def wrap_app(self, app):
+        """Wrap the application coroutine (identity by default)."""
+        return app
+
+    def segment_store(self) -> Any:
+        """The store object handed to ``make_args`` for each segment
+        (``None`` when the strategy keeps no checkpoints)."""
+        return None
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def transform_failures(
+        self,
+        sim: "XSim",
+        failstops: list[tuple[int, float]],
+        observer: "Observer | None" = None,
+    ) -> list[tuple[int, float]]:
+        """Inspect one segment's fail-stop injections ``(rank, time)``
+        before they are armed; return the subset to actually inject.
+        Called exactly once per segment (replication resets its failover
+        bookkeeping here — a restart relaunches every replica)."""
+        return failstops
+
+    def on_abort(
+        self,
+        result,
+        nranks: int,
+        check: bool = False,
+        observer: "Observer | None" = None,
+    ) -> None:
+        """Pre-restart recovery step after an aborted segment (``result``
+        is the segment's :class:`~repro.pdes.engine.SimulationResult`)."""
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def result_store(self) -> "CheckpointStore | None":
+        """The persistent-namespace view reported on the final result."""
+        return None
+
+    def facts(self) -> dict[str, Any]:
+        """Deterministic parent-side counters for the run summary."""
+        return {}
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+STRATEGIES: dict[str, type[ResilienceStrategy]] = {}
+
+
+def register(cls: type[ResilienceStrategy]) -> type[ResilienceStrategy]:
+    """Class decorator: register ``cls`` under ``cls.name``."""
+    if cls.name in STRATEGIES:
+        raise ConfigurationError(f"duplicate resilience strategy {cls.name!r}")
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Registered strategy names, sorted (CLI choices, error messages)."""
+    return tuple(sorted(STRATEGIES))
+
+
+def make_strategy(scenario: "Scenario") -> ResilienceStrategy:
+    """Instantiate the strategy a scenario names (validates eagerly)."""
+    cls = STRATEGIES.get(scenario.strategy)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown resilience strategy {scenario.strategy!r} "
+            f"(expected one of {', '.join(strategy_names())})"
+        )
+    return cls(scenario)

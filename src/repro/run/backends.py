@@ -137,16 +137,17 @@ class Backend:
         self, scenario: Scenario, *, log_stream=None, observe: Any = None
     ) -> "SimulationResult":
         """One single-segment run of the scenario on this backend: build
-        the simulation, arm the explicit failure schedule, launch the app
-        with a fresh checkpoint store, and simulate to completion/abort."""
-        from repro.core.checkpoint.store import CheckpointStore
-
+        the simulation, arm the explicit failure schedule, launch the
+        strategy-armed app with a fresh store, and simulate to
+        completion/abort."""
         sim = self.make_sim(scenario, log_stream=log_stream, observe=observe)
         schedule = scenario.schedule()
         if schedule:
             sim.inject_schedule(schedule)
-        app, make_args = scenario.make_app()
-        return sim.run(app, args=make_args(CheckpointStore()))
+        strategy = scenario.make_strategy()
+        strategy.begin_run()
+        app, make_args = scenario.make_app(strategy=strategy)
+        return sim.run(app, args=make_args(strategy.segment_store()))
 
     def run_engine(self, sim: "XSim", app, args: tuple, nranks: int):
         """Drive an already-launched simulation to its result (the
@@ -273,6 +274,7 @@ class ScenarioOutcome:
             "result_digest": self.digest(),
             "completed": self.completed,
             "exit_time": self.last_result.exit_time,
+            "strategy": self.scenario.strategy,
         }
         if self.run is not None:
             out.update(
@@ -281,6 +283,8 @@ class ScenarioOutcome:
                 restarts=self.run.restarts,
                 mttf_a=self.run.mttf_a,
             )
+            if self.run.strategy_facts:
+                out["strategy_facts"] = dict(self.run.strategy_facts)
         else:
             out.update(failures=len(self.result.failures), restarts=0)
         return out
@@ -357,14 +361,14 @@ def run_scenario(
             metadata=_execution_metadata(getattr(driver, "shard_stats", None)),
         )
     else:
-        from repro.core.checkpoint.store import CheckpointStore
-
         sim = backend.make_sim(scenario, log_stream=log_stream, observe=observe)
         schedule = scenario.schedule()
         if schedule:
             sim.inject_schedule(schedule)
-        app, make_args = scenario.make_app()
-        result = sim.run(app, args=make_args(CheckpointStore()))
+        strategy = scenario.make_strategy()
+        strategy.begin_run()
+        app, make_args = scenario.make_app(strategy=strategy)
+        result = sim.run(app, args=make_args(strategy.segment_store()))
         outcome = ScenarioOutcome(
             scenario=scenario, mode="single", result=result, sim=sim,
             observer=sim.observer,

@@ -79,6 +79,15 @@ XSIM_ENV_VARS: dict[str, EnvVar] = {
             description='event-core selection: "heap" (tuple binary heap) '
             'or "flat" (slab-pool flat core); digest-identical',
         ),
+        EnvVar(
+            "XSIM_STRATEGY",
+            field="strategy",
+            cli_flag="--strategy",
+            description="resilience strategy for every run: one of the "
+            "registered names (``ckpt``, ``ckpt-multilevel``, "
+            "``replication``, ``none``); parameters come from the "
+            "scenario file's ``[resilience] strategy`` table",
+        ),
     )
 }
 
@@ -158,4 +167,14 @@ def read_environment(environ=None) -> dict[str, object]:
                 f"XSIM_ENGINE must be 'heap' or 'flat', got {raw!r}"
             )
         out["engine"] = raw
+    raw = env.get("XSIM_STRATEGY", "").strip()
+    if raw:
+        from repro.resilience import strategy_names
+
+        if raw not in strategy_names():
+            raise ConfigurationError(
+                f"XSIM_STRATEGY must be one of {', '.join(strategy_names())}, "
+                f"got {raw!r}"
+            )
+        out["strategy"] = raw
     return out

@@ -64,6 +64,8 @@ TOML_LAYOUT: dict[str, tuple[tuple[str, str], ...]] = {
         ("failures", "failures"),
         ("mttf", "mttf"),
         ("max_restarts", "max_restarts"),
+        ("strategy", "strategy"),
+        ("strategy_params", "strategy_params"),
     ),
     "execution": (
         ("seed", "seed"),
@@ -82,7 +84,7 @@ TOML_LAYOUT: dict[str, tuple[tuple[str, str], ...]] = {
     ),
 }
 
-APP_NAMES = ("heat3d", "cg", "stencil2d", "ring")
+APP_NAMES = ("heat3d", "cg", "stencil2d", "ring", "amr")
 TOPOLOGY_NAMES = ("torus", "mesh", "fattree", "star", "crossbar")
 ENGINE_NAMES = ("heap", "flat")
 
@@ -126,6 +128,13 @@ class Scenario:
     failures: str = ""
     mttf: float | None = None
     max_restarts: int = 1000
+    #: Resilience strategy name (see :mod:`repro.resilience`): "ckpt",
+    #: "ckpt-multilevel", "replication", or "none".
+    strategy: str = "ckpt"
+    #: Strategy parameters as a canonical sorted tuple of (key, value)
+    #: pairs; accepts a dict at construction (the TOML sub-table form
+    #: ``strategy = {name = "...", k = 4}``).
+    strategy_params: tuple = ()
     # -- execution -----------------------------------------------------
     seed: int = 0
     backend: str | None = None
@@ -154,8 +163,17 @@ class Scenario:
         # here keeps flag-built and file-built scenarios digest-equal.
         if self.trace_out and not self.observe:
             object.__setattr__(self, "observe", True)
+        params = self.strategy_params
+        items = params.items() if isinstance(params, dict) else (tuple(p) for p in params)
+        object.__setattr__(
+            self,
+            "strategy_params",
+            tuple(sorted((str(k), v) for k, v in items)),
+        )
         if self.ranks < 1:
             raise ConfigurationError(f"ranks must be >= 1, got {self.ranks}")
+        if self.interval < 1:
+            raise ConfigurationError(f"interval must be >= 1, got {self.interval}")
         if self.app not in APP_NAMES:
             raise ConfigurationError(
                 f"unknown app {self.app!r} (choose from {', '.join(APP_NAMES)})"
@@ -178,9 +196,13 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown shard transport {self.shard_transport!r}"
             )
+        # Validates the strategy name and parameter spellings eagerly,
+        # and yields the physical rank count (replication runs factor-R
+        # replicas, so the simulated machine is wider than the app).
+        strategy = self.make_strategy()
         if self.dims is not None:
             # paper_system places one rank per node, so nnodes == ranks.
-            validate_dims(self.dims, self.topology, self.ranks)
+            validate_dims(self.dims, self.topology, strategy.physical_ranks(self.ranks))
         # Parse eagerly so a bad schedule fails at build, not at launch.
         FailureSchedule.parse(self.failures)
 
@@ -232,6 +254,10 @@ class Scenario:
             for key, field_name in pairs:
                 value = getattr(self, field_name)
                 if value is None:
+                    continue
+                if field_name == "strategy_params":
+                    if value:
+                        body[key] = dict(value)
                     continue
                 body[key] = list(value) if isinstance(value, tuple) else value
             out[table] = body
@@ -316,10 +342,18 @@ class Scenario:
             return "sharded-shm"
         return "sharded-fork"
 
+    def make_strategy(self):
+        """Instantiate this scenario's resilience strategy (validated)."""
+        from repro.resilience import make_strategy
+
+        return make_strategy(self)
+
     def system_config(self) -> SystemConfig:
-        """The simulated machine this scenario describes."""
+        """The simulated machine this scenario describes (sized for the
+        strategy's *physical* rank count — replication runs factor-R
+        replicas of the logical job)."""
         return SystemConfig.paper_system(
-            nranks=self.ranks,
+            nranks=self.make_strategy().physical_ranks(self.ranks),
             topology_kind=self.topology,
             topology_dims=self.dims,
             link_latency=self.latency,
@@ -330,35 +364,61 @@ class Scenario:
             collective_algorithm=self.collectives,
         )
 
-    def make_app(self) -> tuple[Callable, Callable]:
+    def make_app(self, strategy=None) -> tuple[Callable, Callable]:
         """``(app, make_args)``: the application generator function and
-        the per-segment argument builder (given the checkpoint store)."""
+        the per-segment argument builder (given the checkpoint store).
+
+        ``strategy`` is the run's live strategy instance (built fresh
+        when omitted): it sets the checkpoint cadence the app runs at
+        (multi-level checkpoints ``k`` times as often into cheap tiers)
+        and wraps the app (replication's redMPI facade).  The workload is
+        always decomposed for the *logical* ``self.ranks``.
+        """
+        if strategy is None:
+            strategy = self.make_strategy()
+        interval = strategy.app_interval(self.interval)
         if self.app == "heat3d":
             from repro.apps.heat3d import HeatConfig, heat3d
 
+            overrides: dict[str, Any] = {}
+            if interval != self.interval:
+                # Keep the halo-exchange cadence pinned to the nominal
+                # interval so communication is comparable across strategies.
+                overrides["exchange_interval"] = self.interval
             workload = HeatConfig.paper_workload(
-                checkpoint_interval=self.interval,
+                checkpoint_interval=interval,
                 nranks=self.ranks,
                 iterations=self.iterations,
+                **overrides,
             )
-            return heat3d, (lambda store: (workload, store))
-        if self.app == "stencil2d":
+            app, make_args = heat3d, (lambda store: (workload, store))
+        elif self.app == "stencil2d":
             from repro.apps.stencil2d import Stencil2dConfig, stencil2d
 
-            cfg = Stencil2dConfig.for_ranks(self.ranks, checkpoint_interval=self.interval)
-            return stencil2d, (lambda store: (cfg, store))
-        if self.app == "cg":
+            cfg = Stencil2dConfig.for_ranks(self.ranks, checkpoint_interval=interval)
+            app, make_args = stencil2d, (lambda store: (cfg, store))
+        elif self.app == "cg":
             from repro.apps.cg import CgConfig, cg
 
             cfg = CgConfig.for_ranks(
                 self.ranks, max_iterations=self.iterations,
-                checkpoint_interval=self.interval,
+                checkpoint_interval=interval,
             )
-            return cg, (lambda store: (cfg, store))
-        from repro.apps.ring import RingConfig, ring
+            app, make_args = cg, (lambda store: (cfg, store))
+        elif self.app == "amr":
+            from repro.apps.amr import AmrConfig, amr
 
-        cfg = RingConfig(rounds=self.iterations)
-        return ring, (lambda store: (cfg,))
+            cfg = AmrConfig.for_ranks(
+                self.ranks, iterations=self.iterations,
+                checkpoint_interval=interval,
+            )
+            app, make_args = amr, (lambda store: (cfg, store))
+        else:
+            from repro.apps.ring import RingConfig, ring
+
+            cfg = RingConfig(rounds=self.iterations)
+            app, make_args = ring, (lambda store: (cfg,))
+        return strategy.wrap_app(app), make_args
 
     def schedule(self) -> FailureSchedule:
         """The explicit failure schedule (may be empty)."""
@@ -382,6 +442,9 @@ def _toml_value(value: Any) -> str:
         return repr(value)
     if isinstance(value, list):
         return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    if isinstance(value, dict):
+        body = ", ".join(f"{k} = {_toml_value(v)}" for k, v in value.items())
+        return "{" + body + "}"
     text = str(value)
     escaped = text.replace("\\", "\\\\").replace('"', '\\"')
     return f'"{escaped}"'
@@ -408,6 +471,19 @@ def _dict_fields(
             field_name = _FIELD_BY_TABLE_KEY.get((table, key))
             if field_name is None:
                 raise ConfigurationError(f"unknown scenario key {table}.{key}")
+            if field_name == "strategy" and isinstance(value, dict):
+                # The sub-table form: [resilience.strategy] with a name
+                # key plus strategy parameters.
+                params = dict(value)
+                name = params.pop("name", None)
+                if not isinstance(name, str):
+                    raise ConfigurationError(
+                        "[resilience.strategy] needs a string 'name' key "
+                        '(e.g. strategy = {name = "ckpt-multilevel", k = 4})'
+                    )
+                out["strategy"] = name
+                out.setdefault("strategy_params", params)
+                continue
             out[field_name] = value
     return out
 

@@ -54,6 +54,12 @@ def parse_set(text: str, base: Scenario | None = None) -> tuple[str, list]:
             f"unknown sweep field {name!r} (scenario fields: "
             f"{', '.join(sorted(known))})"
         )
+    if name == "strategy_params":
+        raise ConfigurationError(
+            "strategy_params cannot be a sweep axis; sweep 'strategy' and "
+            "set per-strategy parameters in the scenario file's "
+            "[resilience] strategy table"
+        )
     items = [v.strip() for v in raw.split(",") if v.strip()]
     if not items:
         raise ConfigurationError(f"--set {text!r} names no values")
